@@ -1,0 +1,147 @@
+"""Benches for the design-choice ablations DESIGN.md calls out.
+
+Each bench runs one ablation from :mod:`repro.experiments.ablations`,
+records its table, and asserts the property that justifies the design
+choice.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    dust_table_ablation,
+    filter_weighting_ablation,
+    format_ablation,
+    get_scale,
+    munich_evaluator_ablation,
+    proud_synopsis_ablation,
+    tail_workaround_ablation,
+    tau_sensitivity_study,
+)
+
+
+def bench_munich_evaluators(benchmark, record):
+    results = benchmark.pedantic(
+        munich_evaluator_ablation, rounds=1, iterations=1
+    )
+    record(
+        "ablation_munich_evaluators",
+        format_ablation(
+            "Ablation — MUNICH probability evaluators vs exhaustive "
+            "enumeration (max |error| over a pair/threshold grid)",
+            results,
+        ),
+    )
+    # The default evaluator agrees with the definitional count to < 1e-2.
+    assert results["convolution(4096)"]["max_error"] < 0.01
+    # Finer grids are at least as accurate as coarse ones.
+    assert (
+        results["convolution(4096)"]["max_error"]
+        <= results["convolution(256)"]["max_error"] + 1e-12
+    )
+
+
+def bench_dust_table_resolution(benchmark, record):
+    results = benchmark.pedantic(dust_table_ablation, rounds=1, iterations=1)
+    record(
+        "ablation_dust_tables",
+        format_ablation(
+            "Ablation — DUST lookup-table resolution vs normal closed form",
+            {str(k): v for k, v in results.items()},
+        ),
+    )
+    resolutions = sorted(results)
+    errors = [results[r]["max_error"] for r in resolutions]
+    # Error decreases monotonically with resolution; default is tight.
+    assert errors == sorted(errors, reverse=True)
+    assert results[2048]["max_error"] < 0.002
+
+
+def bench_uniform_tail_workaround(benchmark, record):
+    scale = get_scale()
+    results = benchmark.pedantic(
+        tail_workaround_ablation, kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    record(
+        "ablation_uniform_tails",
+        format_ablation(
+            "Ablation — DUST under uniform error (σ=0.2): the paper's "
+            "tail workaround vs the φ-floor alone "
+            "(the Figure 5 σ=0.2 dip mechanism)",
+            results,
+        ),
+    )
+    for dataset, row in results.items():
+        assert 0.0 <= row["DUST(tails)"] <= 1.0
+        assert 0.0 <= row["DUST(no tails)"] <= 1.0
+
+
+def bench_proud_synopsis(benchmark, record):
+    scale = get_scale()
+    results = benchmark.pedantic(
+        proud_synopsis_ablation, kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    record(
+        "ablation_proud_synopsis",
+        format_ablation(
+            "Ablation — PROUD Haar-synopsis mode (Section 4.3 remark): "
+            "accuracy vs coefficients kept",
+            results,
+        ),
+    )
+    # More coefficients never hurt accuracy (monotone refinement).
+    assert results["PROUD(k=32)"]["f1"] >= results["PROUD(k=8)"]["f1"] - 0.05
+    assert results["PROUD(full)"]["f1"] >= results["PROUD(k=32)"]["f1"] - 0.05
+
+
+def bench_filter_weighting(benchmark, record):
+    scale = get_scale()
+    results = benchmark.pedantic(
+        filter_weighting_ablation, kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    record(
+        "ablation_filter_weighting",
+        format_ablation(
+            "Ablation — decomposing UMA/UEMA: plain windowing (MA/EMA) vs "
+            "windowing + 1/σ confidence weighting (UMA/UEMA), mixed "
+            "normal error",
+            results,
+        ),
+    )
+    import numpy as np
+
+    means = {
+        label: float(np.mean([row[label] for row in results.values()]))
+        for label in next(iter(results.values()))
+    }
+    # Windowing alone already beats the unfiltered baseline...
+    assert means["MA(w=2)"] > means["Euclidean"], means
+    # ...and the confidence weighting does not hurt on average.
+    assert means["UMA(w=2)"] >= means["MA(w=2)"] - 0.03, means
+
+
+def bench_tau_sensitivity(benchmark, record):
+    results = benchmark.pedantic(
+        tau_sensitivity_study, rounds=1, iterations=1
+    )
+    record(
+        "ablation_tau_sensitivity",
+        format_ablation(
+            "Ablation — MUNICH F1 across σ for fixed τ values (the "
+            "brittleness behind Figure 4's collapse; Section 6's τ "
+            "guidance)",
+            {
+                f"tau={tau:g}": {f"sigma={s:g}": f for s, f in row.items()}
+                for tau, row in results.items()
+            },
+        ),
+    )
+    # Strict τ collapses hardest at large σ.
+    taus = sorted(results)
+    sigmas = sorted(next(iter(results.values())))
+    strictest, loosest = max(taus), min(taus)
+    assert (
+        results[strictest][sigmas[-1]] <= results[loosest][sigmas[-1]] + 0.05
+    )

@@ -1,0 +1,29 @@
+"""Bench for the DTW-under-uncertainty extension study.
+
+The paper notes (Sections 2.1, 3.2) that MUNICH and DUST extend to DTW
+but never evaluates the combination; this study does, on CBF (whose
+class structure is warping) with DTW ground truth.
+
+Expected shape: the DTW-based measures dominate their pointwise
+counterparts, and under constant-σ normal errors DUST-weighting changes
+nothing (DUST ≡ Euclidean, DUST-DTW ≡ DTW up to monotone scaling).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_dtw_study, get_scale, run_dtw_study
+
+
+def bench_dtw_study(benchmark, record):
+    scale = get_scale()
+    results = benchmark.pedantic(
+        run_dtw_study, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    record("dtw_study", format_dtw_study(results))
+
+    for sigma, row in results.items():
+        # Constant-σ equivalences (monotone transforms preserve result sets).
+        assert row["DUST"] == row["Euclidean"], sigma
+        assert row["DUST-DTW"] == row["DTW"], sigma
+        # Alignment-invariance pays on warped data.
+        assert row["DTW"] >= row["Euclidean"] - 0.05, sigma

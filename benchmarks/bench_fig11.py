@@ -1,0 +1,44 @@
+"""Bench for Figure 11: CPU time per query vs error σ (normal errors),
+PROUD / DUST / Euclidean averaged over datasets — plus the paper's
+"MUNICH is orders of magnitude more expensive" claim.
+
+Paper shape: Euclidean fastest and flat in σ; DUST the slowest of the
+pdf-based three; σ barely affects any of them.  Absolute times are
+Python's, not the paper's C++ — ordering is the target.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    format_timing_table,
+    get_scale,
+    munich_cost_check,
+    run_figure11,
+)
+
+
+def bench_figure11(benchmark, record):
+    scale = get_scale()
+    rows = benchmark.pedantic(
+        run_figure11, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    munich = munich_cost_check()
+    text = format_timing_table(
+        "Figure 11 — time per query vs error σ (normal errors)",
+        rows,
+        "sigma",
+    )
+    text += (
+        "\n\nMUNICH cost check (tiny workload, seconds/query): "
+        + ", ".join(
+            f"{name}={seconds:.4f}"
+            for name, seconds in munich.items()
+            if name != "MUNICH_total_seconds"
+        )
+    )
+    record("fig11", text)
+
+    for per_technique in rows.values():
+        assert per_technique["Euclidean"] <= per_technique["DUST"]
+    # The paper's MUNICH claim: orders of magnitude slower.
+    assert munich["MUNICH"] > 10.0 * munich["Euclidean"]

@@ -1,0 +1,34 @@
+"""Bench for Figure 12: CPU time per query vs series length (resampled),
+PROUD / DUST / Euclidean.
+
+Paper shape: time grows linearly in the series length for all three.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_timing_table, get_scale, run_figure12
+
+
+def bench_figure12(benchmark, record):
+    scale = get_scale()
+    rows = benchmark.pedantic(
+        run_figure12, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    record(
+        "fig12",
+        format_timing_table(
+            "Figure 12 — time per query vs series length (normal error, "
+            "σ=1.0)",
+            rows,
+            "length",
+        ),
+    )
+    lengths = sorted(rows)
+    shortest, longest = lengths[0], lengths[-1]
+    for name in ("PROUD", "DUST"):
+        # Roughly linear growth: the long/short ratio is at least a
+        # meaningful fraction of the length ratio (Python overhead damps it)
+        # and nowhere near quadratic.
+        time_ratio = rows[longest][name] / rows[shortest][name]
+        length_ratio = longest / shortest
+        assert time_ratio < length_ratio * 3.0, name

@@ -1,0 +1,25 @@
+"""Bench for Figure 16: per-dataset F1 with mixed normal errors,
+Euclidean / DUST / UMA / UEMA.
+
+Paper shape: the moving-average measures on top; DUST ≈ Euclidean.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    format_moving_average_figure,
+    get_scale,
+    run_figure16,
+    summarize_means,
+)
+
+
+def bench_figure16(benchmark, record):
+    scale = get_scale()
+    rows = benchmark.pedantic(
+        run_figure16, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    record("fig16", format_moving_average_figure(16, rows))
+    means = summarize_means(rows)
+    assert means["UMA(w=2)"] > means["Euclidean"], means
+    assert means["UEMA(w=2, lambda=1)"] > means["Euclidean"], means

@@ -1,0 +1,42 @@
+"""Bench for the Section 4.1.2 methodology check: top-k rankings of the
+probabilistic techniques depend on ε; distance techniques' do not.
+
+This is the experiment behind the paper's *choice of evaluation task* —
+"MUNICH and PROUD might produce very different top-k answers even if ε
+varies a little.  This, in turn, means that the top-k task is not
+suitable for comparing the three techniques."
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    format_topk_instability,
+    get_scale,
+    run_munich_topk_instability,
+    run_topk_instability,
+)
+
+
+def bench_topk_instability(benchmark, record):
+    scale = get_scale()
+
+    def run():
+        return (
+            run_topk_instability(scale=scale, sigma=1.5),
+            run_munich_topk_instability(),
+        )
+
+    pdf_overlaps, munich_overlaps = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    record(
+        "topk_instability",
+        format_topk_instability(pdf_overlaps, munich_overlaps),
+    )
+    # Distance rankings are ε-free.
+    for delta, overlap in pdf_overlaps["Euclidean"].items():
+        assert overlap == 1.0
+    for delta, overlap in pdf_overlaps["DUST"].items():
+        assert overlap == 1.0
+    # Probabilistic rankings destabilize as ε shifts.
+    assert munich_overlaps[0.5] < 1.0

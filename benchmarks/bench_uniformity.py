@@ -1,0 +1,25 @@
+"""Bench for the Section 4.1.1 check: chi-square uniformity test on every
+dataset's values.
+
+Paper result: uniformity rejected on all 17 datasets at α = 0.01 — the
+value-distribution assumption DUST relies on does not hold, yet DUST is
+evaluated anyway (as the paper does).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    format_uniformity_check,
+    get_scale,
+    run_uniformity_check,
+)
+
+
+def bench_uniformity(benchmark, record):
+    scale = get_scale()
+    results = benchmark.pedantic(
+        run_uniformity_check, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    record("uniformity", format_uniformity_check(results))
+    rejected = sum(r.rejects_uniformity(0.01) for r in results.values())
+    assert rejected == len(results)

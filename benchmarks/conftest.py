@@ -1,0 +1,31 @@
+"""Shared fixtures for the figure benchmarks.
+
+Each bench regenerates one figure of the paper at the scale selected by
+``REPRO_SCALE`` (default ``reduced``), prints the same rows/series the
+paper plots, and archives the rendered table under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def record():
+    """Print a rendered figure table and archive it to benchmarks/results/."""
+
+    def _record(name: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        # stderr so the tables survive pytest's stdout capture.
+        print(f"\n{text}\n[saved to {path}]", file=sys.stderr)
+
+    return _record

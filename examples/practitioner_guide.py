@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Practitioner's guide: which technique should I use?
+
+Section 6 of the paper distills its evaluation into usage guidelines.
+This example turns them into a runnable decision procedure: describe what
+you know about your data's uncertainty, and it recommends a technique,
+then *demonstrates* the recommendation by running a miniature evaluation
+matching your situation.
+
+Run:  python examples/practitioner_guide.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets import generate_dataset
+from repro.evaluation import run_similarity_experiment
+from repro.perturbation import (
+    ConstantScenario,
+    MisreportedScenario,
+    MixedStdScenario,
+)
+from repro.queries import (
+    DustTechnique,
+    EuclideanTechnique,
+    FilteredTechnique,
+    ProudTechnique,
+)
+
+SEED = 21
+
+
+@dataclass
+class Situation:
+    """What a practitioner knows about their uncertain data."""
+
+    name: str
+    knows_error_std: bool          # per-point σ available?
+    error_info_reliable: bool      # ...and trustworthy?
+    needs_probability_guarantee: bool
+    sigma_is_constant: bool
+
+
+def recommend(situation: Situation) -> str:
+    """The paper's Section 6 guidance, operationalized."""
+    if situation.needs_probability_guarantee:
+        # Only MUNICH and PROUD give probabilistic guarantees; PROUD
+        # scales, MUNICH needs short series and small σ.
+        return ("PROUD (probabilistic guarantee; use MUNICH instead only "
+                "for short series with small, well-behaved errors)")
+    if situation.knows_error_std and situation.error_info_reliable:
+        return ("UEMA (best accuracy; exploits the error σ and temporal "
+                "correlation — the paper's overall recommendation)")
+    return ("Euclidean (with unknown or unreliable error info, the "
+            "sophisticated techniques offer no advantage)")
+
+
+SITUATIONS = (
+    Situation("calibrated sensors, spec sheets available",
+              knows_error_std=True, error_info_reliable=True,
+              needs_probability_guarantee=False, sigma_is_constant=False),
+    Situation("third-party data, error claims dubious",
+              knows_error_std=True, error_info_reliable=False,
+              needs_probability_guarantee=False, sigma_is_constant=True),
+    Situation("compliance requires probability statements",
+              knows_error_std=True, error_info_reliable=True,
+              needs_probability_guarantee=True, sigma_is_constant=True),
+)
+
+
+def demonstrate(situation: Situation) -> None:
+    """Back the recommendation with a miniature experiment."""
+    exact = generate_dataset("SwedishLeaf", seed=SEED, n_series=40, length=96)
+    if not situation.error_info_reliable:
+        scenario = MisreportedScenario(MixedStdScenario("normal"))
+    elif situation.sigma_is_constant:
+        scenario = ConstantScenario("normal", 0.6)
+    else:
+        scenario = MixedStdScenario("normal")
+    techniques = [
+        EuclideanTechnique(),
+        DustTechnique(),
+        ProudTechnique(assumed_std=scenario.proud_std),
+        FilteredTechnique.uema(),
+    ]
+    result = run_similarity_experiment(
+        exact, scenario, techniques, n_queries=8, seed=SEED
+    )
+    ranked = sorted(
+        result.techniques.items(), key=lambda kv: -kv[1].f1().mean
+    )
+    print(f"    scenario: {scenario.name}")
+    for name, outcome in ranked:
+        print(f"      {name:22s} F1 = {outcome.f1().mean:.3f}")
+
+
+def main() -> None:
+    for situation in SITUATIONS:
+        print(f"\nsituation: {situation.name}")
+        print(f"  -> recommendation: {recommend(situation)}")
+        demonstrate(situation)
+
+    print(
+        "\npaper's overall guidance (Section 6):\n"
+        "  * temporal correlation is the signal everything else ignores —\n"
+        "    the simple moving-average measures (UMA/UEMA) beat the\n"
+        "    sophisticated probabilistic machinery in accuracy;\n"
+        "  * DUST only pays off when error distributions are mixed AND\n"
+        "    accurately known; with wrong info it reverts to Euclidean;\n"
+        "  * MUNICH is accurate for small σ and short series but its cost\n"
+        "    is prohibitive beyond that;\n"
+        "  * only MUNICH/PROUD give probabilistic guarantees — if you need\n"
+        "    one, tune τ experimentally (no theory exists for choosing it)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package installs in environments without the ``wheel`` package (legacy
+``pip install -e . --no-build-isolation`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""repro — reproduction of "Uncertain Time-Series Similarity: Return to the
+Basics" (Dallachiesa et al., VLDB 2012).
+
+The library implements the paper's full experimental apparatus:
+
+* the uncertain time-series models (pdf-based and repeated-observation);
+* the three literature techniques — MUNICH, PROUD, DUST — plus the
+  Euclidean baseline and the paper's UMA / UEMA moving-average measures;
+* the perturbation framework, the 17 UCR-style datasets, the similarity-
+  matching evaluation methodology, and one experiment per paper figure.
+
+Quickstart::
+
+    from repro import api  # convenience facade
+    # ... see examples/quickstart.py
+
+Subpackages are importable individually (``repro.dust``, ``repro.proud``,
+...); the most common entry points are re-exported from :mod:`repro.api`.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,108 @@
+"""Convenience facade: the most common entry points in one namespace.
+
+For downstream users who just want to *use* the techniques::
+
+    from repro import api
+
+    exact = api.generate_dataset("GunPoint", seed=7)
+    scenario = api.ConstantScenario("normal", 0.4)
+    uncertain = [scenario.apply(s, rng) for rng, s in ...]
+
+    dust = api.Dust()
+    d = dust.distance(uncertain[0], uncertain[1])
+
+Everything here is importable from its home subpackage too; this module
+adds no behaviour.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    Collection,
+    ErrorModel,
+    MultisampleUncertainTimeSeries,
+    TimeSeries,
+    UncertainTimeSeries,
+    make_rng,
+    resample,
+    spawn,
+    truncate,
+    znormalize,
+)
+from .datasets import (
+    PAPER_DATASET_NAMES,
+    UCR_SPECS,
+    generate_dataset,
+    load_ucr_directory,
+)
+from .distances import (
+    FilteredEuclidean,
+    dtw_distance,
+    euclidean,
+    lp_distance,
+    uema_distance,
+    uma_distance,
+)
+from .distributions import (
+    ExponentialError,
+    MixtureError,
+    NormalError,
+    UniformError,
+    make_distribution,
+    with_tails,
+)
+from .dust import Dust, DustTable, DustTableCache
+from .evaluation import (
+    ExperimentResult,
+    mean_with_ci,
+    run_similarity_experiment,
+    score_result_set,
+)
+from .munich import Munich
+from .perturbation import (
+    ConstantScenario,
+    MisreportedScenario,
+    MixedFamilyScenario,
+    MixedStdScenario,
+    perturb,
+    perturb_multisample,
+)
+from .proud import Proud
+from .queries import (
+    DustTechnique,
+    EuclideanTechnique,
+    FilteredTechnique,
+    MunichTechnique,
+    ProudTechnique,
+    knn_query,
+    probabilistic_range_query,
+    range_query,
+)
+
+__all__ = [
+    # core
+    "TimeSeries", "UncertainTimeSeries", "MultisampleUncertainTimeSeries",
+    "ErrorModel", "Collection", "znormalize", "resample", "truncate",
+    "make_rng", "spawn",
+    # distributions
+    "NormalError", "UniformError", "ExponentialError", "MixtureError",
+    "make_distribution", "with_tails",
+    # perturbation
+    "perturb", "perturb_multisample", "ConstantScenario", "MixedStdScenario",
+    "MixedFamilyScenario", "MisreportedScenario",
+    # distances
+    "euclidean", "lp_distance", "dtw_distance", "FilteredEuclidean",
+    "uma_distance", "uema_distance",
+    # techniques
+    "Munich", "Proud", "Dust", "DustTable", "DustTableCache",
+    "EuclideanTechnique", "DustTechnique", "FilteredTechnique",
+    "ProudTechnique", "MunichTechnique",
+    # queries
+    "range_query", "probabilistic_range_query", "knn_query",
+    # datasets
+    "generate_dataset", "load_ucr_directory", "UCR_SPECS",
+    "PAPER_DATASET_NAMES",
+    # evaluation
+    "run_similarity_experiment", "ExperimentResult", "score_result_set",
+    "mean_with_ci",
+]

@@ -1,0 +1,55 @@
+"""Core data model: exact series, uncertain series, collections, transforms."""
+
+from __future__ import annotations
+
+from .collection import Collection
+from .errors import (
+    DatasetError,
+    DistributionError,
+    InvalidParameterError,
+    InvalidSeriesError,
+    LengthMismatchError,
+    ReproError,
+    UnsupportedQueryError,
+)
+from .normalization import (
+    is_znormalized,
+    resample,
+    resample_values,
+    truncate,
+    znormalize,
+    znormalize_values,
+)
+from .rng import DEFAULT_SEED, child_seeds, make_rng, spawn
+from .series import TimeSeries, as_values
+from .uncertain import (
+    ErrorModel,
+    MultisampleUncertainTimeSeries,
+    UncertainTimeSeries,
+)
+
+__all__ = [
+    "Collection",
+    "TimeSeries",
+    "UncertainTimeSeries",
+    "MultisampleUncertainTimeSeries",
+    "ErrorModel",
+    "as_values",
+    "znormalize",
+    "znormalize_values",
+    "is_znormalized",
+    "resample",
+    "resample_values",
+    "truncate",
+    "make_rng",
+    "spawn",
+    "child_seeds",
+    "DEFAULT_SEED",
+    "ReproError",
+    "InvalidSeriesError",
+    "LengthMismatchError",
+    "InvalidParameterError",
+    "DistributionError",
+    "UnsupportedQueryError",
+    "DatasetError",
+]

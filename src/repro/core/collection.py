@@ -1,0 +1,95 @@
+"""Typed collections of (uncertain) time series.
+
+The query definitions in the paper (Equations 1–2) operate over a collection
+``C = {S1, ..., SN}``.  :class:`Collection` is a light ordered container used
+for exact series, pdf-based uncertain series, and multi-sample series alike;
+it adds the conveniences the harness needs (uniform-length checks, a values
+matrix, label access) without hiding the underlying list.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterable, Iterator, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from .errors import InvalidSeriesError
+from .series import TimeSeries
+from .uncertain import MultisampleUncertainTimeSeries, UncertainTimeSeries
+
+ItemT = TypeVar(
+    "ItemT", TimeSeries, UncertainTimeSeries, MultisampleUncertainTimeSeries
+)
+
+
+class Collection(Generic[ItemT]):
+    """An ordered collection of series, all of the same length.
+
+    The equal-length requirement mirrors the paper's setting (whole-sequence
+    matching with Lp/Euclidean-style distances requires aligned series).
+    """
+
+    __slots__ = ("_items", "name")
+
+    def __init__(self, items: Iterable[ItemT], name: Optional[str] = None) -> None:
+        self._items: List[ItemT] = list(items)
+        if not self._items:
+            raise InvalidSeriesError("a collection must contain at least one series")
+        lengths = {len(item) for item in self._items}
+        if len(lengths) != 1:
+            raise InvalidSeriesError(
+                f"all series in a collection must share one length, got {sorted(lengths)}"
+            )
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[ItemT]:
+        return iter(self._items)
+
+    def __getitem__(self, index: int) -> ItemT:
+        return self._items[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"Collection(n_series={len(self)}, length={self.series_length}, "
+            f"name={self.name!r})"
+        )
+
+    @property
+    def series_length(self) -> int:
+        """Length shared by every series in the collection."""
+        return len(self._items[0])
+
+    def labels(self) -> List[Optional[int]]:
+        """Per-series class labels (``None`` when absent)."""
+        return [getattr(item, "label", None) for item in self._items]
+
+    def names(self) -> List[Optional[str]]:
+        """Per-series names (``None`` when absent)."""
+        return [getattr(item, "name", None) for item in self._items]
+
+    def values_matrix(self) -> np.ndarray:
+        """Stack point estimates into an ``(N, n)`` matrix.
+
+        Exact series contribute their values; pdf-based uncertain series
+        their observations; multi-sample series their per-timestamp means.
+        """
+        rows = []
+        for item in self._items:
+            if isinstance(item, TimeSeries):
+                rows.append(item.values)
+            elif isinstance(item, UncertainTimeSeries):
+                rows.append(item.observations)
+            else:
+                rows.append(item.means())
+        return np.vstack(rows)
+
+    def subset(self, indices: Sequence[int]) -> "Collection[ItemT]":
+        """Return a new collection of the items at ``indices`` (in order)."""
+        return Collection([self._items[i] for i in indices], name=self.name)
+
+    def map(self, transform) -> "Collection":
+        """Apply ``transform`` to every item, returning a new collection."""
+        return Collection([transform(item) for item in self._items], name=self.name)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidSeriesError(ReproError):
+    """A time series is malformed (empty, non-finite, wrong dimensionality)."""
+
+
+class LengthMismatchError(ReproError):
+    """Two series that must be aligned have different lengths."""
+
+    def __init__(self, len_a: int, len_b: int, context: str = "") -> None:
+        detail = f" ({context})" if context else ""
+        super().__init__(
+            f"series lengths differ: {len_a} != {len_b}{detail}"
+        )
+        self.len_a = len_a
+        self.len_b = len_b
+
+
+class InvalidParameterError(ReproError):
+    """A user-supplied parameter is outside its valid domain."""
+
+
+class DistributionError(ReproError):
+    """An error distribution cannot be constructed or evaluated."""
+
+
+class UnsupportedQueryError(ReproError):
+    """A query type is not supported by the selected technique."""
+
+
+class DatasetError(ReproError):
+    """A dataset cannot be generated or loaded."""

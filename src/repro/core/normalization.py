@@ -1,0 +1,88 @@
+"""Preprocessing transforms: z-normalization and resampling.
+
+Section 2 of the paper assumes series normalized to zero mean and unit
+variance.  Section 4.3 (Figure 12) additionally varies the series length
+between 50 and 1000 points by *resampling* the raw sequences; the linear
+resampler here mirrors that step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import InvalidParameterError, InvalidSeriesError
+from .series import TimeSeries, as_values
+
+#: Standard-deviation floor below which a series is considered constant and
+#: mapped to all-zeros instead of dividing by (nearly) zero.
+_CONSTANT_STD_EPSILON = 1e-12
+
+
+def znormalize_values(values: np.ndarray) -> np.ndarray:
+    """Return ``values`` shifted to zero mean and scaled to unit variance.
+
+    Constant series (zero standard deviation) normalize to all zeros, the
+    conventional choice that keeps downstream distances finite.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    mean = array.mean()
+    std = array.std()
+    # The constancy threshold is relative to the value magnitude: a series
+    # of large identical floats has std ~1e-11 from rounding alone, and
+    # dividing by it would amplify pure noise.
+    threshold = _CONSTANT_STD_EPSILON * max(1.0, abs(mean))
+    if std < threshold:
+        return np.zeros_like(array)
+    return (array - mean) / std
+
+
+def znormalize(series: TimeSeries) -> TimeSeries:
+    """Z-normalize a :class:`TimeSeries`, keeping its metadata."""
+    return series.with_values(znormalize_values(series.values))
+
+
+def is_znormalized(values: np.ndarray, tolerance: float = 1e-6) -> bool:
+    """Check whether ``values`` has ~zero mean and ~unit standard deviation."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        return False
+    return (
+        abs(float(array.mean())) <= tolerance
+        and abs(float(array.std()) - 1.0) <= tolerance
+    )
+
+
+def resample_values(values: np.ndarray, length: int) -> np.ndarray:
+    """Linearly resample ``values`` to ``length`` points.
+
+    Used by the Figure 12 experiment to obtain series of lengths 50..1000
+    from the raw sequences.  Resampling to the original length returns an
+    identical copy.
+    """
+    if length < 2:
+        raise InvalidParameterError(f"resample length must be >= 2, got {length}")
+    array = as_values(values)
+    if array.size == 1:
+        return np.full(length, array[0])
+    source_positions = np.linspace(0.0, 1.0, num=array.size)
+    target_positions = np.linspace(0.0, 1.0, num=length)
+    return np.interp(target_positions, source_positions, array)
+
+
+def resample(series: TimeSeries, length: int) -> TimeSeries:
+    """Resample a :class:`TimeSeries` to ``length`` points."""
+    return series.with_values(resample_values(series.values, length))
+
+
+def truncate(series: TimeSeries, length: int) -> TimeSeries:
+    """Return the first ``length`` points of ``series``.
+
+    The paper's Figure 4 experiment truncates Gun Point series to length 6.
+    """
+    if length < 1:
+        raise InvalidParameterError(f"truncate length must be >= 1, got {length}")
+    if length > len(series):
+        raise InvalidSeriesError(
+            f"cannot truncate series of length {len(series)} to {length}"
+        )
+    return series.slice(0, length)

@@ -1,0 +1,39 @@
+"""The paper's 17 UCR datasets: synthetic generators + real-file loader."""
+
+from __future__ import annotations
+
+from .base import (
+    PAPER_DATASET_NAMES,
+    UCR_SPECS,
+    DatasetSpec,
+    get_spec,
+    scaled_spec,
+)
+from .generators import (
+    control_chart,
+    cylinder_bell_funnel,
+    fourier_template,
+    smooth_warp,
+    spike_train,
+    warped_instance,
+)
+from .loaders import load_ucr_directory, load_ucr_file, parse_ucr_line
+from .ucr_synthetic import generate_dataset
+
+__all__ = [
+    "DatasetSpec",
+    "UCR_SPECS",
+    "PAPER_DATASET_NAMES",
+    "get_spec",
+    "scaled_spec",
+    "generate_dataset",
+    "load_ucr_directory",
+    "load_ucr_file",
+    "parse_ucr_line",
+    "cylinder_bell_funnel",
+    "control_chart",
+    "fourier_template",
+    "smooth_warp",
+    "warped_instance",
+    "spike_train",
+]

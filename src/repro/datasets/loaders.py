@@ -1,0 +1,98 @@
+"""Loading real UCR-format dataset files.
+
+The harness runs on synthetic data by default (no network access — see
+DESIGN.md §2), but accepts genuine UCR archive files when available: drop
+``<Name>_TRAIN``/``<Name>_TEST`` (classic whitespace/comma format, label
+first) into a directory and point :func:`load_ucr_directory` at it.  Train
+and test splits are joined, exactly as the paper does ("the training and
+testing sets were joined together").
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.collection import Collection
+from ..core.errors import DatasetError
+from ..core.normalization import znormalize_values
+from ..core.series import TimeSeries
+
+
+def parse_ucr_line(line: str) -> Optional[tuple]:
+    """Parse one UCR record: ``label v1 v2 ...`` (comma or whitespace).
+
+    Returns ``(label, values)`` or ``None`` for blank lines.
+    """
+    text = line.strip().replace(",", " ")
+    if not text:
+        return None
+    fields = text.split()
+    if len(fields) < 2:
+        raise DatasetError(f"malformed UCR record: {line!r}")
+    try:
+        label = int(float(fields[0]))
+        values = np.array([float(f) for f in fields[1:]], dtype=np.float64)
+    except ValueError as exc:
+        raise DatasetError(f"malformed UCR record: {line!r}") from exc
+    return label, values
+
+
+def load_ucr_file(path: str, name_prefix: str = "") -> List[TimeSeries]:
+    """Load one UCR-format file into a list of labeled series."""
+    if not os.path.isfile(path):
+        raise DatasetError(f"UCR file not found: {path}")
+    series: List[TimeSeries] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle):
+            parsed = parse_ucr_line(line)
+            if parsed is None:
+                continue
+            label, values = parsed
+            series.append(
+                TimeSeries(
+                    values,
+                    label=label,
+                    name=f"{name_prefix}{len(series):04d} (line {line_number})",
+                )
+            )
+    if not series:
+        raise DatasetError(f"UCR file contains no records: {path}")
+    return series
+
+
+def load_ucr_directory(
+    directory: str, name: str, znormalize: bool = True
+) -> Collection[TimeSeries]:
+    """Load ``<name>_TRAIN`` + ``<name>_TEST`` from ``directory``, joined.
+
+    Either split may be missing (the other alone is used); both missing is
+    an error.  Series are z-normalized by default, matching the paper's
+    preprocessing.
+    """
+    candidates = [
+        os.path.join(directory, f"{name}_TRAIN"),
+        os.path.join(directory, f"{name}_TEST"),
+    ]
+    series: List[TimeSeries] = []
+    for path in candidates:
+        if os.path.isfile(path):
+            series.extend(load_ucr_file(path, name_prefix=f"{name}/"))
+    if not series:
+        raise DatasetError(
+            f"no UCR files for {name!r} in {directory} "
+            f"(looked for {name}_TRAIN / {name}_TEST)"
+        )
+    lengths = {len(s) for s in series}
+    if len(lengths) != 1:
+        raise DatasetError(
+            f"{name}: series lengths differ across records: {sorted(lengths)}"
+        )
+    if znormalize:
+        series = [
+            TimeSeries(znormalize_values(s.values), label=s.label, name=s.name)
+            for s in series
+        ]
+    return Collection(series, name=name)

@@ -1,0 +1,203 @@
+"""Dynamic Time Warping.
+
+MUNICH's framework "has been applied to Euclidean and Dynamic Time Warping
+(DTW) distances" and DUST likewise extends to DTW (paper Sections 2.1, 3.2).
+This module provides the full DTW machinery those variants build on:
+
+* the classic O(n*m) dynamic program with optional Sakoe–Chiba band;
+* warping-path extraction;
+* the LB_Kim and LB_Keogh lower bounds used to cheaply prune candidates.
+
+Point costs are squared differences and the final distance is the square
+root of the accumulated cost, so an unconstrained DTW between identical
+series is 0 and DTW with a zero-width band equals the Euclidean distance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import InvalidParameterError
+from .base import check_aligned
+
+PointCost = Callable[[float, float], float]
+
+
+def _band_limits(n: int, m: int, window: Optional[int]) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row [start, stop) column limits for a Sakoe–Chiba band.
+
+    The band is widened to ``|n - m|`` when the series lengths differ, the
+    minimum width for which an alignment exists.
+    """
+    if window is None:
+        starts = np.zeros(n, dtype=np.intp)
+        stops = np.full(n, m, dtype=np.intp)
+        return starts, stops
+    if window < 0:
+        raise InvalidParameterError(f"window must be >= 0, got {window}")
+    effective = max(window, abs(n - m))
+    rows = np.arange(n)
+    # Map row i to the diagonal position i * m / n to keep the band centered
+    # for unequal lengths.
+    centers = (rows * (m - 1) / max(n - 1, 1)).round().astype(np.intp)
+    starts = np.maximum(0, centers - effective)
+    stops = np.minimum(m, centers + effective + 1)
+    return starts, stops
+
+
+def dtw_distance(
+    x: np.ndarray,
+    y: np.ndarray,
+    window: Optional[int] = None,
+    point_cost: Optional[PointCost] = None,
+) -> float:
+    """DTW distance between ``x`` and ``y``.
+
+    Parameters
+    ----------
+    window:
+        Sakoe–Chiba band half-width; ``None`` means unconstrained.
+    point_cost:
+        Optional custom per-point cost ``c(xi, yj)``.  Defaults to the
+        squared difference; DUST-DTW passes ``dust(xi, yj)^2`` here.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size == 0 or y.size == 0:
+        raise InvalidParameterError("DTW requires non-empty series")
+    n, m = x.size, y.size
+    starts, stops = _band_limits(n, m, window)
+
+    if point_cost is None:
+        cost_row = lambda xi: (xi - y) ** 2  # noqa: E731 — hot path
+    else:
+        cost_row = lambda xi: np.array([point_cost(xi, yj) for yj in y])  # noqa: E731
+
+    infinity = np.inf
+    previous = np.full(m + 1, infinity)
+    current = np.full(m + 1, infinity)
+    previous[0] = 0.0
+    for i in range(n):
+        current.fill(infinity)
+        costs = cost_row(x[i])
+        lo, hi = int(starts[i]), int(stops[i])
+        if i == 0 and lo == 0:
+            current[1] = costs[0] + previous[0]
+            lo = max(lo, 1)
+        for j in range(lo, hi):
+            best = min(previous[j], previous[j + 1], current[j])
+            if best == infinity:
+                continue
+            current[j + 1] = costs[j] + best
+        previous, current = current, previous
+    total = previous[m]
+    if total == infinity:
+        raise InvalidParameterError(
+            f"no warping path exists within window={window} "
+            f"for lengths {n} and {m}"
+        )
+    return float(np.sqrt(total))
+
+
+def dtw_path(
+    x: np.ndarray, y: np.ndarray, window: Optional[int] = None
+) -> Tuple[float, List[Tuple[int, int]]]:
+    """DTW distance plus one optimal warping path.
+
+    The path is the list of aligned index pairs ``(i, j)`` from ``(0, 0)``
+    to ``(n-1, m-1)``.  Uses a full cost matrix; prefer
+    :func:`dtw_distance` when only the value is needed.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    n, m = x.size, y.size
+    if n == 0 or m == 0:
+        raise InvalidParameterError("DTW requires non-empty series")
+    starts, stops = _band_limits(n, m, window)
+    accumulated = np.full((n + 1, m + 1), np.inf)
+    accumulated[0, 0] = 0.0
+    for i in range(n):
+        lo, hi = int(starts[i]), int(stops[i])
+        for j in range(lo, hi):
+            cost = (x[i] - y[j]) ** 2
+            best = min(
+                accumulated[i, j],
+                accumulated[i, j + 1],
+                accumulated[i + 1, j],
+            )
+            if best < np.inf:
+                accumulated[i + 1, j + 1] = cost + best
+    if accumulated[n, m] == np.inf:
+        raise InvalidParameterError(
+            f"no warping path exists within window={window}"
+        )
+    path: List[Tuple[int, int]] = []
+    i, j = n, m
+    while i > 0 and j > 0:
+        path.append((i - 1, j - 1))
+        moves = (
+            (accumulated[i - 1, j - 1], i - 1, j - 1),
+            (accumulated[i - 1, j], i - 1, j),
+            (accumulated[i, j - 1], i, j - 1),
+        )
+        _, i, j = min(moves, key=lambda item: item[0])
+    path.reverse()
+    return float(np.sqrt(accumulated[n, m])), path
+
+
+def lb_kim(x: np.ndarray, y: np.ndarray) -> float:
+    """LB_Kim lower bound (first/last/min/max feature distance).
+
+    A constant-time bound: the DTW distance cannot be smaller than the
+    largest per-feature difference because every warping path aligns the
+    first and last points and passes through the extrema.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size == 0 or y.size == 0:
+        raise InvalidParameterError("LB_Kim requires non-empty series")
+    features = (
+        abs(x[0] - y[0]),
+        abs(x[-1] - y[-1]),
+        abs(x.max() - y.max()),
+        abs(x.min() - y.min()),
+    )
+    return float(max(features))
+
+
+def keogh_envelope(
+    y: np.ndarray, window: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Upper/lower LB_Keogh envelope of ``y`` for band half-width ``window``."""
+    y = np.asarray(y, dtype=np.float64)
+    if window < 0:
+        raise InvalidParameterError(f"window must be >= 0, got {window}")
+    m = y.size
+    upper = np.empty(m)
+    lower = np.empty(m)
+    for i in range(m):
+        lo = max(0, i - window)
+        hi = min(m, i + window + 1)
+        segment = y[lo:hi]
+        upper[i] = segment.max()
+        lower[i] = segment.min()
+    return lower, upper
+
+
+def lb_keogh(x: np.ndarray, y: np.ndarray, window: int) -> float:
+    """LB_Keogh lower bound of the banded DTW distance.
+
+    Accumulates the squared overshoot of ``x`` outside the envelope of
+    ``y``; guaranteed <= ``dtw_distance(x, y, window)`` for equal-length
+    series.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    check_aligned(x, y, "lb_keogh")
+    lower, upper = keogh_envelope(y, window)
+    above = np.maximum(x - upper, 0.0)
+    below = np.maximum(lower - x, 0.0)
+    overshoot = above + below
+    return float(np.sqrt(np.dot(overshoot, overshoot)))

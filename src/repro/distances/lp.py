@@ -1,0 +1,81 @@
+"""Lp-norm distances, including the Euclidean baseline.
+
+Euclidean distance on the raw observations is the paper's baseline: "we
+just use a single value for every timestamp, and compute the traditional
+Euclidean distance based on these values" (Section 4.1.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import InvalidParameterError
+from .base import check_aligned
+
+
+def lp_distance(x: np.ndarray, y: np.ndarray, p: float = 2.0) -> float:
+    """Minkowski ``Lp`` distance between aligned arrays.
+
+    ``p`` may be any value >= 1, or ``inf`` for the Chebyshev distance.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    check_aligned(x, y, "lp_distance")
+    if p == np.inf:
+        return float(np.max(np.abs(x - y))) if x.size else 0.0
+    if p < 1.0:
+        raise InvalidParameterError(f"p must be >= 1 or inf, got {p}")
+    diff = np.abs(x - y)
+    if p == 2.0:
+        return float(np.sqrt(np.dot(diff, diff)))
+    if p == 1.0:
+        return float(diff.sum())
+    return float(np.power(np.power(diff, p).sum(), 1.0 / p))
+
+
+def euclidean(x: np.ndarray, y: np.ndarray) -> float:
+    """Euclidean (``L2``) distance — the paper's certain-data baseline."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    check_aligned(x, y, "euclidean")
+    diff = x - y
+    return float(np.sqrt(np.dot(diff, diff)))
+
+
+def squared_euclidean(x: np.ndarray, y: np.ndarray) -> float:
+    """Squared Euclidean distance (no final square root).
+
+    PROUD's distance distribution (Equation 5) and MUNICH's per-timestamp
+    convolution both work in squared space; exposing it avoids needless
+    sqrt/square round-trips.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    check_aligned(x, y, "squared_euclidean")
+    diff = x - y
+    return float(np.dot(diff, diff))
+
+
+def manhattan(x: np.ndarray, y: np.ndarray) -> float:
+    """Manhattan (``L1``) distance."""
+    return lp_distance(x, y, p=1.0)
+
+
+def euclidean_matrix(rows: np.ndarray, columns: np.ndarray) -> np.ndarray:
+    """Vectorized pairwise Euclidean distances between two series stacks.
+
+    Computes ``||r||^2 + ||c||^2 - 2 r.c`` with clipping against negative
+    rounding noise; used by the harness for ground-truth construction over
+    whole datasets.
+    """
+    rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+    columns = np.atleast_2d(np.asarray(columns, dtype=np.float64))
+    if rows.shape[1] != columns.shape[1]:
+        raise InvalidParameterError(
+            f"row length {rows.shape[1]} != column length {columns.shape[1]}"
+        )
+    row_norms = np.einsum("ij,ij->i", rows, rows)
+    column_norms = np.einsum("ij,ij->i", columns, columns)
+    squared = row_norms[:, None] + column_norms[None, :] - 2.0 * rows @ columns.T
+    np.maximum(squared, 0.0, out=squared)
+    return np.sqrt(squared)

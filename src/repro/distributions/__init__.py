@@ -1,0 +1,57 @@
+"""Zero-mean error distributions used to model measurement uncertainty.
+
+The paper perturbs exact ("ground truth") series with errors drawn from
+uniform, normal, and exponential distributions, all centered at zero and
+parameterized by standard deviation (Section 4.1.1).  This package provides
+those three families, finite mixtures of them, and a by-name factory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from ..core.errors import DistributionError
+from .base import ErrorDistribution
+from .exponential import ExponentialError
+from .mixture import MixtureError, with_tails
+from .normal import NormalError
+from .uniform import UniformError
+
+#: Registry of scalar (non-mixture) families, keyed by family name.
+FAMILIES: Dict[str, Type[ErrorDistribution]] = {
+    NormalError.family: NormalError,
+    UniformError.family: UniformError,
+    ExponentialError.family: ExponentialError,
+}
+
+#: The three error families the paper sweeps over, in paper order.
+PAPER_FAMILIES = ("normal", "uniform", "exponential")
+
+
+def make_distribution(family: str, std: float) -> ErrorDistribution:
+    """Construct an error distribution from a family name and a std.
+
+    >>> make_distribution("normal", 0.4)
+    NormalError(std=0.4)
+    """
+    try:
+        cls = FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(FAMILIES))
+        raise DistributionError(
+            f"unknown error family {family!r}; known families: {known}"
+        ) from None
+    return cls(std)
+
+
+__all__ = [
+    "ErrorDistribution",
+    "NormalError",
+    "UniformError",
+    "ExponentialError",
+    "MixtureError",
+    "with_tails",
+    "make_distribution",
+    "FAMILIES",
+    "PAPER_FAMILIES",
+]

@@ -1,0 +1,137 @@
+"""Finite mixtures of error distributions.
+
+Used for two purposes in the reproduction:
+
+* the DUST uniform-error workaround (Section 4.2.1): the paper adds "two
+  tails to the uniform error, so that the error probability density function
+  is never exactly zero" — :func:`with_tails` builds that mixture;
+* sanity experiments where an error model is itself a blend of families.
+
+Note that the paper's *mixed error distribution* experiments (Figures 8–10,
+15–17) do **not** use mixtures at a single timestamp: they assign different
+error distributions to different timestamps.  That heterogeneity lives in
+:class:`repro.core.uncertain.ErrorModel`, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import DistributionError
+from .base import ErrorDistribution
+from .normal import NormalError
+
+
+class MixtureError(ErrorDistribution):
+    """Weighted mixture of zero-mean error distributions.
+
+    The components all have zero mean, so the mixture does too, and its
+    variance is the weighted average of the component variances.
+    """
+
+    family = "mixture"
+
+    def __init__(
+        self,
+        components: Sequence[ErrorDistribution],
+        weights: Sequence[float],
+    ) -> None:
+        if len(components) == 0:
+            raise DistributionError("mixture requires at least one component")
+        if len(components) != len(weights):
+            raise DistributionError(
+                f"got {len(components)} components but {len(weights)} weights"
+            )
+        weight_array = np.asarray(weights, dtype=np.float64)
+        if np.any(weight_array < 0.0) or weight_array.sum() <= 0.0:
+            raise DistributionError("mixture weights must be non-negative, sum > 0")
+        weight_array = weight_array / weight_array.sum()
+
+        variance = float(
+            sum(w * c.variance for w, c in zip(weight_array, components))
+        )
+        super().__init__(std=float(np.sqrt(variance)))
+        self._components: Tuple[ErrorDistribution, ...] = tuple(components)
+        self._weights = weight_array
+
+    @property
+    def components(self) -> Tuple[ErrorDistribution, ...]:
+        """The component distributions."""
+        return self._components
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Normalized component weights (read-only copy)."""
+        return self._weights.copy()
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        total = np.zeros_like(x, dtype=np.float64)
+        for weight, component in zip(self._weights, self._components):
+            total += weight * component.pdf(x)
+        return total
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        total = np.zeros_like(x, dtype=np.float64)
+        for weight, component in zip(self._weights, self._components):
+            total += weight * component.cdf(x)
+        return total
+
+    def sample(self, rng: np.random.Generator, size) -> np.ndarray:
+        flat_size = int(np.prod(size)) if not np.isscalar(size) else int(size)
+        choices = rng.choice(len(self._components), size=flat_size, p=self._weights)
+        out = np.empty(flat_size, dtype=np.float64)
+        for index, component in enumerate(self._components):
+            mask = choices == index
+            count = int(mask.sum())
+            if count:
+                out[mask] = component.sample(rng, count)
+        return out.reshape(size)
+
+    def support(self) -> Tuple[float, float]:
+        lows, highs = zip(*(c.support() for c in self._components))
+        return (min(lows), max(highs))
+
+    def with_std(self, std: float) -> "MixtureError":
+        """Rescale every component so the mixture reaches ``std``."""
+        if std <= 0.0:
+            raise DistributionError(f"std must be positive, got {std}")
+        factor = std / self.std
+        rescaled = [c.with_std(c.std * factor) for c in self._components]
+        return MixtureError(rescaled, self._weights)
+
+    def _key(self) -> tuple:
+        return (
+            self.family,
+            tuple(c._key() for c in self._components),
+            tuple(np.round(self._weights, 12)),
+        )
+
+
+def with_tails(
+    base: ErrorDistribution,
+    tail_weight: float = 0.01,
+    tail_scale: float = 4.0,
+) -> MixtureError:
+    """Blend ``base`` with a wide Gaussian so its pdf is never exactly zero.
+
+    This is the paper's workaround for DUST on uniform errors: ``φ`` may
+    evaluate to zero on bounded supports, and ``-log 0`` degenerates.  A
+    ``tail_weight`` fraction of mass is moved to a normal component whose
+    standard deviation is ``tail_scale`` times the base's.
+
+    The paper reports the workaround "proved useful, but did not completely
+    solve the problem" — our lookup tables additionally floor φ at a tiny
+    positive value (see :mod:`repro.dust.tables`).
+    """
+    if not 0.0 < tail_weight < 1.0:
+        raise DistributionError(
+            f"tail_weight must be in (0, 1), got {tail_weight}"
+        )
+    if tail_scale <= 0.0:
+        raise DistributionError(f"tail_scale must be positive, got {tail_scale}")
+    tail = NormalError(std=tail_scale * base.std)
+    return MixtureError([base, tail], [1.0 - tail_weight, tail_weight])

@@ -1,0 +1,53 @@
+"""Zero-mean uniform error distribution.
+
+A uniform distribution on ``[-a, a]`` has standard deviation ``a / sqrt(3)``,
+so an error with standard deviation ``std`` is uniform on
+``[-sqrt(3)*std, +sqrt(3)*std]``.
+
+The bounded support is what breaks DUST's φ function (Section 4.2.1 of the
+paper): the cross-correlation of two bounded densities is exactly zero for
+large observed differences, and ``-log 0`` is undefined.  The paper's
+workaround — "adding two tails to the uniform error" — is available as
+:func:`repro.distributions.mixture.with_tails`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from .base import ErrorDistribution
+
+_SQRT3 = math.sqrt(3.0)
+
+
+class UniformError(ErrorDistribution):
+    """Uniform measurement error on ``[-sqrt(3)*std, sqrt(3)*std]``."""
+
+    family = "uniform"
+
+    @property
+    def half_width(self) -> float:
+        """Half width ``a`` of the support ``[-a, a]``."""
+        return _SQRT3 * self._std
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        a = self.half_width
+        density = 1.0 / (2.0 * a)
+        return np.where(np.abs(x) <= a, density, 0.0)
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        a = self.half_width
+        return np.clip((x + a) / (2.0 * a), 0.0, 1.0)
+
+    def sample(self, rng: np.random.Generator, size) -> np.ndarray:
+        a = self.half_width
+        return rng.uniform(low=-a, high=a, size=size)
+
+    def support(self) -> Tuple[float, float]:
+        a = self.half_width
+        return (-a, a)

@@ -1,0 +1,24 @@
+"""DUST: a generalized distance for uncertain time series (Section 2.3)."""
+
+from __future__ import annotations
+
+from .distance import Dust
+from .phi import phi, phi_normal_closed_form, phi_numeric, phi_support_radius
+from .tables import (
+    DEFAULT_TABLE_POINTS,
+    PHI_FLOOR,
+    DustTable,
+    DustTableCache,
+)
+
+__all__ = [
+    "Dust",
+    "DustTable",
+    "DustTableCache",
+    "phi",
+    "phi_numeric",
+    "phi_normal_closed_form",
+    "phi_support_radius",
+    "PHI_FLOOR",
+    "DEFAULT_TABLE_POINTS",
+]

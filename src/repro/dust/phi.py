@@ -1,0 +1,97 @@
+"""DUST's φ similarity function (paper Section 2.3, Equation 12).
+
+φ measures "the probability that the true (unknown) values behind two
+observations are equal", as a density over the observed difference.  With
+observation model ``x = r(x) + e_x`` and the DUST paper's uniform prior on
+true values, Bayes reduces φ to the cross-correlation of the two error
+densities evaluated at the observed difference ``d = x - y``:
+
+    φ(d) = ∫ f_x(e) · f_y(e - d) de
+
+(the density of ``e_x - e_y`` at ``d``).  Two important analytic cases:
+
+* both errors normal with stds ``s_x, s_y`` → φ is the ``N(0, s_x²+s_y²)``
+  density, hence ``dust(d)² = d² / (2 (s_x²+s_y²))`` and DUST is a monotone
+  transform of Euclidean — the equivalence the paper states;
+* both errors uniform → φ has bounded support and *is exactly zero* for
+  large ``d``, the degeneracy discussed in Section 4.2.1.
+
+For everything else φ is integrated numerically on an adaptive grid.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..distributions.base import ErrorDistribution
+from ..distributions.normal import NormalError
+
+#: Grid points for the numeric cross-correlation.  Densities with jump
+#: discontinuities (uniform edges, the exponential's left edge) dominate the
+#: trapezoid error, which shrinks linearly in the step; 16001 points keeps
+#: the relative error below ~0.1% even at those edges.
+_GRID_POINTS = 16001
+
+
+def phi_normal_closed_form(
+    d: np.ndarray, std_x: float, std_y: float
+) -> np.ndarray:
+    """φ for two normal errors: the ``N(0, std_x² + std_y²)`` density."""
+    d = np.asarray(d, dtype=np.float64)
+    combined_variance = std_x * std_x + std_y * std_y
+    normalizer = 1.0 / math.sqrt(2.0 * math.pi * combined_variance)
+    return normalizer * np.exp(-0.5 * d * d / combined_variance)
+
+
+def phi_numeric(
+    d: np.ndarray,
+    error_x: ErrorDistribution,
+    error_y: ErrorDistribution,
+    grid_points: int = _GRID_POINTS,
+) -> np.ndarray:
+    """φ via trapezoid integration of ``∫ f_x(e) f_y(e - d) de``.
+
+    The integration grid covers ``error_x``'s support (where the first
+    factor is non-zero); vectorized over all requested ``d`` values at once.
+    """
+    d = np.atleast_1d(np.asarray(d, dtype=np.float64))
+    low_x, high_x = error_x.support()
+    grid = np.linspace(low_x, high_x, grid_points)
+    fx = error_x.pdf(grid)
+    # Evaluate f_y at (e - d) for every d, in chunks: the full
+    # (len(d), grid_points) matrix can reach hundreds of MB for the table
+    # builder's dense d-grids.
+    out = np.empty(d.size)
+    chunk = max(1, (1 << 22) // grid_points)  # ~32 MB per block of float64
+    for start in range(0, d.size, chunk):
+        block = d[start:start + chunk]
+        fy = error_y.pdf(grid[None, :] - block[:, None])
+        out[start:start + chunk] = np.trapezoid(fx[None, :] * fy, grid, axis=1)
+    return out
+
+
+def phi(
+    d: np.ndarray,
+    error_x: ErrorDistribution,
+    error_y: ErrorDistribution,
+    grid_points: int = _GRID_POINTS,
+) -> np.ndarray:
+    """φ with automatic dispatch to the normal closed form when possible."""
+    if isinstance(error_x, NormalError) and isinstance(error_y, NormalError):
+        return phi_normal_closed_form(d, error_x.std, error_y.std)
+    return phi_numeric(d, error_x, error_y, grid_points=grid_points)
+
+
+def phi_support_radius(
+    error_x: ErrorDistribution, error_y: ErrorDistribution
+) -> float:
+    """Radius beyond which φ is (numerically) zero.
+
+    φ(d) can only be non-zero when the supports of ``e_x`` and ``e_y - d``
+    overlap, i.e. ``|d| <= high_x - low_y`` / ``high_y - low_x`` bounds.
+    """
+    low_x, high_x = error_x.support()
+    low_y, high_y = error_y.support()
+    return max(abs(high_x - low_y), abs(high_y - low_x))

@@ -1,0 +1,316 @@
+"""The experiment harness: the paper's comparison methodology end to end.
+
+One :func:`run_similarity_experiment` call reproduces the full protocol of
+Section 4.1.2 on one dataset and one perturbation scenario:
+
+1. the exact series are the ground truth; the k nearest neighbors of each
+   query (under exact Euclidean) form its true answer set;
+2. every series is perturbed once per run — a single-observation form for
+   the pdf-based techniques and, when MUNICH participates, a repeated-
+   observation form;
+3. per query, each technique's ε comes from its own distance between the
+   perturbed query and the perturbed 10th-NN anchor (ε_eucl / ε_dust /
+   filtered ε); probabilistic techniques additionally receive the optimal
+   τ found by sweeping the grid on their precomputed match probabilities;
+4. result sets are scored with precision / recall / F1 and averaged with
+   95% confidence intervals.
+
+Per-query wall-clock time of the scoring loop is recorded, which is what
+the time-performance figures (11–12) report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.collection import Collection
+from ..core.errors import InvalidParameterError
+from ..core.rng import SeedLike, spawn
+from ..core.series import TimeSeries
+from ..perturbation.scenarios import PerturbationScenario
+from ..queries.techniques import Technique
+from ..queries.thresholds import (
+    PAPER_K,
+    QueryCalibration,
+    calibrate_queries,
+    select_query_indices,
+    technique_epsilon,
+)
+from .metrics import MeanWithCI, PrecisionRecall, mean_with_ci, score_result_set
+from .tau import DEFAULT_TAU_GRID, optimal_tau, results_at_tau
+
+#: Samples per timestamp for MUNICH's repeated-observation input — the
+#: paper's Figure 4 setting ("for each timestamp, we have 5 samples").
+DEFAULT_MUNICH_SAMPLES = 5
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """One query's scores under one technique."""
+
+    query_index: int
+    epsilon: float
+    scores: PrecisionRecall
+    result_size: int
+    elapsed_seconds: float
+
+    @property
+    def f1(self) -> float:
+        """F1 of this query's result set."""
+        return self.scores.f1
+
+
+@dataclass
+class TechniqueOutcome:
+    """All queries' scores for one technique on one dataset/scenario."""
+
+    technique_name: str
+    queries: List[QueryOutcome] = field(default_factory=list)
+    tau: Optional[float] = None
+
+    def f1(self) -> MeanWithCI:
+        """Mean F1 with a 95% confidence band."""
+        return mean_with_ci([q.scores.f1 for q in self.queries])
+
+    def precision(self) -> MeanWithCI:
+        """Mean precision with a 95% confidence band."""
+        return mean_with_ci([q.scores.precision for q in self.queries])
+
+    def recall(self) -> MeanWithCI:
+        """Mean recall with a 95% confidence band."""
+        return mean_with_ci([q.scores.recall for q in self.queries])
+
+    def mean_query_seconds(self) -> float:
+        """Average wall-clock seconds per query."""
+        if not self.queries:
+            return float("nan")
+        return float(np.mean([q.elapsed_seconds for q in self.queries]))
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one harness run produced."""
+
+    dataset_name: str
+    scenario_name: str
+    n_series: int
+    series_length: int
+    n_queries: int
+    techniques: Dict[str, TechniqueOutcome]
+
+    def f1_row(self) -> Dict[str, float]:
+        """``{technique: mean F1}`` — a row of the paper's bar charts."""
+        return {
+            name: outcome.f1().mean for name, outcome in self.techniques.items()
+        }
+
+
+def run_similarity_experiment(
+    exact: Collection[TimeSeries],
+    scenario: PerturbationScenario,
+    techniques: Sequence[Technique],
+    k: int = PAPER_K,
+    n_queries: Optional[int] = None,
+    seed: SeedLike = None,
+    munich_samples: int = DEFAULT_MUNICH_SAMPLES,
+    tau_grid: Sequence[float] = DEFAULT_TAU_GRID,
+    fixed_tau: Optional[float] = None,
+) -> ExperimentResult:
+    """Run the full comparison protocol; see the module docstring.
+
+    Parameters
+    ----------
+    exact:
+        Ground-truth series (z-normalized — dataset loaders do this).
+    scenario:
+        Perturbation recipe (error family, σ structure, misreporting).
+    techniques:
+        The measures to compare.  Probabilistic ones get the optimal τ
+        unless ``fixed_tau`` pins it.
+    k:
+        Ground-truth answer size (10 in the paper).
+    n_queries:
+        Number of query series (sampled deterministically); default all.
+    munich_samples:
+        Repeated observations per timestamp for multisample techniques.
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    if len(exact) <= k:
+        raise InvalidParameterError(
+            f"collection of {len(exact)} series cannot support k={k} "
+            f"ground-truth neighbors"
+        )
+    exact_values = exact.values_matrix()
+    calibrations = calibrate_queries(exact_values, k=k)
+
+    pdf_collection = _perturb_pdf(exact, scenario, seed)
+    multisample_collection = None
+    if any(t.input_kind == "multisample" for t in techniques):
+        multisample_collection = _perturb_multisample(
+            exact, scenario, munich_samples, seed
+        )
+
+    query_rng = spawn(seed, "query-selection")
+    query_indices = select_query_indices(
+        len(exact), n_queries if n_queries is not None else len(exact), query_rng
+    )
+
+    outcomes: Dict[str, TechniqueOutcome] = {}
+    for technique in techniques:
+        technique.reset()
+        collection = (
+            multisample_collection
+            if technique.input_kind == "multisample"
+            else pdf_collection
+        )
+        if technique.kind == "distance":
+            outcome = _evaluate_distance_technique(
+                technique, collection, calibrations, query_indices
+            )
+        else:
+            outcome = _evaluate_probabilistic_technique(
+                technique,
+                collection,
+                calibrations,
+                query_indices,
+                tau_grid=tau_grid,
+                fixed_tau=fixed_tau,
+            )
+        outcomes[technique.name] = outcome
+
+    return ExperimentResult(
+        dataset_name=exact.name or "<unnamed>",
+        scenario_name=scenario.name,
+        n_series=len(exact),
+        series_length=exact.series_length,
+        n_queries=len(query_indices),
+        techniques=outcomes,
+    )
+
+
+def _perturb_pdf(
+    exact: Collection[TimeSeries],
+    scenario: PerturbationScenario,
+    seed: SeedLike,
+) -> List:
+    """One pdf-form perturbation of every series (independent streams)."""
+    return [
+        scenario.apply(series, spawn(seed, "perturb-pdf", index))
+        for index, series in enumerate(exact)
+    ]
+
+
+def _perturb_multisample(
+    exact: Collection[TimeSeries],
+    scenario: PerturbationScenario,
+    samples_per_timestamp: int,
+    seed: SeedLike,
+) -> List:
+    """One multisample-form perturbation of every series."""
+    return [
+        scenario.apply_multisample(
+            series, samples_per_timestamp, spawn(seed, "perturb-ms", index)
+        )
+        for index, series in enumerate(exact)
+    ]
+
+
+def _candidate_indices(n_series: int, query_index: int) -> np.ndarray:
+    """Every index except the query itself."""
+    indices = np.arange(n_series)
+    return indices[indices != query_index]
+
+
+def _evaluate_distance_technique(
+    technique: Technique,
+    collection: Sequence,
+    calibrations: List[QueryCalibration],
+    query_indices: np.ndarray,
+) -> TechniqueOutcome:
+    outcome = TechniqueOutcome(technique_name=technique.name)
+    for query_index in query_indices:
+        calibration = calibrations[query_index]
+        query = collection[query_index]
+        epsilon = technique_epsilon(technique, collection, calibration)
+        candidates = _candidate_indices(len(collection), query_index)
+        started = time.perf_counter()
+        distances = np.array(
+            [technique.distance(query, collection[j]) for j in candidates]
+        )
+        elapsed = time.perf_counter() - started
+        selected = candidates[distances <= epsilon]
+        outcome.queries.append(
+            QueryOutcome(
+                query_index=int(query_index),
+                epsilon=epsilon,
+                scores=score_result_set(
+                    selected.tolist(), set(calibration.ground_truth)
+                ),
+                result_size=int(selected.size),
+                elapsed_seconds=elapsed,
+            )
+        )
+    return outcome
+
+
+def _evaluate_probabilistic_technique(
+    technique: Technique,
+    collection: Sequence,
+    calibrations: List[QueryCalibration],
+    query_indices: np.ndarray,
+    tau_grid: Sequence[float],
+    fixed_tau: Optional[float],
+) -> TechniqueOutcome:
+    probabilities: List[np.ndarray] = []
+    candidate_lists: List[np.ndarray] = []
+    epsilons: List[float] = []
+    elapsed_times: List[float] = []
+    ground_truths: List[frozenset] = []
+
+    for query_index in query_indices:
+        calibration = calibrations[query_index]
+        query = collection[query_index]
+        epsilon = technique_epsilon(technique, collection, calibration)
+        candidates = _candidate_indices(len(collection), query_index)
+        started = time.perf_counter()
+        probs = np.array(
+            [
+                technique.probability(query, collection[j], epsilon)
+                for j in candidates
+            ]
+        )
+        elapsed = time.perf_counter() - started
+        probabilities.append(probs)
+        candidate_lists.append(candidates)
+        epsilons.append(epsilon)
+        elapsed_times.append(elapsed)
+        ground_truths.append(calibration.ground_truth)
+
+    if fixed_tau is not None:
+        tau = fixed_tau
+    else:
+        tau = optimal_tau(
+            probabilities, candidate_lists, ground_truths, tau_grid
+        ).best_tau
+
+    scores = results_at_tau(probabilities, candidate_lists, ground_truths, tau)
+    outcome = TechniqueOutcome(technique_name=technique.name, tau=tau)
+    for position, query_index in enumerate(query_indices):
+        selected_count = int(
+            np.count_nonzero(probabilities[position] >= tau)
+        )
+        outcome.queries.append(
+            QueryOutcome(
+                query_index=int(query_index),
+                epsilon=epsilons[position],
+                scores=scores[position],
+                result_size=selected_count,
+                elapsed_seconds=elapsed_times[position],
+            )
+        )
+    return outcome

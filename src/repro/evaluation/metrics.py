@@ -1,0 +1,90 @@
+"""Quality metrics: precision, recall, F1 (Equation 14), confidence bands.
+
+The paper scores every technique by comparing its query result set against
+the ground-truth answer ("the percentage of the truly similar uncertain
+time series that are found" = recall, "...identified by the algorithm,
+which are truly similar" = precision) and reports averages with 95%
+confidence intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Set
+
+#: z-score of the 95% two-sided normal confidence interval.
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Precision / recall / F1 of one query's result set."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (Equation 14)."""
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return (
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        )
+
+
+def score_result_set(
+    result: Iterable[int], ground_truth: Set[int]
+) -> PrecisionRecall:
+    """Score a result set against the truly-similar set.
+
+    Conventions for empty sets: an empty result has precision 1 if there
+    was nothing to find, else 0; recall over an empty ground truth is 1.
+    (With the paper's protocol the ground truth always has exactly k
+    members, so the conventions only matter for edge-case tests.)
+    """
+    result_set = set(int(i) for i in result)
+    true_positives = len(result_set & ground_truth)
+    if result_set:
+        precision = true_positives / len(result_set)
+    else:
+        precision = 1.0 if not ground_truth else 0.0
+    recall = true_positives / len(ground_truth) if ground_truth else 1.0
+    return PrecisionRecall(precision=precision, recall=recall)
+
+
+@dataclass(frozen=True)
+class MeanWithCI:
+    """A sample mean with its 95% confidence half-width."""
+
+    mean: float
+    ci95: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        """Lower edge of the confidence interval."""
+        return self.mean - self.ci95
+
+    @property
+    def high(self) -> float:
+        """Upper edge of the confidence interval."""
+        return self.mean + self.ci95
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.ci95:.3f}"
+
+
+def mean_with_ci(values: Sequence[float]) -> MeanWithCI:
+    """Sample mean and normal-approximation 95% confidence half-width."""
+    data = list(values)
+    n = len(data)
+    if n == 0:
+        return MeanWithCI(mean=float("nan"), ci95=float("nan"), n=0)
+    mean = sum(data) / n
+    if n == 1:
+        return MeanWithCI(mean=mean, ci95=0.0, n=1)
+    variance = sum((v - mean) ** 2 for v in data) / (n - 1)
+    half_width = _Z95 * math.sqrt(variance / n)
+    return MeanWithCI(mean=mean, ci95=half_width, n=n)

@@ -1,0 +1,90 @@
+"""Experiment layer: one module per paper figure (see DESIGN.md §3)."""
+
+from __future__ import annotations
+
+from .config import (
+    EXPERIMENT_SEED,
+    FULL,
+    PAPER_SIGMAS,
+    REDUCED,
+    TINY,
+    Scale,
+    get_scale,
+)
+from .fig04 import FIG4_TECHNIQUES, MUNICH_TAU_GRID, format_figure4, run_figure4
+from .fig05 import FIG5_TECHNIQUES, format_figure5, run_figure5
+from .fig06_07 import format_precision_recall, run_figure6, run_figure7
+from .fig08_10 import (
+    format_per_dataset_f1,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+)
+from .fig11_12 import (
+    format_timing_table,
+    munich_cost_check,
+    run_figure11,
+    run_figure12,
+)
+from .fig13_14 import (
+    format_parameter_sweep,
+    run_figure13,
+    run_figure14,
+)
+from .fig15_17 import (
+    FIG15_TECHNIQUES,
+    format_moving_average_figure,
+    run_figure15,
+    run_figure16,
+    run_figure17,
+    run_moving_average_comparison,
+)
+from .ablations import (
+    dust_table_ablation,
+    filter_weighting_ablation,
+    format_ablation,
+    munich_evaluator_ablation,
+    proud_synopsis_ablation,
+    tail_workaround_ablation,
+    tau_sensitivity_study,
+)
+from .dtw_study import format_dtw_study, run_dtw_study
+from .report import format_bar_table, format_series_table, summarize_means
+from .topk_instability import (
+    format_topk_instability,
+    run_munich_topk_instability,
+    run_topk_instability,
+)
+from .runner import (
+    clear_sweep_cache,
+    dataset_for_scale,
+    moving_average_techniques,
+    run_on_datasets,
+    sigma_sweep,
+    standard_pdf_techniques,
+)
+from .uniformity import format_uniformity_check, run_uniformity_check
+
+__all__ = [
+    "Scale", "get_scale", "TINY", "REDUCED", "FULL",
+    "PAPER_SIGMAS", "EXPERIMENT_SEED",
+    "run_figure4", "format_figure4", "FIG4_TECHNIQUES", "MUNICH_TAU_GRID",
+    "run_figure5", "format_figure5", "FIG5_TECHNIQUES",
+    "run_figure6", "run_figure7", "format_precision_recall",
+    "run_figure8", "run_figure9", "run_figure10", "format_per_dataset_f1",
+    "run_figure11", "run_figure12", "munich_cost_check", "format_timing_table",
+    "run_figure13", "run_figure14", "format_parameter_sweep",
+    "run_figure15", "run_figure16", "run_figure17",
+    "run_moving_average_comparison", "format_moving_average_figure",
+    "FIG15_TECHNIQUES",
+    "run_uniformity_check", "format_uniformity_check",
+    "run_topk_instability", "run_munich_topk_instability",
+    "format_topk_instability",
+    "run_dtw_study", "format_dtw_study",
+    "munich_evaluator_ablation", "dust_table_ablation",
+    "tail_workaround_ablation", "proud_synopsis_ablation",
+    "tau_sensitivity_study", "filter_weighting_ablation", "format_ablation",
+    "format_series_table", "format_bar_table", "summarize_means",
+    "run_on_datasets", "sigma_sweep", "clear_sweep_cache",
+    "dataset_for_scale", "standard_pdf_techniques", "moving_average_techniques",
+]

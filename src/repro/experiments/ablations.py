@@ -1,0 +1,332 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Five ablations, each backing one implementation decision with data:
+
+* :func:`munich_evaluator_ablation` — the exact convolution evaluator vs
+  the definitional naive enumeration vs Monte Carlo: agreement and cost
+  (justifies using convolution as MUNICH's default).
+* :func:`dust_table_ablation` — DUST lookup-table resolution vs the
+  normal closed form: accuracy and build time (justifies the 2048-point
+  default).
+* :func:`tail_workaround_ablation` — DUST on uniform errors with and
+  without the paper's tail workaround (explains the Figure 5 σ=0.2 dip).
+* :func:`proud_synopsis_ablation` — PROUD full vs Haar-synopsis mode:
+  accuracy and time per query (the paper's Section 4.3 remark).
+* :func:`tau_sensitivity_study` — MUNICH's F1 across σ for several fixed
+  τ values (the brittleness behind Figure 4's collapse; Section 6's
+  "considerable impact" of τ).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.rng import spawn
+from ..distributions import NormalError, UniformError
+from ..dust.distance import Dust
+from ..dust.tables import DustTable, DustTableCache
+from ..evaluation.harness import run_similarity_experiment
+from ..munich.exact import convolved_probability, sampled_probability
+from ..munich.naive import naive_probability
+from ..munich.query import Munich
+from ..perturbation.scenarios import ConstantScenario
+from ..queries.techniques import (
+    DustTechnique,
+    EuclideanTechnique,
+    MunichTechnique,
+    ProudTechnique,
+)
+from .config import EXPERIMENT_SEED, Scale, get_scale
+from .runner import dataset_for_scale
+
+
+# ---------------------------------------------------------------------------
+# MUNICH evaluator ablation
+# ---------------------------------------------------------------------------
+
+def munich_evaluator_ablation(
+    seed: int = EXPERIMENT_SEED,
+    n_pairs: int = 12,
+    length: int = 4,
+    samples: int = 3,
+    sigma: float = 0.5,
+) -> Dict[str, Dict[str, float]]:
+    """Compare MUNICH probability evaluators against exhaustive truth.
+
+    Returns per-evaluator ``{"max_error": ..., "seconds": ...}`` over a
+    grid of random series pairs and thresholds.
+    """
+    from ..core.series import TimeSeries
+    from ..core.uncertain import ErrorModel
+    from ..perturbation.perturb import perturb_multisample
+
+    rng = spawn(seed, "munich-ablation")
+    model = ErrorModel.constant(NormalError(sigma), length)
+    pairs = []
+    for _ in range(n_pairs):
+        base_x = TimeSeries(rng.normal(size=length))
+        base_y = TimeSeries(rng.normal(size=length))
+        pairs.append(
+            (
+                perturb_multisample(base_x, model, samples, rng),
+                perturb_multisample(base_y, model, samples, rng),
+            )
+        )
+    epsilons = (0.5, 1.0, 2.0, 4.0)
+
+    def evaluate(evaluator) -> Dict[str, float]:
+        started = time.perf_counter()
+        errors = []
+        for x, y in pairs:
+            for epsilon in epsilons:
+                truth = naive_probability(x, y, epsilon)
+                errors.append(abs(evaluator(x, y, epsilon) - truth))
+        return {
+            "max_error": float(np.max(errors)),
+            "seconds": time.perf_counter() - started,
+        }
+
+    return {
+        "convolution(4096)": evaluate(
+            lambda x, y, e: convolved_probability(x, y, e, n_bins=4096)
+        ),
+        "convolution(256)": evaluate(
+            lambda x, y, e: convolved_probability(x, y, e, n_bins=256)
+        ),
+        "montecarlo(20k)": evaluate(
+            lambda x, y, e: sampled_probability(
+                x, y, e, n_samples=20_000, rng=spawn(seed, "mc")
+            )
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# DUST table resolution ablation
+# ---------------------------------------------------------------------------
+
+def dust_table_ablation(
+    resolutions: Sequence[int] = (64, 256, 2048),
+    std: float = 0.4,
+) -> Dict[int, Dict[str, float]]:
+    """Table resolution vs closed-form accuracy and build time.
+
+    For normal errors ``dust(d) = d / sqrt(2(s²+s²))`` exactly; the table
+    should converge to it as the grid densifies.
+    """
+    probe = np.linspace(0.0, 4.0, 801)
+    exact = probe / np.sqrt(2.0 * (std * std + std * std))
+    results: Dict[int, Dict[str, float]] = {}
+    for n_points in resolutions:
+        started = time.perf_counter()
+        table = DustTable(NormalError(std), NormalError(std), n_points=n_points)
+        build_seconds = time.perf_counter() - started
+        approx = table.dust(probe)
+        results[n_points] = {
+            "max_error": float(np.max(np.abs(approx - exact))),
+            "build_seconds": build_seconds,
+        }
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Uniform-error tail workaround ablation
+# ---------------------------------------------------------------------------
+
+def tail_workaround_ablation(
+    scale: Scale = None,
+    seed: int = EXPERIMENT_SEED,
+    sigma: float = 0.2,
+    dataset_names: Sequence[str] = ("GunPoint", "CBF", "Coffee"),
+) -> Dict[str, Dict[str, float]]:
+    """DUST F1 under uniform errors, with vs without the tail workaround.
+
+    The paper's Figure 5 shows DUST dipping ~10% at (uniform, σ=0.2)
+    because φ degenerates to zero; the workaround mitigates but does not
+    fully fix it.  Euclidean is included as the reference level.
+    """
+    scale = scale if scale is not None else get_scale()
+    scenario = ConstantScenario("uniform", sigma)
+    techniques = [
+        EuclideanTechnique(),
+        DustTechnique(tail_workaround=True),
+        DustTechnique(tail_workaround=False),
+    ]
+    # Distinguish the two DUST variants in the result keys.
+    techniques[1].name = "DUST(tails)"
+    techniques[2].name = "DUST(no tails)"
+    results: Dict[str, Dict[str, float]] = {}
+    for name in dataset_names:
+        exact = dataset_for_scale(name, scale, seed)
+        run = run_similarity_experiment(
+            exact, scenario, techniques,
+            n_queries=min(scale.n_queries, 10),
+            seed=spawn(seed, "tails", name),
+        )
+        results[name] = {
+            technique.name: run.techniques[technique.name].f1().mean
+            for technique in techniques
+        }
+    return results
+
+
+# ---------------------------------------------------------------------------
+# PROUD wavelet synopsis ablation
+# ---------------------------------------------------------------------------
+
+def proud_synopsis_ablation(
+    scale: Scale = None,
+    seed: int = EXPERIMENT_SEED,
+    sigma: float = 0.6,
+    dataset_name: str = "FaceAll",
+    coefficient_counts: Sequence[int] = (8, 32, 0),
+) -> Dict[str, Dict[str, float]]:
+    """PROUD accuracy/time with Haar synopses of varying size.
+
+    ``0`` in ``coefficient_counts`` means the full (no-synopsis) model.
+    The paper's Section 4.3 remark: the synopsis brings PROUD's CPU time
+    to Euclidean levels "while maintaining high accuracy".
+    """
+    scale = scale if scale is not None else get_scale()
+    exact = dataset_for_scale(dataset_name, scale, seed)
+    scenario = ConstantScenario("normal", sigma)
+    results: Dict[str, Dict[str, float]] = {}
+    for count in coefficient_counts:
+        technique = ProudTechnique(
+            assumed_std=sigma,
+            synopsis_coefficients=count if count > 0 else None,
+        )
+        label = f"PROUD(k={count})" if count > 0 else "PROUD(full)"
+        technique.name = label
+        run = run_similarity_experiment(
+            exact, scenario, [technique],
+            n_queries=min(scale.n_queries, 10), seed=seed,
+        )
+        outcome = run.techniques[label]
+        results[label] = {
+            "f1": outcome.f1().mean,
+            "ms_per_query": outcome.mean_query_seconds() * 1000.0,
+        }
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Filter weighting ablation
+# ---------------------------------------------------------------------------
+
+def filter_weighting_ablation(
+    scale: Scale = None,
+    seed: int = EXPERIMENT_SEED,
+    dataset_names: Sequence[str] = ("SwedishLeaf", "Adiac", "Beef", "OliveOil"),
+) -> Dict[str, Dict[str, float]]:
+    """Decompose UMA/UEMA's gains: windowing vs the ``1/s_j`` weighting.
+
+    Four filters under the mixed-σ normal scenario: MA and EMA (windowing
+    only) against UMA and UEMA (windowing + confidence weighting).  Under
+    *constant* σ the weighting is a no-op by construction; under mixed σ
+    it should add on top of plain averaging — this ablation measures how
+    much.  Euclidean (no filter at all) anchors the scale.
+    """
+    from ..distances.filtered import FilteredEuclidean
+    from ..perturbation.scenarios import paper_mixed_scenario
+    from ..queries.techniques import FilteredTechnique
+
+    scale = scale if scale is not None else get_scale()
+    scenario = paper_mixed_scenario("normal")
+    variants = {
+        "Euclidean": None,
+        "MA(w=2)": FilteredEuclidean("ma", window=2),
+        "EMA(w=2,λ=1)": FilteredEuclidean("ema", window=2, decay=1.0),
+        "UMA(w=2)": FilteredEuclidean("uma", window=2),
+        "UEMA(w=2,λ=1)": FilteredEuclidean("uema", window=2, decay=1.0),
+    }
+
+    def factory(_scenario):
+        techniques = [EuclideanTechnique()]
+        for filtered in variants.values():
+            if filtered is not None:
+                technique = FilteredTechnique(filtered)
+                techniques.append(technique)
+        return techniques
+
+    results: Dict[str, Dict[str, float]] = {}
+    for name in dataset_names:
+        exact = dataset_for_scale(name, scale, seed)
+        run = run_similarity_experiment(
+            exact, scenario, factory(scenario),
+            n_queries=min(scale.n_queries, 10),
+            seed=spawn(seed, "weighting", name),
+        )
+        row: Dict[str, float] = {}
+        for label, filtered in variants.items():
+            key = "Euclidean" if filtered is None else filtered.name
+            row[label] = run.techniques[key].f1().mean
+        results[name] = row
+    return results
+
+
+# ---------------------------------------------------------------------------
+# τ sensitivity study
+# ---------------------------------------------------------------------------
+
+def tau_sensitivity_study(
+    seed: int = EXPERIMENT_SEED,
+    taus: Sequence[float] = (0.1, 0.3, 0.6, 0.9),
+    sigmas: Sequence[float] = (0.2, 0.6, 1.4),
+    n_series: int = 40,
+) -> Dict[float, Dict[float, float]]:
+    """``{tau: {sigma: MUNICH F1}}`` on the Figure 4 workload.
+
+    Shows that no single τ works across σ — the brittleness that makes
+    the paper call τ selection "cumbersome" (Section 6).
+    """
+    from .config import TINY
+
+    scale = Scale(
+        name="tau-study",
+        n_series=n_series,
+        series_length=6,
+        n_queries=5,
+        sigmas=tuple(sigmas),
+        dataset_names=("GunPoint",),
+    )
+    exact = dataset_for_scale("GunPoint", scale, seed)
+    results: Dict[float, Dict[float, float]] = {tau: {} for tau in taus}
+    for sigma in sigmas:
+        scenario = ConstantScenario("normal", sigma)
+        for tau in taus:
+            run = run_similarity_experiment(
+                exact, scenario,
+                [MunichTechnique(Munich(n_bins=512))],
+                n_queries=5, seed=seed, munich_samples=5, fixed_tau=tau,
+            )
+            results[tau][sigma] = run.techniques["MUNICH"].f1().mean
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def format_ablation(title: str, rows: Dict[str, Dict[str, float]]) -> str:
+    """Render an ablation's nested dict as an aligned table."""
+    if not rows:
+        return title
+    columns = list(next(iter(rows.values())))
+    label_width = max(len(str(key)) + 2 for key in rows)
+    width = max(14, *(len(c) + 2 for c in columns))
+    lines = [title]
+    lines.append(
+        " " * label_width + "".join(f"{c:>{width}}" for c in columns)
+    )
+    for key, values in rows.items():
+        cells = "".join(
+            f"{values[c]:>{width}.4f}" if isinstance(values[c], float)
+            else f"{values[c]:>{width}}"
+            for c in columns
+        )
+        lines.append(f"{str(key):<{label_width}}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Figure 5: F1 of PROUD / DUST / Euclidean vs error σ, all datasets.
+
+Paper Section 4.2.1 (Figures 5a–c): the full-scale σ sweep for the three
+pdf-based techniques, averaged over all 17 datasets, one panel per error
+family.  The paper's finding: "there is virtually no difference among the
+different techniques" across the whole σ range.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..distributions import PAPER_FAMILIES
+from .config import EXPERIMENT_SEED, Scale, get_scale
+from .report import format_series_table
+from .runner import averaged_metric, sigma_sweep
+
+FIG5_TECHNIQUES = ("DUST", "PROUD", "Euclidean")
+
+
+def run_figure5(
+    scale: Scale = None, seed: int = EXPERIMENT_SEED
+) -> Dict[str, Dict[float, Dict[str, float]]]:
+    """``{family: {sigma: {technique: mean F1 over datasets}}}``."""
+    scale = scale if scale is not None else get_scale()
+    results: Dict[str, Dict[float, Dict[str, float]]] = {}
+    for family in PAPER_FAMILIES:
+        sweep = sigma_sweep(scale, family, seed=seed)
+        results[family] = {
+            sigma: {
+                name: averaged_metric(per_dataset, name, "f1")
+                for name in FIG5_TECHNIQUES
+            }
+            for sigma, per_dataset in sweep.items()
+        }
+    return results
+
+
+def format_figure5(results: Dict[str, Dict[float, Dict[str, float]]]) -> str:
+    """Render the three Figure 5 panels as text tables."""
+    panels = []
+    for family, per_sigma in results.items():
+        sigmas = list(per_sigma)
+        series = {
+            name: [per_sigma[s][name] for s in sigmas]
+            for name in FIG5_TECHNIQUES
+        }
+        panels.append(
+            format_series_table(
+                f"Figure 5 ({family} error distribution) — F1 averaged "
+                f"over all datasets",
+                "sigma",
+                sigmas,
+                series,
+            )
+        )
+    return "\n\n".join(panels)

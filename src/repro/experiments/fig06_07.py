@@ -1,0 +1,81 @@
+"""Figures 6 and 7: precision & recall vs σ for PROUD and DUST.
+
+Paper Section 4.2.2: across error families, "recall always remains
+relatively high [...] On the contrary, precision is heavily affected,
+decreasing from 70% to a mere 16% as standard deviation increases from
+0.2 to 2" — i.e. growing uncertainty mostly manufactures false positives
+in the result sets.  DUST shows "slightly better precision, but lower
+recall" than PROUD.
+
+Both figures are views over the same σ sweeps Figure 5 runs (memoized in
+:mod:`repro.experiments.runner`), so regenerating all three costs one
+sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..distributions import PAPER_FAMILIES
+from .config import EXPERIMENT_SEED, Scale, get_scale
+from .report import format_series_table
+from .runner import averaged_metric, sigma_sweep
+
+
+def _precision_recall_curves(
+    technique_name: str, scale: Scale, seed: int
+) -> Dict[str, Dict[str, Dict[float, float]]]:
+    """``{metric: {family: {sigma: value}}}`` for one technique."""
+    curves: Dict[str, Dict[str, Dict[float, float]]] = {
+        "precision": {},
+        "recall": {},
+    }
+    for family in PAPER_FAMILIES:
+        sweep = sigma_sweep(scale, family, seed=seed)
+        for metric in ("precision", "recall"):
+            curves[metric][family] = {
+                sigma: averaged_metric(per_dataset, technique_name, metric)
+                for sigma, per_dataset in sweep.items()
+            }
+    return curves
+
+
+def run_figure6(
+    scale: Scale = None, seed: int = EXPERIMENT_SEED
+) -> Dict[str, Dict[str, Dict[float, float]]]:
+    """Figure 6: PROUD precision (a) and recall (b) per error family."""
+    scale = scale if scale is not None else get_scale()
+    return _precision_recall_curves("PROUD", scale, seed)
+
+
+def run_figure7(
+    scale: Scale = None, seed: int = EXPERIMENT_SEED
+) -> Dict[str, Dict[str, Dict[float, float]]]:
+    """Figure 7: DUST precision (a) and recall (b) per error family."""
+    scale = scale if scale is not None else get_scale()
+    return _precision_recall_curves("DUST", scale, seed)
+
+
+def format_precision_recall(
+    figure_name: str,
+    technique_name: str,
+    curves: Dict[str, Dict[str, Dict[float, float]]],
+) -> str:
+    """Render a Figure 6/7-style pair of panels as text tables."""
+    panels = []
+    for metric in ("precision", "recall"):
+        per_family = curves[metric]
+        sigmas = list(next(iter(per_family.values())))
+        series = {
+            family: [per_family[family][s] for s in sigmas]
+            for family in per_family
+        }
+        panels.append(
+            format_series_table(
+                f"{figure_name} — {technique_name} {metric} vs error σ",
+                "sigma",
+                sigmas,
+                series,
+            )
+        )
+    return "\n\n".join(panels)

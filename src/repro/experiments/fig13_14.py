@@ -1,0 +1,129 @@
+"""Figures 13 and 14: UMA / UEMA parameter sensitivity.
+
+Paper Section 5.2, under the mixed-σ normal scenario (20% σ=1.0, 80%
+σ=0.4), averaged over all datasets:
+
+* **Figure 13** — F1 vs window size ``w ∈ [0, 20]`` for UMA and for UEMA
+  with λ=0.1 and λ=1.  Expectations: ``w=0`` degenerates to Euclidean;
+  UMA's accuracy peaks around ``w=2`` ("increases by 13% as we increase w
+  from 0 to 2") then decays — distant neighbors carry no information;
+  UEMA(λ=0.1) tracks UMA; UEMA(λ=1) is nearly flat in ``w``.
+* **Figure 14** — F1 vs decaying factor ``λ ∈ [0, 1]`` for UEMA with
+  ``w=5`` and ``w=10`` (λ=0 is UMA): λ "has only a small effect".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..distances.filtered import FilteredEuclidean
+from ..perturbation.scenarios import paper_mixed_scenario
+from ..queries.techniques import FilteredTechnique
+from .config import EXPERIMENT_SEED, Scale, get_scale
+from .report import format_series_table
+from .runner import run_on_datasets
+
+#: Figure 13 window grid (paper: 0..20; reduced scales subsample).
+FIG13_WINDOWS_FULL: Tuple[int, ...] = tuple(range(0, 21, 2))
+FIG13_WINDOWS_REDUCED: Tuple[int, ...] = (0, 1, 2, 3, 5, 8, 12, 20)
+
+#: Figure 14 decay grid (paper: 0..1).
+FIG14_DECAYS_FULL: Tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(11))
+FIG14_DECAYS_REDUCED: Tuple[float, ...] = (0.0, 0.2, 0.5, 1.0)
+
+
+def _mean_f1_for_variants(
+    variants: Dict[str, FilteredEuclidean],
+    scale: Scale,
+    seed: int,
+) -> Dict[str, float]:
+    """Mean-over-datasets F1 for several filter configurations at once.
+
+    All variants run inside one harness invocation per dataset, sharing the
+    perturbation — exactly how the paper compares parameter settings.
+    """
+    scenario = paper_mixed_scenario("normal")
+    factory = lambda _scenario: [  # noqa: E731
+        FilteredTechnique(filtered) for filtered in variants.values()
+    ]
+    runs = run_on_datasets(scale, scenario, factory, seed=seed)
+    means: Dict[str, float] = {}
+    for label, filtered in variants.items():
+        values = [
+            result.techniques[filtered.name].f1().mean
+            for result in runs.values()
+        ]
+        means[label] = float(np.mean(values))
+    return means
+
+
+def run_figure13(
+    scale: Scale = None,
+    seed: int = EXPERIMENT_SEED,
+    windows: Sequence[int] = None,
+) -> Dict[int, Dict[str, float]]:
+    """``{window: {curve: mean F1}}`` for UMA / UEMA-0.1 / UEMA-1."""
+    scale = scale if scale is not None else get_scale()
+    if windows is None:
+        windows = (
+            FIG13_WINDOWS_FULL if scale.name == "full" else FIG13_WINDOWS_REDUCED
+        )
+    results: Dict[int, Dict[str, float]] = {}
+    for window in windows:
+        if window == 0:
+            # w=0: all three curves coincide with Euclidean; a single UMA
+            # run suffices (UEMA's decay has nothing to act on).
+            variants = {"UMA": FilteredEuclidean("uma", window=0)}
+            means = _mean_f1_for_variants(variants, scale, seed)
+            value = means["UMA"]
+            results[window] = {
+                "UMA": value, "UEMA-0.1": value, "UEMA-1": value
+            }
+            continue
+        variants = {
+            "UMA": FilteredEuclidean("uma", window=window),
+            "UEMA-0.1": FilteredEuclidean("uema", window=window, decay=0.1),
+            "UEMA-1": FilteredEuclidean("uema", window=window, decay=1.0),
+        }
+        results[window] = _mean_f1_for_variants(variants, scale, seed)
+    return results
+
+
+def run_figure14(
+    scale: Scale = None,
+    seed: int = EXPERIMENT_SEED,
+    decays: Sequence[float] = None,
+) -> Dict[float, Dict[str, float]]:
+    """``{decay: {curve: mean F1}}`` for UEMA with w=5 and w=10."""
+    scale = scale if scale is not None else get_scale()
+    if decays is None:
+        decays = (
+            FIG14_DECAYS_FULL if scale.name == "full" else FIG14_DECAYS_REDUCED
+        )
+    results: Dict[float, Dict[str, float]] = {}
+    for decay in decays:
+        if decay == 0.0:
+            # λ=0 is exactly UMA (the paper notes the equivalence).
+            variants = {
+                "UEMA-5": FilteredEuclidean("uma", window=5),
+                "UEMA-10": FilteredEuclidean("uma", window=10),
+            }
+        else:
+            variants = {
+                "UEMA-5": FilteredEuclidean("uema", window=5, decay=decay),
+                "UEMA-10": FilteredEuclidean("uema", window=10, decay=decay),
+            }
+        results[decay] = _mean_f1_for_variants(variants, scale, seed)
+    return results
+
+
+def format_parameter_sweep(
+    title: str, x_label: str, rows: Dict
+) -> str:
+    """Render a Figure 13/14-style sweep as a text table."""
+    x_values = list(rows)
+    names = list(next(iter(rows.values())))
+    series = {name: [rows[x][name] for x in x_values] for name in names}
+    return format_series_table(title, x_label, x_values, series)

@@ -1,0 +1,76 @@
+"""Figures 15–17: the headline result — UMA/UEMA beat DUST and Euclidean.
+
+Per-dataset F1 of Euclidean, DUST, UMA(w=2) and UEMA(w=2, λ=1) under the
+mixed-σ scenario (20% σ=1.0, 80% σ=0.4), one figure per error family:
+
+* Figure 15 — uniform errors,
+* Figure 16 — normal errors,
+* Figure 17 — exponential errors (the paper's "hardest case").
+
+Paper expectations (Section 5.2): "The accuracy of DUST and Euclidean is
+almost the same, while UMA and UEMA perform consistently better, with the
+latter achieving the best performance among all techniques"; UMA/UEMA
+average 4–15% above DUST; UEMA ≈ 4% above UMA; the ordering holds across
+error families.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..perturbation.scenarios import paper_mixed_scenario
+from .config import EXPERIMENT_SEED, Scale, get_scale
+from .report import format_bar_table, summarize_means
+from .runner import moving_average_techniques, run_on_datasets
+
+FIG15_TECHNIQUES = ("Euclidean", "DUST", "UMA(w=2)", "UEMA(w=2, lambda=1)")
+
+#: Figure number per error family, paper order.
+FAMILY_BY_FIGURE = {15: "uniform", 16: "normal", 17: "exponential"}
+
+
+def run_moving_average_comparison(
+    family: str, scale: Scale = None, seed: int = EXPERIMENT_SEED
+) -> Dict[str, Dict[str, float]]:
+    """``{dataset: {technique: F1}}`` for one error family."""
+    scale = scale if scale is not None else get_scale()
+    scenario = paper_mixed_scenario(family)
+    runs = run_on_datasets(scale, scenario, moving_average_techniques, seed=seed)
+    return {
+        dataset: {
+            name: result.techniques[name].f1().mean
+            for name in FIG15_TECHNIQUES
+        }
+        for dataset, result in runs.items()
+    }
+
+
+def run_figure15(scale: Scale = None, seed: int = EXPERIMENT_SEED):
+    """Figure 15: mixed uniform errors."""
+    return run_moving_average_comparison("uniform", scale, seed)
+
+
+def run_figure16(scale: Scale = None, seed: int = EXPERIMENT_SEED):
+    """Figure 16: mixed normal errors."""
+    return run_moving_average_comparison("normal", scale, seed)
+
+
+def run_figure17(scale: Scale = None, seed: int = EXPERIMENT_SEED):
+    """Figure 17: mixed exponential errors (the hardest case)."""
+    return run_moving_average_comparison("exponential", scale, seed)
+
+
+def format_moving_average_figure(
+    figure_number: int, rows: Dict[str, Dict[str, float]]
+) -> str:
+    """Render a Figure 15/16/17 bar chart plus column means."""
+    family = FAMILY_BY_FIGURE[figure_number]
+    table = format_bar_table(
+        f"Figure {figure_number} — F1 per dataset, mixed {family} error "
+        f"(20% σ=1.0, 80% σ=0.4)",
+        "dataset",
+        rows,
+    )
+    means = summarize_means(rows)
+    mean_line = "  ".join(f"{name}={value:.3f}" for name, value in means.items())
+    return f"{table}\nmean over datasets: {mean_line}"

@@ -1,0 +1,79 @@
+"""Plain-text reporting of experiment series, paper-figure style.
+
+Each experiment returns structured results; these helpers print them as
+the rows/series the corresponding paper figure plots, so a bench run reads
+like the figure it regenerates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+
+def format_series_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render one figure's data: rows = x values, columns = line series.
+
+    >>> print(format_series_table(
+    ...     "demo", "sigma", [0.2, 0.4],
+    ...     {"A": [0.9, 0.8], "B": [0.7, 0.6]},
+    ... ))  # doctest: +NORMALIZE_WHITESPACE
+    demo
+    sigma        A      B
+    0.2      0.900  0.700
+    0.4      0.800  0.600
+    """
+    names = list(series)
+    width = max(8, *(len(name) + 2 for name in names))
+    lines = [title]
+    header = f"{x_label:<10}" + "".join(f"{name:>{width}}" for name in names)
+    lines.append(header)
+    for row_index, x in enumerate(x_values):
+        cells = "".join(
+            f"{value_format.format(series[name][row_index]):>{width}}"
+            for name in names
+        )
+        lines.append(f"{str(x):<10}{cells}")
+    return "\n".join(lines)
+
+
+def format_bar_table(
+    title: str,
+    row_label: str,
+    rows: Mapping[str, Mapping[str, float]],
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render a per-dataset bar chart: rows = datasets, columns = techniques."""
+    if not rows:
+        return title
+    first = next(iter(rows.values()))
+    names = list(first)
+    width = max(8, *(len(name) + 2 for name in names))
+    label_width = max(len(row_label) + 2, *(len(key) + 2 for key in rows))
+    lines = [title]
+    lines.append(
+        f"{row_label:<{label_width}}"
+        + "".join(f"{name:>{width}}" for name in names)
+    )
+    for key, values in rows.items():
+        cells = "".join(
+            f"{value_format.format(values[name]):>{width}}" for name in names
+        )
+        lines.append(f"{key:<{label_width}}{cells}")
+    return "\n".join(lines)
+
+
+def summarize_means(rows: Mapping[str, Mapping[str, float]]) -> Dict[str, float]:
+    """Column means of a per-dataset table (the paper's 'averaged' lines)."""
+    if not rows:
+        return {}
+    first = next(iter(rows.values()))
+    return {
+        name: sum(values[name] for values in rows.values()) / len(rows)
+        for name in first
+    }

@@ -1,0 +1,33 @@
+"""MUNICH: probabilistic similarity search by repeated observations (§2.1)."""
+
+from __future__ import annotations
+
+from .bounds import DistanceBounds, distance_bounds, interval_gap_and_span
+from .exact import (
+    DEFAULT_BINS,
+    convolved_probability,
+    per_timestamp_squared_differences,
+    sampled_probability,
+)
+from .naive import (
+    DEFAULT_MAX_PAIRS,
+    iter_materializations,
+    naive_dtw_probability,
+    naive_probability,
+)
+from .query import Munich
+
+__all__ = [
+    "Munich",
+    "naive_probability",
+    "naive_dtw_probability",
+    "iter_materializations",
+    "convolved_probability",
+    "sampled_probability",
+    "per_timestamp_squared_differences",
+    "distance_bounds",
+    "DistanceBounds",
+    "interval_gap_and_span",
+    "DEFAULT_BINS",
+    "DEFAULT_MAX_PAIRS",
+]

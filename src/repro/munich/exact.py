@@ -1,0 +1,176 @@
+"""Efficient MUNICH probability evaluation.
+
+The naive count (Equation 4) is uniform over all ``s_X^n * s_Y^n``
+materialization pairs.  Because each pair picks its per-timestamp samples
+independently, the squared Euclidean distance of a uniformly random pair is
+the sum of ``n`` *independent* per-timestamp random variables, each uniform
+over the ``s_X * s_Y`` squared sample differences at that timestamp.  The
+probability ``Pr(distance <= ε)`` is therefore the CDF of a sum of small
+discrete distributions — computable by convolution instead of enumeration.
+
+Two evaluators:
+
+* :func:`convolved_probability` — histogram convolution on a fixed grid.
+  Deterministic; error bounded by ``n · δ`` in squared-distance units where
+  ``δ`` is the bin width (a knob).  This is what :class:`~repro.munich.query.Munich`
+  uses by default.
+* :func:`sampled_probability` — unbiased Monte Carlo over materialization
+  pairs; works for any distance (including DTW), converges as ``1/sqrt(k)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.errors import InvalidParameterError
+from ..core.rng import SeedLike, make_rng
+from ..core.uncertain import MultisampleUncertainTimeSeries
+
+#: Default number of histogram bins for the convolution evaluator.
+DEFAULT_BINS = 4096
+
+
+def per_timestamp_squared_differences(
+    x: MultisampleUncertainTimeSeries, y: MultisampleUncertainTimeSeries
+) -> list:
+    """For each timestamp, the ``s_X * s_Y`` squared sample differences."""
+    if len(x) != len(y):
+        raise InvalidParameterError(
+            f"series lengths differ: {len(x)} != {len(y)}"
+        )
+    out = []
+    for i in range(len(x)):
+        diff = x.samples[i][:, None] - y.samples[i][None, :]
+        out.append((diff * diff).ravel())
+    return out
+
+
+def convolved_probability(
+    x: MultisampleUncertainTimeSeries,
+    y: MultisampleUncertainTimeSeries,
+    epsilon: float,
+    n_bins: int = DEFAULT_BINS,
+) -> float:
+    """``Pr(L2(X, Y) <= ε)`` by per-timestamp histogram convolution.
+
+    The squared-distance axis ``[0, ε² + δ]`` is discretized into ``n_bins``
+    bins of width ``δ`` plus one overflow bucket; every per-timestamp
+    distribution is binned (rounding *down*, see below) and the ``n``
+    distributions are convolved.  Mass that exceeds the threshold region at
+    any point during the convolution is folded into the overflow bucket —
+    it can never come back under ``ε²`` because summands are non-negative.
+
+    Bin values are represented by their lower edge, so the computed CDF is
+    an upper bound that converges to the exact count as ``n_bins`` grows;
+    with the default 4096 bins the bias is ~``n/4096`` of ``ε²``, negligible
+    for the paper's settings (tests compare against exhaustive enumeration).
+    """
+    if epsilon < 0.0:
+        raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
+    if n_bins < 2:
+        raise InvalidParameterError(f"n_bins must be >= 2, got {n_bins}")
+    squared_threshold = epsilon * epsilon
+    contributions = per_timestamp_squared_differences(x, y)
+
+    if squared_threshold == 0.0:
+        # Zero threshold: only exactly-zero distances count.
+        probability = 1.0
+        for values in contributions:
+            probability *= float(np.mean(values == 0.0))
+        return probability
+
+    delta = squared_threshold / n_bins
+    # pmf[k] = mass at squared distance in [k·δ, (k+1)·δ); pmf[n_bins] is
+    # the absorbing overflow bucket (> ε² for sure).
+    pmf = np.zeros(n_bins + 1)
+    pmf[0] = 1.0
+    for values in contributions:
+        # Clamp before the integer cast: for tiny ε the ratio can exceed the
+        # intp range (the overflow bucket is the right destination anyway).
+        scaled = np.minimum(values / delta, float(n_bins))
+        bins = scaled.astype(np.intp)
+        # Values exactly at ε² must stay in range (Equation 4 counts <= ε):
+        # only genuinely larger values go straight to the overflow bucket.
+        bins = np.where(
+            values <= squared_threshold, np.minimum(bins, n_bins - 1), n_bins
+        )
+        step = np.bincount(bins, minlength=n_bins + 1) / values.size
+        pmf = _convolve_with_overflow(pmf, step, n_bins)
+    return float(pmf[:n_bins].sum() + _edge_mass(pmf, n_bins))
+
+
+def _edge_mass(pmf: np.ndarray, n_bins: int) -> float:
+    """Mass sitting exactly in the last in-range bin's upper edge region.
+
+    The bin covering ``[ε² - δ, ε²)`` is already counted in-range; the
+    overflow bucket is not.  Nothing extra to add — kept as a named helper
+    so the accounting is explicit and testable.
+    """
+    return 0.0
+
+
+def _convolve_with_overflow(
+    pmf: np.ndarray, step: np.ndarray, n_bins: int
+) -> np.ndarray:
+    """Convolve two overflow-terminated pmfs back onto the same support.
+
+    ``step`` comes from one timestamp's ``s_X * s_Y`` sample differences, so
+    it has at most ``s_X * s_Y + 1`` non-zero bins; iterating its non-zeros
+    makes each convolution O(n_bins * s_X * s_Y) instead of O(n_bins²).
+    """
+    out = np.zeros(n_bins + 1)
+    in_range = pmf[:n_bins]
+    # Overflow is absorbing: once a partial sum exceeds ε², it stays there.
+    out[n_bins] = pmf[n_bins]
+    for offset in np.flatnonzero(step):
+        weight = step[offset]
+        if offset >= n_bins:
+            out[n_bins] += weight * in_range.sum()
+            continue
+        shifted_tail = n_bins - offset
+        out[offset:n_bins] += weight * in_range[:shifted_tail]
+        out[n_bins] += weight * in_range[shifted_tail:].sum()
+    return out
+
+
+def sampled_probability(
+    x: MultisampleUncertainTimeSeries,
+    y: MultisampleUncertainTimeSeries,
+    epsilon: float,
+    n_samples: int = 10_000,
+    rng: SeedLike = None,
+    distance: Optional[Callable[[np.ndarray, np.ndarray], float]] = None,
+) -> float:
+    """Unbiased Monte Carlo estimate of ``Pr(distance(X, Y) <= ε)``.
+
+    Draws ``n_samples`` independent materialization pairs (uniform per-
+    timestamp sample choices, matching Equation 4's counting measure).  With
+    the default Euclidean distance the computation is fully vectorized;
+    pass ``distance`` (e.g. a DTW lambda) for non-factorizing measures.
+    """
+    if epsilon < 0.0:
+        raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
+    if n_samples < 1:
+        raise InvalidParameterError(f"n_samples must be >= 1, got {n_samples}")
+    if len(x) != len(y):
+        raise InvalidParameterError(
+            f"series lengths differ: {len(x)} != {len(y)}"
+        )
+    generator = make_rng(rng)
+    n = len(x)
+    x_choices = generator.integers(0, x.samples_per_timestamp, size=(n_samples, n))
+    y_choices = generator.integers(0, y.samples_per_timestamp, size=(n_samples, n))
+    rows = np.arange(n)
+    x_values = x.samples[rows[None, :], x_choices]
+    y_values = y.samples[rows[None, :], y_choices]
+    if distance is None:
+        squared = ((x_values - y_values) ** 2).sum(axis=1)
+        return float(np.mean(squared <= epsilon * epsilon))
+    hits = sum(
+        1
+        for i in range(n_samples)
+        if distance(x_values[i], y_values[i]) <= epsilon
+    )
+    return hits / n_samples

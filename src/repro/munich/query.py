@@ -1,0 +1,132 @@
+"""MUNICH probabilistic similarity matching (Section 2.1).
+
+:class:`Munich` answers "does ``Pr(distance(X, Y) <= ε) >= τ`` hold?" for
+two repeated-observation series.  The evaluation pipeline mirrors the
+original system:
+
+1. **bounding filter** — minimal-bounding-interval bounds decide clear
+   accepts/rejects without touching the sample space (no false dismissals);
+2. **probability evaluation** — for the undecided middle, the exact
+   per-timestamp convolution (default), exhaustive enumeration (tiny
+   inputs), or Monte Carlo (any distance, incl. DTW).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.errors import InvalidParameterError
+from ..core.rng import SeedLike
+from ..core.uncertain import MultisampleUncertainTimeSeries
+from .bounds import distance_bounds
+from .exact import DEFAULT_BINS, convolved_probability, sampled_probability
+from .naive import naive_dtw_probability, naive_probability
+
+_METHODS = ("convolution", "naive", "montecarlo")
+
+
+class Munich:
+    """MUNICH similarity matching over multi-sample uncertain series.
+
+    Parameters
+    ----------
+    tau:
+        Default probability threshold ``τ``; per-call override available.
+    method:
+        ``"convolution"`` (deterministic, default), ``"naive"`` (exhaustive
+        enumeration, exponential — small inputs only), or ``"montecarlo"``.
+    n_bins / n_samples / rng:
+        Tuning for the convolution and Monte Carlo evaluators.
+    use_bounds:
+        Apply the bounding-interval filter before probability evaluation.
+    """
+
+    name = "MUNICH"
+
+    def __init__(
+        self,
+        tau: float = 0.5,
+        method: str = "convolution",
+        n_bins: int = DEFAULT_BINS,
+        n_samples: int = 10_000,
+        rng: SeedLike = None,
+        use_bounds: bool = True,
+    ) -> None:
+        if not 0.0 < tau <= 1.0:
+            raise InvalidParameterError(f"tau must be in (0, 1], got {tau}")
+        if method not in _METHODS:
+            raise InvalidParameterError(
+                f"method must be one of {_METHODS}, got {method!r}"
+            )
+        self.tau = tau
+        self.method = method
+        self.n_bins = n_bins
+        self.n_samples = n_samples
+        self.rng = rng
+        self.use_bounds = use_bounds
+
+    def probability(
+        self,
+        x: MultisampleUncertainTimeSeries,
+        y: MultisampleUncertainTimeSeries,
+        epsilon: float,
+    ) -> float:
+        """``Pr(L2(X, Y) <= ε)`` over all materialization pairs (Eq. 4)."""
+        if self.use_bounds:
+            bounds = distance_bounds(x, y)
+            if bounds.certainly_outside(epsilon):
+                return 0.0
+            if bounds.certainly_within(epsilon):
+                return 1.0
+        if self.method == "naive":
+            return naive_probability(x, y, epsilon)
+        if self.method == "montecarlo":
+            return sampled_probability(
+                x, y, epsilon, n_samples=self.n_samples, rng=self.rng
+            )
+        return convolved_probability(x, y, epsilon, n_bins=self.n_bins)
+
+    def matches(
+        self,
+        x: MultisampleUncertainTimeSeries,
+        y: MultisampleUncertainTimeSeries,
+        epsilon: float,
+        tau: Optional[float] = None,
+    ) -> bool:
+        """The PRQ predicate: ``Pr(distance <= ε) >= τ`` (Equation 2)."""
+        tau = self.tau if tau is None else tau
+        if not 0.0 < tau <= 1.0:
+            raise InvalidParameterError(f"tau must be in (0, 1], got {tau}")
+        return self.probability(x, y, epsilon) >= tau
+
+    def dtw_probability(
+        self,
+        x: MultisampleUncertainTimeSeries,
+        y: MultisampleUncertainTimeSeries,
+        epsilon: float,
+        window: Optional[int] = None,
+    ) -> float:
+        """MUNICH over DTW.
+
+        DTW distances do not factorize per timestamp, so this uses
+        exhaustive enumeration under ``method="naive"`` and Monte Carlo
+        otherwise.
+        """
+        if self.method == "naive":
+            return naive_dtw_probability(x, y, epsilon, window=window)
+        from ..distances.dtw import dtw_distance
+
+        return sampled_probability(
+            x,
+            y,
+            epsilon,
+            n_samples=self.n_samples,
+            rng=self.rng,
+            distance=lambda a, b: dtw_distance(a, b, window=window),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Munich(tau={self.tau:g}, method={self.method!r}, "
+            f"use_bounds={self.use_bounds})"
+        )

@@ -1,0 +1,36 @@
+"""Perturbation framework: exact ground truth -> uncertain observations."""
+
+from __future__ import annotations
+
+from .perturb import perturb, perturb_multisample
+from .scenarios import (
+    MIXED_FRACTION_HIGH,
+    MIXED_PROUD_STD,
+    MIXED_STD_HIGH,
+    MIXED_STD_LOW,
+    ConstantScenario,
+    MisreportedScenario,
+    MixedFamilyScenario,
+    MixedStdScenario,
+    PerturbationScenario,
+    paper_misreported_scenario,
+    paper_mixed_family_scenario,
+    paper_mixed_scenario,
+)
+
+__all__ = [
+    "perturb",
+    "perturb_multisample",
+    "PerturbationScenario",
+    "ConstantScenario",
+    "MixedStdScenario",
+    "MixedFamilyScenario",
+    "MisreportedScenario",
+    "paper_mixed_scenario",
+    "paper_mixed_family_scenario",
+    "paper_misreported_scenario",
+    "MIXED_FRACTION_HIGH",
+    "MIXED_STD_HIGH",
+    "MIXED_STD_LOW",
+    "MIXED_PROUD_STD",
+]

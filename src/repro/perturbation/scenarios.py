@@ -1,0 +1,274 @@
+"""The paper's named perturbation scenarios.
+
+Each experiment perturbs the ground-truth data in a specific way:
+
+* constant σ, one error family — the σ sweeps of Figures 4–7 and 11–12;
+* mixed standard deviations, one family — Figures 8 and 13–17: "the error
+  for 20% of the values has standard deviation 1, and the rest 80% has
+  standard deviation 0.4";
+* mixed families — Figure 9: each timestamp's error drawn from one of
+  uniform / normal / exponential, again with the 20/80 σ split;
+* misreported σ — Figure 10: the techniques are (wrongly) told the error
+  is normal with constant σ = 0.7.
+
+A scenario builds, per series, an *actual* error model (used to draw noise)
+and a *reported* model (what pdf-based techniques are told).  It also
+exposes ``proud_std``: PROUD can only consume a single constant σ (paper
+Section 3.1), so each scenario states the constant it feeds PROUD — the
+paper used 0.7 for the mixed scenarios.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import InvalidParameterError
+from ..core.rng import SeedLike, make_rng
+from ..core.series import TimeSeries
+from ..core.uncertain import ErrorModel, UncertainTimeSeries
+from ..distributions import ErrorDistribution, make_distribution
+from .perturb import perturb, perturb_multisample
+
+#: The σ split used by every "mixed" experiment in the paper.
+MIXED_FRACTION_HIGH = 0.2
+MIXED_STD_HIGH = 1.0
+MIXED_STD_LOW = 0.4
+#: The constant σ the paper feeds PROUD under mixed errors (Section 4.2.3).
+MIXED_PROUD_STD = 0.7
+
+
+class PerturbationScenario(abc.ABC):
+    """A recipe for perturbing ground-truth series.
+
+    Subclasses define :meth:`build_models`; the base class provides the
+    apply helpers shared by the harness.
+    """
+
+    @abc.abstractmethod
+    def build_models(
+        self, length: int, rng: np.random.Generator
+    ) -> Tuple[ErrorModel, ErrorModel]:
+        """Return ``(actual_model, reported_model)`` for one series.
+
+        ``rng`` drives any per-series randomness (e.g. which 20% of
+        timestamps get the high σ).
+        """
+
+    @property
+    @abc.abstractmethod
+    def proud_std(self) -> float:
+        """The constant error σ that PROUD is told under this scenario."""
+
+    @property
+    def name(self) -> str:
+        """Human-readable scenario name for reports."""
+        return type(self).__name__
+
+    def apply(self, series: TimeSeries, rng: SeedLike = None) -> UncertainTimeSeries:
+        """Perturb one series, attaching the reported model."""
+        generator = make_rng(rng)
+        actual, reported = self.build_models(len(series), generator)
+        return perturb(series, actual, generator, reported_model=reported)
+
+    def apply_multisample(
+        self, series: TimeSeries, samples_per_timestamp: int, rng: SeedLike = None
+    ):
+        """Perturb one series into MUNICH's repeated-observation model."""
+        generator = make_rng(rng)
+        actual, _ = self.build_models(len(series), generator)
+        return perturb_multisample(series, actual, samples_per_timestamp, generator)
+
+
+class ConstantScenario(PerturbationScenario):
+    """One error family at one σ for every timestamp (Figures 4–7, 11–12)."""
+
+    def __init__(self, family: str, std: float) -> None:
+        self.distribution = make_distribution(family, std)
+        self.family = family
+        self.std = float(std)
+
+    @property
+    def name(self) -> str:
+        return f"constant({self.family}, std={self.std:g})"
+
+    @property
+    def proud_std(self) -> float:
+        return self.std
+
+    def build_models(
+        self, length: int, rng: np.random.Generator
+    ) -> Tuple[ErrorModel, ErrorModel]:
+        model = ErrorModel.constant(self.distribution, length)
+        return model, model
+
+
+class MixedStdScenario(PerturbationScenario):
+    """One family, two σ levels split across timestamps (Figure 8).
+
+    ``fraction_high`` of the timestamps (chosen uniformly at random per
+    series) get ``std_high``; the rest get ``std_low``.  The reported model
+    equals the actual model — DUST is *correctly informed* here, which is
+    why it gains a small edge in Figure 8.
+    """
+
+    def __init__(
+        self,
+        family: str = "normal",
+        fraction_high: float = MIXED_FRACTION_HIGH,
+        std_high: float = MIXED_STD_HIGH,
+        std_low: float = MIXED_STD_LOW,
+        proud_std: float = MIXED_PROUD_STD,
+    ) -> None:
+        if not 0.0 <= fraction_high <= 1.0:
+            raise InvalidParameterError(
+                f"fraction_high must be in [0, 1], got {fraction_high}"
+            )
+        self.family = family
+        self.fraction_high = float(fraction_high)
+        self.high = make_distribution(family, std_high)
+        self.low = make_distribution(family, std_low)
+        self._proud_std = float(proud_std)
+
+    @property
+    def name(self) -> str:
+        return (
+            f"mixed-std({self.family}, {self.fraction_high:.0%} at "
+            f"std={self.high.std:g}, rest at std={self.low.std:g})"
+        )
+
+    @property
+    def proud_std(self) -> float:
+        return self._proud_std
+
+    def build_models(
+        self, length: int, rng: np.random.Generator
+    ) -> Tuple[ErrorModel, ErrorModel]:
+        n_high = int(round(self.fraction_high * length))
+        high_positions = set(
+            rng.choice(length, size=n_high, replace=False).tolist()
+        ) if n_high else set()
+        distributions = [
+            self.high if i in high_positions else self.low for i in range(length)
+        ]
+        model = ErrorModel(distributions)
+        return model, model
+
+
+class MixedFamilyScenario(PerturbationScenario):
+    """Different families *and* σ levels across timestamps (Figure 9).
+
+    Every timestamp is assigned a family drawn uniformly from ``families``
+    and a σ from the 20/80 split.  PROUD cannot represent this at all; DUST
+    can, if given the per-timestamp models — which the reported model
+    provides.
+    """
+
+    def __init__(
+        self,
+        families: Sequence[str] = ("uniform", "normal", "exponential"),
+        fraction_high: float = MIXED_FRACTION_HIGH,
+        std_high: float = MIXED_STD_HIGH,
+        std_low: float = MIXED_STD_LOW,
+        proud_std: float = MIXED_PROUD_STD,
+    ) -> None:
+        if not families:
+            raise InvalidParameterError("at least one family is required")
+        if not 0.0 <= fraction_high <= 1.0:
+            raise InvalidParameterError(
+                f"fraction_high must be in [0, 1], got {fraction_high}"
+            )
+        self.families = tuple(families)
+        self.fraction_high = float(fraction_high)
+        self.std_high = float(std_high)
+        self.std_low = float(std_low)
+        self._proud_std = float(proud_std)
+        # Pre-build the (family, σ) pool: distributions are value objects,
+        # so sharing them across series is safe.
+        self._pool = {
+            (family, std): make_distribution(family, std)
+            for family in self.families
+            for std in (self.std_high, self.std_low)
+        }
+
+    @property
+    def name(self) -> str:
+        return (
+            f"mixed-family({'+'.join(self.families)}, "
+            f"{self.fraction_high:.0%} at std={self.std_high:g})"
+        )
+
+    @property
+    def proud_std(self) -> float:
+        return self._proud_std
+
+    def build_models(
+        self, length: int, rng: np.random.Generator
+    ) -> Tuple[ErrorModel, ErrorModel]:
+        n_high = int(round(self.fraction_high * length))
+        high_positions = set(
+            rng.choice(length, size=n_high, replace=False).tolist()
+        ) if n_high else set()
+        family_choices = rng.choice(len(self.families), size=length)
+        distributions = []
+        for i in range(length):
+            family = self.families[int(family_choices[i])]
+            std = self.std_high if i in high_positions else self.std_low
+            distributions.append(self._pool[(family, std)])
+        model = ErrorModel(distributions)
+        return model, model
+
+
+class MisreportedScenario(PerturbationScenario):
+    """Actual errors from ``base`` scenario, but techniques are told a
+    constant (wrong) model instead (Figure 10).
+
+    The paper's Figure 10 draws mixed-σ normal errors while informing DUST
+    that σ is a constant 0.7; accuracy collapses to Euclidean's, showing
+    that DUST's edge depends entirely on accurate error knowledge.
+    """
+
+    def __init__(
+        self,
+        base: PerturbationScenario,
+        reported_family: str = "normal",
+        reported_std: float = MIXED_PROUD_STD,
+    ) -> None:
+        self.base = base
+        self.reported = make_distribution(reported_family, reported_std)
+        self._reported_std = float(reported_std)
+
+    @property
+    def name(self) -> str:
+        return (
+            f"misreported(base={self.base.name}, "
+            f"claimed {self.reported.family} std={self._reported_std:g})"
+        )
+
+    @property
+    def proud_std(self) -> float:
+        return self._reported_std
+
+    def build_models(
+        self, length: int, rng: np.random.Generator
+    ) -> Tuple[ErrorModel, ErrorModel]:
+        actual, _ = self.base.build_models(length, rng)
+        reported = ErrorModel.constant(self.reported, length)
+        return actual, reported
+
+
+def paper_mixed_scenario(family: str) -> MixedStdScenario:
+    """The 20%/σ=1.0 + 80%/σ=0.4 scenario for ``family`` (Figs 8, 15–17)."""
+    return MixedStdScenario(family=family)
+
+
+def paper_mixed_family_scenario() -> MixedFamilyScenario:
+    """The uniform+normal+exponential mixed scenario of Figure 9."""
+    return MixedFamilyScenario()
+
+
+def paper_misreported_scenario() -> MisreportedScenario:
+    """The Figure 10 scenario: mixed-σ normal errors, claimed constant 0.7."""
+    return MisreportedScenario(MixedStdScenario(family="normal"))

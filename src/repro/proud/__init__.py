@@ -1,0 +1,21 @@
+"""PROUD: probabilistic similarity over uncertain data streams (Section 2.2)."""
+
+from __future__ import annotations
+
+from .distance import (
+    DistanceDistribution,
+    distance_distribution,
+    expected_distance,
+)
+from .query import Proud
+from .stream import ProudStream
+from .wavelet import WaveletSynopsisModel
+
+__all__ = [
+    "Proud",
+    "ProudStream",
+    "DistanceDistribution",
+    "distance_distribution",
+    "expected_distance",
+    "WaveletSynopsisModel",
+]

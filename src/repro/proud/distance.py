@@ -1,0 +1,82 @@
+"""PROUD's probabilistic distance model (paper Section 2.2).
+
+PROUD (Yeh et al., EDBT 2009) models the distance between two uncertain
+series as the random variable ``distance^2(X, Y) = sum_i D_i^2`` with
+``D_i = x_i - y_i`` (Equation 5).  By the central limit theorem the sum
+approaches a normal distribution (Equation 7):
+
+    distance^2(X, Y)  ~  N( sum_i E[D_i^2],  sum_i Var[D_i^2] )
+
+Only the first two moments of the per-timestamp errors are needed.  With
+zero-mean errors of std ``s_x,i`` and ``s_y,i``:
+
+    E[D_i]     =  d_i              (the observed difference)
+    Var[D_i]   =  s_x,i^2 + s_y,i^2
+    E[D_i^2]   =  d_i^2 + Var[D_i]
+    Var[D_i^2] =  2 Var[D_i]^2 + 4 d_i^2 Var[D_i]
+
+The ``Var[D_i^2]`` line uses the Gaussian fourth-moment identity — the same
+working assumption PROUD makes (only mean and variance of the error are
+known, and the difference of many-sourced errors is treated as normal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import LengthMismatchError
+from ..core.uncertain import UncertainTimeSeries
+from ..stats.normal import std_normal_cdf
+
+
+@dataclass(frozen=True)
+class DistanceDistribution:
+    """Normal approximation of a squared distance: ``N(mean, variance)``."""
+
+    mean: float
+    variance: float
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of the squared distance."""
+        return float(np.sqrt(self.variance))
+
+    def probability_within(self, epsilon: float) -> float:
+        """``Pr(distance(X, Y) <= epsilon)`` under the normal approximation.
+
+        ``epsilon`` is a threshold on the *distance* (not its square); it is
+        squared internally to match the distribution's squared-space units.
+        """
+        if epsilon < 0.0:
+            return 0.0
+        if self.variance <= 0.0:
+            # Degenerate: the distance is (numerically) deterministic.
+            return 1.0 if self.mean <= epsilon * epsilon else 0.0
+        z = (epsilon * epsilon - self.mean) / self.std
+        return float(std_normal_cdf(z))
+
+
+def distance_distribution(
+    x: UncertainTimeSeries, y: UncertainTimeSeries
+) -> DistanceDistribution:
+    """Moments of ``distance^2(X, Y)`` from observations and error stds."""
+    if len(x) != len(y):
+        raise LengthMismatchError(len(x), len(y), "PROUD distance")
+    observed_difference = x.observations - y.observations
+    variance_d = x.error_model.variances() + y.error_model.variances()
+    mean_d2 = observed_difference**2 + variance_d
+    var_d2 = 2.0 * variance_d**2 + 4.0 * observed_difference**2 * variance_d
+    return DistanceDistribution(
+        mean=float(mean_d2.sum()), variance=float(var_d2.sum())
+    )
+
+
+def expected_distance(x: UncertainTimeSeries, y: UncertainTimeSeries) -> float:
+    """``sqrt(E[distance^2])`` — a deterministic summary used for ranking.
+
+    Not part of PROUD's query answering (which is probabilistic), but
+    convenient for diagnostics and tests.
+    """
+    return float(np.sqrt(distance_distribution(x, y).mean))

@@ -1,0 +1,117 @@
+"""PROUD's probabilistic range-query decision rule (Equations 8–11).
+
+Given a distance threshold ``ε`` and a probability threshold ``τ``:
+
+1. ``ε_limit`` is the standard-normal quantile at ``τ``
+   (``Pr(Z <= ε_limit) = τ``, "looking up the statistics tables");
+2. each candidate's squared-distance distribution is normalized:
+   ``ε_norm = (ε² - E[distance²]) / sqrt(Var[distance²])``  (Equation 9);
+3. the candidate is accepted iff ``ε_norm >= ε_limit`` (Equation 10), which
+   guarantees ``Pr(distance² <= ε²) >= τ`` (Equation 11).
+
+The class also exposes the equivalent probability form
+(:meth:`Proud.match_probability` ``>= τ``), used by tests to verify the
+pruning rule, and an optional Haar-synopsis mode (Section 4.3's remark that
+PROUD can run on wavelet synopses at reduced CPU cost).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.errors import InvalidParameterError
+from ..core.uncertain import UncertainTimeSeries
+from ..stats.normal import std_normal_ppf
+from .distance import DistanceDistribution, distance_distribution
+from .wavelet import WaveletSynopsisModel
+
+
+class Proud:
+    """PROUD probabilistic similarity matching.
+
+    Parameters
+    ----------
+    tau:
+        Default probability threshold ``τ`` for :meth:`matches`; can be
+        overridden per call.  The paper tunes ``τ`` per experiment
+        ("the optimal probabilistic threshold, determined after repeated
+        experiments") — :mod:`repro.evaluation.tau` automates that search.
+    synopsis_coefficients:
+        When set, distances are estimated in the Haar wavelet domain using
+        this many coefficients per series (Section 4.3 variant).  ``None``
+        (default) uses the full series.
+    """
+
+    name = "PROUD"
+
+    def __init__(
+        self,
+        tau: float = 0.9,
+        synopsis_coefficients: Optional[int] = None,
+    ) -> None:
+        _check_tau(tau)
+        self.tau = tau
+        self._synopsis: Optional[WaveletSynopsisModel] = None
+        if synopsis_coefficients is not None:
+            self._synopsis = WaveletSynopsisModel(synopsis_coefficients)
+
+    def distance_distribution(
+        self, x: UncertainTimeSeries, y: UncertainTimeSeries
+    ) -> DistanceDistribution:
+        """Normal model of ``distance²(x, y)`` (full or synopsis-based)."""
+        if self._synopsis is not None:
+            return self._synopsis.distance_distribution(x, y)
+        return distance_distribution(x, y)
+
+    def epsilon_limit(self, tau: Optional[float] = None) -> float:
+        """``ε_limit`` such that ``Pr(Z <= ε_limit) = τ`` (Equation 8)."""
+        tau = self.tau if tau is None else tau
+        _check_tau(tau)
+        return std_normal_ppf(tau)
+
+    def epsilon_norm(
+        self, x: UncertainTimeSeries, y: UncertainTimeSeries, epsilon: float
+    ) -> float:
+        """Normalized threshold ``ε_norm(x, y)`` (Equation 9)."""
+        if epsilon < 0.0:
+            raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
+        model = self.distance_distribution(x, y)
+        if model.variance <= 0.0:
+            # Deterministic distance: +/- infinity keeps Equation 10 exact.
+            return np.inf if model.mean <= epsilon * epsilon else -np.inf
+        return (epsilon * epsilon - model.mean) / model.std
+
+    def match_probability(
+        self, x: UncertainTimeSeries, y: UncertainTimeSeries, epsilon: float
+    ) -> float:
+        """``Pr(distance(x, y) <= epsilon)`` under PROUD's normal model."""
+        if epsilon < 0.0:
+            raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
+        return self.distance_distribution(x, y).probability_within(epsilon)
+
+    def matches(
+        self,
+        x: UncertainTimeSeries,
+        y: UncertainTimeSeries,
+        epsilon: float,
+        tau: Optional[float] = None,
+    ) -> bool:
+        """Equation 10's pruning rule: accept iff ``ε_norm >= ε_limit``."""
+        return self.epsilon_norm(x, y, epsilon) >= self.epsilon_limit(tau)
+
+    def __repr__(self) -> str:
+        synopsis = (
+            f", synopsis={self._synopsis.n_coefficients}"
+            if self._synopsis is not None
+            else ""
+        )
+        return f"Proud(tau={self.tau:g}{synopsis})"
+
+
+def _check_tau(tau: float) -> None:
+    if not 0.0 < tau < 1.0:
+        raise InvalidParameterError(
+            f"tau must be in the open interval (0, 1), got {tau}"
+        )

@@ -1,0 +1,224 @@
+"""Streaming PROUD: incremental probabilistic matching over a data stream.
+
+PROUD was designed for "PRObabilistic queries over Uncertain Data
+streams" (Yeh et al., EDBT 2009): the uncertain series arrives one
+timestamp at a time, and the squared-distance distribution against each
+registered reference series must be maintained *incrementally* — the
+whole point of Equation 7's additivity is that the moments are running
+sums.
+
+:class:`ProudStream` implements that model:
+
+* references (certain or uncertain sequences) are registered up front;
+* each :meth:`append` consumes one stream observation (+ its error σ) and
+  updates every reference's ``E[dist²]`` / ``Var[dist²]`` in O(1);
+* at any time, :meth:`match_probability` answers
+  ``Pr(distance(stream_prefix, reference_prefix) <= ε)`` from the running
+  moments, and :meth:`matches` applies the ε_norm / ε_limit rule.
+
+A reference stops accumulating once the stream outruns its length; its
+final decision is then frozen (the paper's whole-sequence semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..core.errors import InvalidParameterError, UnsupportedQueryError
+from ..stats.normal import std_normal_ppf
+from .distance import DistanceDistribution
+
+
+@dataclass
+class _Reference:
+    """One registered reference sequence and its running moments."""
+
+    name: str
+    values: np.ndarray
+    variances: np.ndarray  # per-timestamp error variances of the reference
+    mean: float = 0.0      # running E[dist²]
+    variance: float = 0.0  # running Var[dist²]
+    consumed: int = 0      # stream points folded in so far
+
+    @property
+    def exhausted(self) -> bool:
+        """All reference timestamps have been matched against the stream."""
+        return self.consumed >= self.values.size
+
+    def update(self, observation: float, error_variance: float) -> None:
+        """Fold one aligned (stream, reference) timestamp into the moments.
+
+        Uses the same normal-working-assumption moments as batch PROUD:
+        ``E[D²] = d² + v`` and ``Var[D²] = 2v² + 4d²v`` with ``v`` the
+        summed error variances and ``d`` the observed difference.
+        """
+        if self.exhausted:
+            return
+        difference = observation - self.values[self.consumed]
+        combined = error_variance + self.variances[self.consumed]
+        self.mean += difference * difference + combined
+        self.variance += (
+            2.0 * combined * combined
+            + 4.0 * difference * difference * combined
+        )
+        self.consumed += 1
+
+    def distribution(self) -> DistanceDistribution:
+        """Snapshot of the prefix squared-distance distribution."""
+        return DistanceDistribution(mean=self.mean, variance=self.variance)
+
+
+class ProudStream:
+    """Incremental PROUD matching of one uncertain stream against many
+    reference sequences.
+
+    Parameters
+    ----------
+    tau:
+        Default probability threshold for :meth:`matches`.
+    """
+
+    def __init__(self, tau: float = 0.9) -> None:
+        if not 0.0 < tau < 1.0:
+            raise InvalidParameterError(f"tau must be in (0, 1), got {tau}")
+        self.tau = tau
+        self._references: Dict[str, _Reference] = {}
+        self._length = 0
+
+    # -- setup ---------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        values: Iterable[float],
+        stds: Optional[Iterable[float]] = None,
+    ) -> None:
+        """Register a reference sequence under ``name``.
+
+        ``stds`` are the reference's own per-timestamp error standard
+        deviations (zero / omitted for a certain reference).  References
+        must be registered before the first :meth:`append`.
+        """
+        if self._length > 0:
+            raise UnsupportedQueryError(
+                "references must be registered before streaming starts"
+            )
+        if name in self._references:
+            raise InvalidParameterError(f"reference {name!r} already registered")
+        value_array = np.asarray(list(values), dtype=np.float64)
+        if value_array.ndim != 1 or value_array.size == 0:
+            raise InvalidParameterError(
+                "reference values must be a non-empty 1-D sequence"
+            )
+        if stds is None:
+            variance_array = np.zeros(value_array.size)
+        else:
+            std_array = np.asarray(list(stds), dtype=np.float64)
+            if std_array.shape != value_array.shape:
+                raise InvalidParameterError(
+                    "reference stds must align with its values"
+                )
+            if np.any(std_array < 0.0):
+                raise InvalidParameterError("stds must be non-negative")
+            variance_array = std_array**2
+        self._references[name] = _Reference(
+            name=name, values=value_array, variances=variance_array
+        )
+
+    # -- streaming -----------------------------------------------------
+
+    def append(self, observation: float, std: float = 0.0) -> None:
+        """Consume one stream point (observed value + its error σ)."""
+        if not self._references:
+            raise UnsupportedQueryError(
+                "register at least one reference before streaming"
+            )
+        if std < 0.0:
+            raise InvalidParameterError(f"std must be >= 0, got {std}")
+        error_variance = std * std
+        for reference in self._references.values():
+            reference.update(float(observation), error_variance)
+        self._length += 1
+
+    def extend(
+        self, observations: Iterable[float], stds: Optional[Iterable[float]] = None
+    ) -> None:
+        """Consume a batch of stream points."""
+        observations = list(observations)
+        if stds is None:
+            std_list: List[float] = [0.0] * len(observations)
+        else:
+            std_list = [float(s) for s in stds]
+            if len(std_list) != len(observations):
+                raise InvalidParameterError(
+                    "stds must align with observations"
+                )
+        for observation, std in zip(observations, std_list):
+            self.append(observation, std)
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """Number of stream points consumed so far."""
+        return self._length
+
+    def references(self) -> List[str]:
+        """Names of the registered references."""
+        return list(self._references)
+
+    def progress(self, name: str) -> float:
+        """Fraction of ``name``'s timestamps already matched (0..1)."""
+        reference = self._lookup(name)
+        return reference.consumed / reference.values.size
+
+    def distance_distribution(self, name: str) -> DistanceDistribution:
+        """Running squared-distance distribution against ``name``."""
+        return self._lookup(name).distribution()
+
+    def match_probability(self, name: str, epsilon: float) -> float:
+        """``Pr(distance <= ε)`` for the consumed prefix of ``name``."""
+        if epsilon < 0.0:
+            raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
+        return self._lookup(name).distribution().probability_within(epsilon)
+
+    def matches(
+        self, name: str, epsilon: float, tau: Optional[float] = None
+    ) -> bool:
+        """Equation 10's rule on the running moments of ``name``."""
+        tau = self.tau if tau is None else tau
+        if not 0.0 < tau < 1.0:
+            raise InvalidParameterError(f"tau must be in (0, 1), got {tau}")
+        model = self._lookup(name).distribution()
+        if model.variance <= 0.0:
+            return model.mean <= epsilon * epsilon
+        epsilon_norm = (epsilon * epsilon - model.mean) / model.std
+        return epsilon_norm >= std_normal_ppf(tau)
+
+    def result_set(
+        self, epsilon: float, tau: Optional[float] = None
+    ) -> List[str]:
+        """All references currently satisfying the PRQ predicate."""
+        return [
+            name
+            for name in self._references
+            if self.matches(name, epsilon, tau)
+        ]
+
+    def _lookup(self, name: str) -> _Reference:
+        try:
+            return self._references[name]
+        except KeyError:
+            known = ", ".join(sorted(self._references)) or "<none>"
+            raise InvalidParameterError(
+                f"unknown reference {name!r}; registered: {known}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"ProudStream(references={len(self._references)}, "
+            f"consumed={self._length})"
+        )

@@ -1,0 +1,51 @@
+"""Query framework: RQ / PRQ / top-k and the threshold-calibration protocol."""
+
+from __future__ import annotations
+
+from .knn import (
+    euclidean_knn_table,
+    knn_indices,
+    knn_query,
+    knn_technique_query,
+)
+from .range_query import (
+    probabilistic_range_query,
+    range_query,
+    result_set_from_scores,
+)
+from .techniques import (
+    DustTechnique,
+    EuclideanTechnique,
+    FilteredTechnique,
+    MunichTechnique,
+    ProudTechnique,
+    Technique,
+)
+from .thresholds import (
+    PAPER_K,
+    QueryCalibration,
+    calibrate_queries,
+    select_query_indices,
+    technique_epsilon,
+)
+
+__all__ = [
+    "Technique",
+    "EuclideanTechnique",
+    "DustTechnique",
+    "FilteredTechnique",
+    "ProudTechnique",
+    "MunichTechnique",
+    "range_query",
+    "probabilistic_range_query",
+    "result_set_from_scores",
+    "knn_indices",
+    "knn_query",
+    "knn_technique_query",
+    "euclidean_knn_table",
+    "QueryCalibration",
+    "calibrate_queries",
+    "technique_epsilon",
+    "select_query_indices",
+    "PAPER_K",
+]

@@ -1,0 +1,99 @@
+"""k-nearest-neighbor queries.
+
+Used in two places: DUST-style top-k search (Section 3.3 — "DUST being a
+distance measure, it can be used to answer top-k nearest neighbor
+queries"), and the evaluation protocol's ground-truth construction (the
+10 nearest neighbors under exact Euclidean define the true answer set).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import InvalidParameterError
+from ..distances.base import Distance
+from ..distances.lp import euclidean_matrix
+
+
+def knn_indices(
+    distances: np.ndarray, k: int, exclude: Optional[int] = None
+) -> List[int]:
+    """Indices of the ``k`` smallest entries of a distance vector.
+
+    Ties are broken by index (stable), making ground truth deterministic.
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    distances = np.asarray(distances, dtype=np.float64)
+    order = np.argsort(distances, kind="stable")
+    result = []
+    for index in order:
+        if exclude is not None and index == exclude:
+            continue
+        result.append(int(index))
+        if len(result) == k:
+            break
+    return result
+
+
+def knn_query(
+    distance: Distance,
+    query_values: np.ndarray,
+    collection_values: np.ndarray,
+    k: int,
+    exclude: Optional[int] = None,
+) -> List[int]:
+    """Top-k query under an arbitrary distance callable."""
+    matrix = np.atleast_2d(np.asarray(collection_values, dtype=np.float64))
+    query_values = np.asarray(query_values, dtype=np.float64)
+    distances = np.array(
+        [distance(query_values, row) for row in matrix]
+    )
+    return knn_indices(distances, k, exclude=exclude)
+
+
+def knn_technique_query(
+    technique,
+    query,
+    collection: Sequence,
+    k: int,
+    exclude: Optional[int] = None,
+) -> List[int]:
+    """Top-k under a distance :class:`~repro.queries.techniques.Technique`.
+
+    Probabilistic techniques have no stable ranking (the paper's argument
+    for not using top-k as the comparison task — Section 4.1.2), so this
+    raises for them.
+    """
+    from ..core.errors import UnsupportedQueryError
+
+    if technique.kind != "distance":
+        raise UnsupportedQueryError(
+            f"top-k requires a distance technique; {technique.name} is "
+            f"probabilistic and its ranking depends on epsilon"
+        )
+    distances = np.array(
+        [technique.distance(query, candidate) for candidate in collection]
+    )
+    return knn_indices(distances, k, exclude=exclude)
+
+
+def euclidean_knn_table(values: np.ndarray, k: int) -> np.ndarray:
+    """All-queries ground-truth table: for each row of ``values``, the ``k``
+    nearest *other* rows under Euclidean distance, shape ``(N, k)``.
+
+    This is the harness' bulk path for ground-truth construction; self-
+    matches are excluded.
+    """
+    matrix = np.atleast_2d(np.asarray(values, dtype=np.float64))
+    n = matrix.shape[0]
+    if k >= n:
+        raise InvalidParameterError(
+            f"k={k} must be smaller than the collection size {n}"
+        )
+    pairwise = euclidean_matrix(matrix, matrix)
+    np.fill_diagonal(pairwise, np.inf)
+    order = np.argsort(pairwise, axis=1, kind="stable")
+    return order[:, :k]

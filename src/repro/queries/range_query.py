@@ -1,0 +1,92 @@
+"""Range queries: the certain RQ (Equation 1) and probabilistic PRQ (Eq. 2).
+
+Both return *candidate indices* into a collection, leaving presentation to
+the caller.  The query itself may be a member of the collection; pass its
+index via ``exclude`` to implement the paper's protocol where every series
+takes a turn as the query against the rest.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.collection import Collection
+from ..core.errors import InvalidParameterError
+from ..distances.base import Distance
+from .techniques import Technique
+
+
+def range_query(
+    query_values: np.ndarray,
+    collection_values: np.ndarray,
+    epsilon: float,
+    distance: Distance,
+    exclude: Optional[int] = None,
+) -> List[int]:
+    """Certain-data range query ``RQ(Q, C, ε)`` (Equation 1).
+
+    ``collection_values`` is an ``(N, n)`` matrix of exact series; returns
+    the indices whose distance to ``query_values`` is ``<= ε``.
+    """
+    if epsilon < 0.0:
+        raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
+    matrix = np.atleast_2d(np.asarray(collection_values, dtype=np.float64))
+    result = []
+    for index in range(matrix.shape[0]):
+        if exclude is not None and index == exclude:
+            continue
+        if distance(np.asarray(query_values, dtype=np.float64), matrix[index]) <= epsilon:
+            result.append(index)
+    return result
+
+
+def probabilistic_range_query(
+    technique: Technique,
+    query,
+    collection: Sequence,
+    epsilon: float,
+    tau: Optional[float] = None,
+    exclude: Optional[int] = None,
+) -> List[int]:
+    """``PRQ(Q, C, ε, τ)`` (Equation 2) under any :class:`Technique`.
+
+    For distance techniques ``τ`` is ignored (their answer is exact); for
+    probabilistic techniques it is required.
+    """
+    if epsilon < 0.0:
+        raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
+    result = []
+    for index, candidate in enumerate(collection):
+        if exclude is not None and index == exclude:
+            continue
+        if technique.matches(query, candidate, epsilon, tau=tau):
+            result.append(index)
+    return result
+
+
+def result_set_from_scores(
+    scores: np.ndarray,
+    epsilon_or_tau: float,
+    kind: str,
+    exclude: Optional[int] = None,
+) -> List[int]:
+    """Derive a result set from precomputed per-candidate scores.
+
+    ``scores`` holds distances (select ``<= ε``) or match probabilities
+    (select ``>= τ``) depending on ``kind``; the evaluation layer uses this
+    to sweep thresholds without recomputing scores.
+    """
+    if kind == "distance":
+        mask = scores <= epsilon_or_tau
+    elif kind == "probabilistic":
+        mask = scores >= epsilon_or_tau
+    else:
+        raise InvalidParameterError(
+            f"kind must be 'distance' or 'probabilistic', got {kind!r}"
+        )
+    indices = np.flatnonzero(mask)
+    if exclude is not None:
+        indices = indices[indices != exclude]
+    return indices.tolist()

@@ -1,0 +1,35 @@
+"""Statistics substrate: normal distribution, chi-square test, Haar wavelets."""
+
+from __future__ import annotations
+
+from .chisquare import ChiSquareResult, chi2_sf, chi_square_uniformity_test
+from .normal import (
+    normal_cdf,
+    normal_ppf,
+    std_normal_cdf,
+    std_normal_pdf,
+    std_normal_ppf,
+)
+from .wavelets import (
+    HaarSynopsis,
+    haar_synopsis,
+    haar_transform,
+    inverse_haar_transform,
+    synopsis_distance,
+)
+
+__all__ = [
+    "std_normal_pdf",
+    "std_normal_cdf",
+    "std_normal_ppf",
+    "normal_cdf",
+    "normal_ppf",
+    "ChiSquareResult",
+    "chi_square_uniformity_test",
+    "chi2_sf",
+    "haar_transform",
+    "inverse_haar_transform",
+    "HaarSynopsis",
+    "haar_synopsis",
+    "synopsis_distance",
+]

@@ -1,0 +1,106 @@
+"""Standard-normal cdf and inverse cdf.
+
+PROUD needs both directions (paper Section 2.2): the cdf to express
+``Pr(distance_norm <= eps)`` through the error function, and the inverse cdf
+to turn the probability threshold ``τ`` into ``ε_limit`` ("looking up the
+statistics tables").  We implement them from scratch — the cdf through
+:func:`math.erf` and the inverse through Acklam's rational approximation
+refined by one Halley step — so the PROUD implementation is self-contained;
+scipy is used only in tests to validate these functions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+_SQRT2 = math.sqrt(2.0)
+_SQRT2PI = math.sqrt(2.0 * math.pi)
+
+# Coefficients of Peter Acklam's inverse-normal-cdf approximation
+# (relative error < 1.15e-9 before refinement).
+_A = (
+    -3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+    1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00,
+)
+_B = (
+    -5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+    6.680131188771972e01, -1.328068155288572e01,
+)
+_C = (
+    -7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+    -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00,
+)
+_D = (
+    7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+    3.754408661907416e00,
+)
+_P_LOW = 0.02425
+_P_HIGH = 1.0 - _P_LOW
+
+
+def std_normal_pdf(x) -> np.ndarray:
+    """Density of the standard normal, element-wise."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.exp(-0.5 * x * x) / _SQRT2PI
+
+
+def std_normal_cdf(x) -> np.ndarray:
+    """Cumulative distribution of the standard normal, element-wise.
+
+    Expressed through the error function, exactly as the paper notes
+    (Equation 8 discussion).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    return 0.5 * (1.0 + _vector_erf(x / _SQRT2))
+
+
+def std_normal_ppf(p: float) -> float:
+    """Inverse cdf (quantile function) of the standard normal.
+
+    Raises :class:`ValueError` outside the open interval (0, 1).
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"probability must be in (0, 1), got {p}")
+    if p < _P_LOW:
+        q = math.sqrt(-2.0 * math.log(p))
+        x = _poly(_C, q) / (_poly(_D, q) * q + 1.0)
+    elif p <= _P_HIGH:
+        q = p - 0.5
+        r = q * q
+        x = q * _poly(_A, r) / (_poly(_B, r) * r + 1.0)
+    else:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        x = -_poly(_C, q) / (_poly(_D, q) * q + 1.0)
+    # One Halley refinement step drives the error to near machine precision.
+    error = float(std_normal_cdf(x)) - p
+    u = error * _SQRT2PI * math.exp(0.5 * x * x)
+    x = x - u / (1.0 + 0.5 * x * u)
+    return x
+
+
+def normal_cdf(x, mean: float, std: float) -> np.ndarray:
+    """Cdf of ``N(mean, std^2)``, element-wise."""
+    if std <= 0.0:
+        raise ValueError(f"std must be positive, got {std}")
+    x = np.asarray(x, dtype=np.float64)
+    return std_normal_cdf((x - mean) / std)
+
+
+def normal_ppf(p: float, mean: float, std: float) -> float:
+    """Quantile of ``N(mean, std^2)``."""
+    if std <= 0.0:
+        raise ValueError(f"std must be positive, got {std}")
+    return mean + std * std_normal_ppf(p)
+
+
+def _poly(coefficients, x: float) -> float:
+    """Evaluate a polynomial with the leading coefficient first."""
+    result = 0.0
+    for coefficient in coefficients:
+        result = result * x + coefficient
+    return result
+
+
+_vector_erf = np.vectorize(math.erf, otypes=[np.float64])

@@ -1,0 +1,151 @@
+"""Haar wavelet transform and synopsis.
+
+Section 4.3 of the paper notes that PROUD can be applied "on top of a Haar
+wavelet synopsis", trading a small accuracy loss for CPU time at or below
+Euclidean cost.  This module provides the orthonormal Haar DWT, its inverse,
+and a top-coefficient synopsis with the energy-preservation property that
+makes Euclidean distances computable in the wavelet domain (Parseval).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..core.errors import InvalidParameterError
+
+_SQRT2 = np.sqrt(2.0)
+
+
+def _next_power_of_two(n: int) -> int:
+    power = 1
+    while power < n:
+        power *= 2
+    return power
+
+
+def haar_transform(values: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Orthonormal Haar DWT of ``values``.
+
+    The input is zero-padded to the next power of two (its original length
+    is returned so :func:`inverse_haar_transform` can undo the padding).
+    With the orthonormal normalization, the transform preserves the
+    Euclidean norm exactly.
+    """
+    data = np.asarray(values, dtype=np.float64).ravel()
+    if data.size == 0:
+        raise InvalidParameterError("cannot transform an empty series")
+    original_length = data.size
+    padded = _next_power_of_two(original_length)
+    work = np.zeros(padded)
+    work[:original_length] = data
+
+    coefficients = np.empty(padded)
+    length = padded
+    while length > 1:
+        half = length // 2
+        even = work[0:length:2]
+        odd = work[1:length:2]
+        coefficients[half:length] = (even - odd) / _SQRT2
+        work[:half] = (even + odd) / _SQRT2
+        length = half
+    coefficients[0] = work[0]
+    return coefficients, original_length
+
+
+def inverse_haar_transform(
+    coefficients: np.ndarray, original_length: int
+) -> np.ndarray:
+    """Invert :func:`haar_transform`, trimming the zero padding."""
+    coeffs = np.asarray(coefficients, dtype=np.float64).ravel()
+    padded = coeffs.size
+    if padded == 0 or padded & (padded - 1):
+        raise InvalidParameterError(
+            f"coefficient length must be a power of two, got {padded}"
+        )
+    if not 1 <= original_length <= padded:
+        raise InvalidParameterError(
+            f"original_length {original_length} out of range (1..{padded})"
+        )
+    work = coeffs.copy()
+    length = 1
+    while length < padded:
+        approx = work[:length].copy()
+        # Copy: the interleaved writes below overlap the detail region.
+        detail = work[length:2 * length].copy()
+        work[0:2 * length:2] = (approx + detail) / _SQRT2
+        work[1:2 * length:2] = (approx - detail) / _SQRT2
+        length *= 2
+    return work[:original_length]
+
+
+@dataclass(frozen=True)
+class HaarSynopsis:
+    """Top-k Haar coefficients of a series (sparse energy summary).
+
+    ``indices``/``coefficients`` hold the ``k`` largest-magnitude transform
+    coefficients; ``padded_length`` and ``original_length`` allow lossless
+    bookkeeping.  Distances between synopses lower-bound true Euclidean
+    distances computed on the full coefficient vectors of the two series
+    only approximately; the approximation error vanishes as ``k`` grows.
+    """
+
+    indices: np.ndarray
+    coefficients: np.ndarray
+    padded_length: int
+    original_length: int
+
+    @property
+    def n_coefficients(self) -> int:
+        """Number of retained coefficients."""
+        return int(self.indices.size)
+
+    def dense(self) -> np.ndarray:
+        """Full-length coefficient vector with zeros at dropped positions."""
+        out = np.zeros(self.padded_length)
+        out[self.indices] = self.coefficients
+        return out
+
+    def reconstruct(self) -> np.ndarray:
+        """Approximate series reconstructed from the kept coefficients."""
+        return inverse_haar_transform(self.dense(), self.original_length)
+
+    def energy(self) -> float:
+        """Retained energy (sum of squared kept coefficients)."""
+        return float(np.sum(self.coefficients**2))
+
+
+def haar_synopsis(values: np.ndarray, n_coefficients: int) -> HaarSynopsis:
+    """Build a :class:`HaarSynopsis` keeping the ``n_coefficients`` largest
+    magnitude coefficients (ties broken by position, deterministic)."""
+    if n_coefficients < 1:
+        raise InvalidParameterError(
+            f"n_coefficients must be >= 1, got {n_coefficients}"
+        )
+    coefficients, original_length = haar_transform(values)
+    k = min(n_coefficients, coefficients.size)
+    # stable selection: sort by (-|coefficient|, index)
+    order = np.lexsort((np.arange(coefficients.size), -np.abs(coefficients)))
+    kept = np.sort(order[:k])
+    return HaarSynopsis(
+        indices=kept,
+        coefficients=coefficients[kept],
+        padded_length=coefficients.size,
+        original_length=original_length,
+    )
+
+
+def synopsis_distance(a: HaarSynopsis, b: HaarSynopsis) -> float:
+    """Euclidean distance between two synopses in coefficient space.
+
+    Because the Haar transform is orthonormal, this approximates (and for
+    full synopses equals) the Euclidean distance of the original series.
+    """
+    if a.padded_length != b.padded_length:
+        raise InvalidParameterError(
+            f"synopses have different padded lengths: "
+            f"{a.padded_length} != {b.padded_length}"
+        )
+    return float(np.linalg.norm(a.dense() - b.dense()))

@@ -1,0 +1,63 @@
+"""Tests for the repro.cli command-line interface."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import _COMMANDS, build_parser, main, run_command
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig05"])
+        assert args.figure == "fig05"
+        assert args.scale is None
+        assert args.out is None
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig05", "--scale", "huge"])
+
+    def test_all_figures_have_commands(self):
+        expected = {f"fig{n:02d}" for n in range(4, 18)} | {"uniformity"}
+        assert set(_COMMANDS) == expected
+
+
+class TestExecution:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig04" in out and "uniformity" in out
+
+    def test_unknown_figure_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_run_uniformity_tiny(self, capsys):
+        assert main(["uniformity", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "chi-square" in out
+        assert "scale=tiny" in out
+
+    def test_run_fig13_tiny_with_out(self, tmp_path, capsys):
+        out_file = tmp_path / "fig13.txt"
+        assert main(
+            ["fig13", "--scale", "tiny", "--out", str(out_file), "--seed", "3"]
+        ) == 0
+        assert os.path.isfile(out_file)
+        content = out_file.read_text()
+        assert "Figure 13" in content
+
+    def test_run_command_returns_table(self):
+        text = run_command("uniformity", "tiny", seed=3)
+        assert "uniformity" in text
+        assert "seed=3" in text
+
+    def test_seed_changes_nothing_for_fixed_seed(self):
+        a = run_command("uniformity", "tiny", seed=5)
+        b = run_command("uniformity", "tiny", seed=5)
+        # Strip the timing suffix, which varies run to run.
+        strip = lambda s: s.rsplit("[", 1)[0]  # noqa: E731
+        assert strip(a) == strip(b)

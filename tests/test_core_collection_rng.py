@@ -1,0 +1,104 @@
+"""Unit tests for repro.core.collection and repro.core.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Collection,
+    InvalidSeriesError,
+    TimeSeries,
+    child_seeds,
+    make_rng,
+    spawn,
+)
+from repro.core.rng import DEFAULT_SEED, resolve_seed
+
+
+class TestCollection:
+    def _make(self, n=4, length=5):
+        return Collection(
+            [
+                TimeSeries(np.full(length, float(i)) + np.arange(length),
+                           label=i % 2, name=f"s{i}")
+                for i in range(n)
+            ],
+            name="c",
+        )
+
+    def test_basic_accessors(self):
+        collection = self._make()
+        assert len(collection) == 4
+        assert collection.series_length == 5
+        assert collection.labels() == [0, 1, 0, 1]
+        assert collection.names() == ["s0", "s1", "s2", "s3"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidSeriesError):
+            Collection([])
+
+    def test_rejects_mixed_lengths(self):
+        with pytest.raises(InvalidSeriesError):
+            Collection([TimeSeries([1.0]), TimeSeries([1.0, 2.0])])
+
+    def test_values_matrix_shape(self):
+        matrix = self._make(n=3, length=7).values_matrix()
+        assert matrix.shape == (3, 7)
+
+    def test_subset_preserves_order(self):
+        collection = self._make()
+        subset = collection.subset([2, 0])
+        assert subset.names() == ["s2", "s0"]
+
+    def test_map(self):
+        collection = self._make()
+        doubled = collection.map(lambda s: s.with_values(s.values * 2))
+        assert np.allclose(
+            doubled.values_matrix(), collection.values_matrix() * 2
+        )
+
+    def test_iteration_and_getitem(self):
+        collection = self._make()
+        assert collection[1].name == "s1"
+        assert [s.name for s in collection] == ["s0", "s1", "s2", "s3"]
+
+
+class TestRng:
+    def test_make_rng_default_seed_is_deterministic(self):
+        a = make_rng(None).integers(0, 1 << 30)
+        b = make_rng(None).integers(0, 1 << 30)
+        assert a == b
+
+    def test_make_rng_passes_generators_through(self):
+        generator = np.random.default_rng(0)
+        assert make_rng(generator) is generator
+
+    def test_spawn_deterministic_per_keys(self):
+        a = spawn(7, "x", 1).integers(0, 1 << 30)
+        b = spawn(7, "x", 1).integers(0, 1 << 30)
+        c = spawn(7, "x", 2).integers(0, 1 << 30)
+        assert a == b
+        assert a != c
+
+    def test_spawn_differs_across_parent_seeds(self):
+        a = spawn(1, "k").integers(0, 1 << 30)
+        b = spawn(2, "k").integers(0, 1 << 30)
+        assert a != b
+
+    def test_spawn_string_keys_stable(self):
+        values = [spawn(3, name).integers(0, 1 << 30) for name in ("a", "a")]
+        assert values[0] == values[1]
+
+    def test_child_seeds_unique(self):
+        seeds = child_seeds(11, 20)
+        assert len(set(seeds)) == 20
+
+    def test_child_seeds_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            child_seeds(1, -1)
+
+    def test_resolve_seed(self):
+        assert resolve_seed(None) == DEFAULT_SEED
+        assert resolve_seed(42) == 42
+        assert resolve_seed(np.random.default_rng(0)) is None

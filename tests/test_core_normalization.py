@@ -1,0 +1,109 @@
+"""Unit tests for repro.core.normalization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    InvalidParameterError,
+    InvalidSeriesError,
+    TimeSeries,
+    is_znormalized,
+    resample,
+    resample_values,
+    truncate,
+    znormalize,
+    znormalize_values,
+)
+
+
+class TestZNormalize:
+    def test_zero_mean_unit_std(self):
+        values = znormalize_values(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert values.mean() == pytest.approx(0.0, abs=1e-12)
+        assert values.std() == pytest.approx(1.0)
+
+    def test_constant_series_maps_to_zeros(self):
+        values = znormalize_values(np.full(10, 3.7))
+        assert np.array_equal(values, np.zeros(10))
+
+    def test_preserves_metadata(self):
+        series = TimeSeries([1.0, 5.0], label=2, name="x")
+        normalized = znormalize(series)
+        assert normalized.label == 2
+        assert normalized.name == "x"
+
+    def test_is_znormalized(self):
+        assert is_znormalized(znormalize_values(np.arange(20.0)))
+        assert not is_znormalized(np.arange(20.0))
+        assert not is_znormalized(np.array([]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=2, max_value=64),
+            elements=st.floats(-1e6, 1e6),
+        )
+    )
+    def test_idempotent_property(self, values):
+        once = znormalize_values(values)
+        twice = znormalize_values(once)
+        assert np.allclose(once, twice, atol=1e-8)
+
+
+class TestResample:
+    def test_same_length_is_identity(self):
+        values = np.array([1.0, 5.0, 2.0, 8.0])
+        assert np.allclose(resample_values(values, 4), values)
+
+    def test_endpoints_preserved(self):
+        values = np.array([3.0, -1.0, 7.0])
+        out = resample_values(values, 9)
+        assert out[0] == pytest.approx(3.0)
+        assert out[-1] == pytest.approx(7.0)
+
+    def test_upsampling_linear_ramp_stays_linear(self):
+        ramp = np.linspace(0.0, 1.0, 10)
+        out = resample_values(ramp, 37)
+        assert np.allclose(out, np.linspace(0.0, 1.0, 37))
+
+    def test_downsampling_length(self):
+        out = resample_values(np.random.default_rng(0).normal(size=100), 50)
+        assert out.size == 50
+
+    def test_single_point_input(self):
+        out = resample_values(np.array([4.2]), 5)
+        assert np.allclose(out, 4.2)
+
+    def test_rejects_length_below_two(self):
+        with pytest.raises(InvalidParameterError):
+            resample_values(np.array([1.0, 2.0]), 1)
+
+    def test_series_wrapper_keeps_metadata(self):
+        series = TimeSeries([1.0, 2.0, 3.0], label=1, name="r")
+        out = resample(series, 6)
+        assert len(out) == 6
+        assert out.label == 1
+
+
+class TestTruncate:
+    def test_basic(self):
+        series = TimeSeries([0.0, 1.0, 2.0, 3.0])
+        assert truncate(series, 2).values.tolist() == [0.0, 1.0]
+
+    def test_full_length_allowed(self):
+        series = TimeSeries([0.0, 1.0])
+        assert len(truncate(series, 2)) == 2
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidParameterError):
+            truncate(TimeSeries([1.0]), 0)
+
+    def test_rejects_longer_than_series(self):
+        with pytest.raises(InvalidSeriesError):
+            truncate(TimeSeries([1.0, 2.0]), 3)

@@ -1,0 +1,101 @@
+"""Unit tests for repro.core.series."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InvalidSeriesError, TimeSeries, as_values
+
+
+class TestAsValues:
+    def test_converts_list_to_float64(self):
+        values = as_values([1, 2, 3])
+        assert values.dtype == np.float64
+        assert values.tolist() == [1.0, 2.0, 3.0]
+
+    def test_result_is_read_only(self):
+        values = as_values([1.0, 2.0])
+        with pytest.raises(ValueError):
+            values[0] = 5.0
+
+    def test_copies_input_array(self):
+        source = np.array([1.0, 2.0, 3.0])
+        values = as_values(source)
+        source[0] = 99.0
+        assert values[0] == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidSeriesError):
+            as_values([])
+
+    def test_allow_empty_flag(self):
+        assert as_values([], allow_empty=True).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidSeriesError):
+            as_values([[1.0, 2.0], [3.0, 4.0]])
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(InvalidSeriesError):
+            as_values([1.0, bad, 2.0])
+
+
+class TestTimeSeries:
+    def test_length(self):
+        assert len(TimeSeries([1.0, 2.0, 3.0])) == 3
+        assert TimeSeries([1.0, 2.0, 3.0]).length == 3
+
+    def test_iteration_and_indexing(self):
+        series = TimeSeries([5.0, 6.0, 7.0])
+        assert list(series) == [5.0, 6.0, 7.0]
+        assert series[1] == 6.0
+        assert series[-1] == 7.0
+
+    def test_metadata(self):
+        series = TimeSeries([1.0], label=3, name="x")
+        assert series.label == 3
+        assert series.name == "x"
+
+    def test_equality_includes_metadata(self):
+        a = TimeSeries([1.0, 2.0], label=1, name="a")
+        b = TimeSeries([1.0, 2.0], label=1, name="a")
+        c = TimeSeries([1.0, 2.0], label=2, name="a")
+        assert a == b
+        assert a != c
+        assert a != "not a series"
+
+    def test_hash_consistent_with_equality(self):
+        a = TimeSeries([1.0, 2.0], label=1)
+        b = TimeSeries([1.0, 2.0], label=1)
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_mean_std(self):
+        series = TimeSeries([1.0, 3.0])
+        assert series.mean() == pytest.approx(2.0)
+        assert series.std() == pytest.approx(1.0)
+
+    def test_with_values_keeps_metadata(self):
+        series = TimeSeries([1.0, 2.0], label=7, name="n")
+        replaced = series.with_values([9.0, 8.0])
+        assert replaced.label == 7
+        assert replaced.name == "n"
+        assert replaced.values.tolist() == [9.0, 8.0]
+
+    def test_slice(self):
+        series = TimeSeries([0.0, 1.0, 2.0, 3.0], label=1)
+        sliced = series.slice(1, 3)
+        assert sliced.values.tolist() == [1.0, 2.0]
+        assert sliced.label == 1
+
+    def test_slice_invalid_bounds(self):
+        series = TimeSeries([0.0, 1.0])
+        with pytest.raises(InvalidSeriesError):
+            series.slice(1, 1)
+        with pytest.raises(InvalidSeriesError):
+            series.slice(0, 5)
+
+    def test_repr_mentions_length(self):
+        assert "n=3" in repr(TimeSeries([1.0, 2.0, 3.0]))

@@ -1,0 +1,156 @@
+"""Unit tests for repro.core.uncertain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ErrorModel,
+    InvalidParameterError,
+    InvalidSeriesError,
+    LengthMismatchError,
+    MultisampleUncertainTimeSeries,
+    TimeSeries,
+    UncertainTimeSeries,
+    make_rng,
+)
+from repro.distributions import ExponentialError, NormalError, UniformError
+
+
+class TestErrorModel:
+    def test_constant_model(self):
+        model = ErrorModel.constant(NormalError(0.5), 4)
+        assert len(model) == 4
+        assert model.is_homogeneous
+        assert all(d.std == 0.5 for d in model)
+
+    def test_heterogeneous_model(self):
+        model = ErrorModel([NormalError(0.2), UniformError(0.4)])
+        assert len(model) == 2
+        assert not model.is_homogeneous
+        assert model[0].family == "normal"
+        assert model[1].family == "uniform"
+
+    def test_single_distribution_requires_length(self):
+        with pytest.raises(InvalidParameterError):
+            ErrorModel(NormalError(0.2))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(LengthMismatchError):
+            ErrorModel([NormalError(0.2)], length=5)
+
+    def test_indexing_out_of_range(self):
+        model = ErrorModel.constant(NormalError(0.5), 3)
+        with pytest.raises(IndexError):
+            model[3]
+
+    def test_stds_and_variances(self):
+        model = ErrorModel([NormalError(0.2), NormalError(0.4)])
+        assert np.allclose(model.stds(), [0.2, 0.4])
+        assert np.allclose(model.variances(), [0.04, 0.16])
+
+    def test_distinct(self):
+        shared = NormalError(0.3)
+        model = ErrorModel([shared, UniformError(0.3), shared])
+        distinct = model.distinct()
+        assert len(distinct) == 2
+
+    def test_equality(self):
+        a = ErrorModel.constant(NormalError(0.5), 3)
+        b = ErrorModel([NormalError(0.5)] * 3)
+        assert a == b
+
+    def test_sample_shape_and_determinism(self):
+        model = ErrorModel([NormalError(0.2), ExponentialError(0.5), UniformError(1.0)])
+        first = model.sample(make_rng(7))
+        second = model.sample(make_rng(7))
+        assert first.shape == (3,)
+        assert np.array_equal(first, second)
+
+    def test_with_reported_same_length(self):
+        model = ErrorModel.constant(NormalError(0.5), 4)
+        reported = model.with_reported(NormalError(0.7))
+        assert len(reported) == 4
+        assert reported[0].std == 0.7
+
+
+class TestUncertainTimeSeries:
+    def test_construction_and_accessors(self):
+        model = ErrorModel.constant(NormalError(0.3), 3)
+        series = UncertainTimeSeries([1.0, 2.0, 3.0], model, label=1, name="u")
+        assert len(series) == 3
+        assert np.array_equal(series.values, series.observations)
+        assert np.allclose(series.stds(), 0.3)
+        assert series.label == 1
+
+    def test_length_mismatch_rejected(self):
+        model = ErrorModel.constant(NormalError(0.3), 4)
+        with pytest.raises(LengthMismatchError):
+            UncertainTimeSeries([1.0, 2.0], model)
+
+    def test_as_certain(self):
+        model = ErrorModel.constant(NormalError(0.3), 2)
+        series = UncertainTimeSeries([1.0, 2.0], model, label=5)
+        certain = series.as_certain()
+        assert isinstance(certain, TimeSeries)
+        assert certain.label == 5
+
+    def test_possible_world_differs_from_observation(self):
+        model = ErrorModel.constant(NormalError(0.5), 10)
+        series = UncertainTimeSeries(np.zeros(10), model)
+        world = series.possible_world(make_rng(3))
+        assert not np.allclose(world.values, 0.0)
+
+
+class TestMultisample:
+    def test_shape_accessors(self):
+        samples = np.arange(12.0).reshape(4, 3)
+        series = MultisampleUncertainTimeSeries(samples)
+        assert len(series) == 4
+        assert series.samples_per_timestamp == 3
+        assert series.n_materializations == 81
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(InvalidSeriesError):
+            MultisampleUncertainTimeSeries(np.zeros((0, 3)))
+        with pytest.raises(InvalidSeriesError):
+            MultisampleUncertainTimeSeries(np.zeros(5))
+        with pytest.raises(InvalidSeriesError):
+            MultisampleUncertainTimeSeries([[np.nan, 1.0]])
+
+    def test_samples_read_only(self):
+        series = MultisampleUncertainTimeSeries([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            series.samples[0, 0] = 9.0
+
+    def test_means_and_stds(self):
+        series = MultisampleUncertainTimeSeries([[1.0, 3.0], [2.0, 2.0]])
+        assert np.allclose(series.means(), [2.0, 2.0])
+        assert series.stds()[1] == pytest.approx(0.0)
+
+    def test_stds_single_sample_is_zero(self):
+        series = MultisampleUncertainTimeSeries([[1.0], [2.0]])
+        assert np.allclose(series.stds(), 0.0)
+
+    def test_bounding_intervals(self):
+        series = MultisampleUncertainTimeSeries([[1.0, 3.0, 2.0], [5.0, 4.0, 6.0]])
+        low, high = series.bounding_intervals()
+        assert low.tolist() == [1.0, 4.0]
+        assert high.tolist() == [3.0, 6.0]
+
+    def test_materialize(self):
+        series = MultisampleUncertainTimeSeries([[1.0, 2.0], [3.0, 4.0]])
+        chosen = series.materialize([1, 0])
+        assert chosen.values.tolist() == [2.0, 3.0]
+
+    def test_materialize_validates_choice(self):
+        series = MultisampleUncertainTimeSeries([[1.0, 2.0], [3.0, 4.0]])
+        with pytest.raises(InvalidParameterError):
+            series.materialize([0])
+        with pytest.raises(InvalidParameterError):
+            series.materialize([0, 5])
+
+    def test_as_certain_uses_means(self):
+        series = MultisampleUncertainTimeSeries([[1.0, 3.0]], label=2)
+        assert series.as_certain().values.tolist() == [2.0]

@@ -1,0 +1,188 @@
+"""Cross-technique property-based tests.
+
+Invariants that must hold for *every* measure on arbitrary (generated)
+uncertain series — the contracts the evaluation methodology silently
+relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ErrorModel, UncertainTimeSeries, make_rng
+from repro.distributions import (
+    ExponentialError,
+    NormalError,
+    UniformError,
+)
+from repro.dust import Dust
+from repro.distances import FilteredEuclidean, euclidean
+from repro.munich import Munich
+from repro.perturbation import perturb_multisample
+from repro.proud import Proud
+
+FAMILIES = (NormalError, UniformError, ExponentialError)
+
+
+@st.composite
+def uncertain_pairs(draw):
+    """Two uncertain series over a shared homogeneous error model."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=2, max_value=24))
+    std = draw(st.floats(min_value=0.1, max_value=1.5))
+    family = draw(st.sampled_from(FAMILIES))
+    rng = make_rng(seed)
+    model = ErrorModel.constant(family(std), n)
+    x = UncertainTimeSeries(rng.normal(size=n), model)
+    y = UncertainTimeSeries(rng.normal(size=n), model)
+    return x, y
+
+
+# A module-level DUST engine so hypothesis examples share lookup tables.
+_DUST = Dust()
+
+
+class TestDustProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(pair=uncertain_pairs())
+    def test_non_negative_and_reflexive(self, pair):
+        x, _ = pair
+        assert _DUST.distance(x, x) == pytest.approx(0.0, abs=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(pair=uncertain_pairs())
+    def test_symmetric(self, pair):
+        x, y = pair
+        assert _DUST.distance(x, y) == pytest.approx(
+            _DUST.distance(y, x), rel=1e-9
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(pair=uncertain_pairs())
+    def test_order_consistent_with_euclidean_for_shared_model(self, pair):
+        """Homogeneous identical error models: dust is a monotone transform
+        of |difference| per point, so doubling all differences cannot
+        shrink the distance."""
+        x, y = pair
+        base = _DUST.distance(x, y)
+        farther = UncertainTimeSeries(
+            x.observations + 2.0 * (y.observations - x.observations),
+            y.error_model,
+        )
+        assert _DUST.distance(x, farther) >= base - 1e-9
+
+
+class TestProudProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(pair=uncertain_pairs(), epsilon=st.floats(0.0, 10.0))
+    def test_probability_in_unit_interval(self, pair, epsilon):
+        x, y = pair
+        p = Proud().match_probability(x, y, epsilon)
+        assert 0.0 <= p <= 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(pair=uncertain_pairs())
+    def test_probability_monotone_in_epsilon(self, pair):
+        x, y = pair
+        proud = Proud()
+        probabilities = [
+            proud.match_probability(x, y, e) for e in (0.5, 1.0, 2.0, 5.0)
+        ]
+        assert probabilities == sorted(probabilities)
+
+    @settings(max_examples=25, deadline=None)
+    @given(pair=uncertain_pairs())
+    def test_symmetric_in_arguments(self, pair):
+        x, y = pair
+        proud = Proud()
+        assert proud.match_probability(x, y, 2.0) == pytest.approx(
+            proud.match_probability(y, x, 2.0), rel=1e-12
+        )
+
+
+class TestMunichProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=5_000),
+        epsilon=st.floats(0.1, 5.0),
+    )
+    def test_probability_valid_and_symmetric(self, seed, epsilon):
+        rng = make_rng(seed)
+        from repro.core import TimeSeries
+
+        n = 4
+        model = ErrorModel.constant(NormalError(0.4), n)
+        x = perturb_multisample(TimeSeries(rng.normal(size=n)), model, 3, rng)
+        y = perturb_multisample(TimeSeries(rng.normal(size=n)), model, 3, rng)
+        munich = Munich(n_bins=512)
+        p_xy = munich.probability(x, y, epsilon)
+        p_yx = munich.probability(y, x, epsilon)
+        assert 0.0 <= p_xy <= 1.0
+        assert p_xy == pytest.approx(p_yx, abs=0.01)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    def test_probability_monotone_in_epsilon(self, seed):
+        rng = make_rng(seed)
+        from repro.core import TimeSeries
+
+        n = 4
+        model = ErrorModel.constant(NormalError(0.4), n)
+        x = perturb_multisample(TimeSeries(rng.normal(size=n)), model, 3, rng)
+        y = perturb_multisample(TimeSeries(rng.normal(size=n)), model, 3, rng)
+        munich = Munich(n_bins=512)
+        values = [munich.probability(x, y, e) for e in (0.2, 0.8, 2.0, 6.0)]
+        assert values == sorted(values)
+
+
+class TestFilteredProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        pair=uncertain_pairs(),
+        window=st.integers(min_value=0, max_value=4),
+        decay=st.floats(min_value=0.0, max_value=2.0),
+    )
+    def test_metric_axioms(self, pair, window, decay):
+        x, y = pair
+        filtered = FilteredEuclidean("uema", window=window, decay=decay)
+        dxy = filtered.distance(x, y)
+        assert dxy >= 0.0
+        assert filtered.distance(x, x) == pytest.approx(0.0, abs=1e-9)
+        assert dxy == pytest.approx(filtered.distance(y, x), rel=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(pair=uncertain_pairs(), window=st.integers(0, 4))
+    def test_triangle_inequality(self, pair, window):
+        """Filtered Euclidean is a pseudometric: filtering is a fixed map
+        per error model, so the triangle inequality carries over."""
+        x, y = pair
+        z = UncertainTimeSeries(
+            (x.observations + y.observations) / 2.0, x.error_model
+        )
+        filtered = FilteredEuclidean("uma", window=window)
+        assert filtered.distance(x, y) <= (
+            filtered.distance(x, z) + filtered.distance(z, y) + 1e-7
+        )
+
+
+class TestConsistencyAcrossMeasures:
+    @settings(max_examples=20, deadline=None)
+    @given(pair=uncertain_pairs())
+    def test_dust_and_euclidean_agree_on_ordering_normal(self, pair):
+        """With constant normal errors, DUST's scaled-Euclidean form means
+        all measures agree who of two candidates is closer."""
+        x, y = pair
+        if x.error_model[0].family != "normal":
+            return
+        closer = UncertainTimeSeries(
+            x.observations + 0.5 * (y.observations - x.observations),
+            x.error_model,
+        )
+        euclid_says = euclidean(x.observations, closer.observations) <= euclidean(
+            x.observations, y.observations
+        )
+        dust_says = _DUST.distance(x, closer) <= _DUST.distance(x, y) + 1e-9
+        assert euclid_says == dust_says

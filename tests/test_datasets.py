@@ -1,0 +1,237 @@
+"""Unit tests for repro.datasets (generators, specs, loaders)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DatasetError, InvalidParameterError, make_rng
+from repro.datasets import (
+    PAPER_DATASET_NAMES,
+    UCR_SPECS,
+    control_chart,
+    cylinder_bell_funnel,
+    fourier_template,
+    generate_dataset,
+    get_spec,
+    load_ucr_directory,
+    load_ucr_file,
+    parse_ucr_line,
+    scaled_spec,
+    smooth_warp,
+    spike_train,
+    warped_instance,
+)
+from repro.distances import euclidean_matrix
+from repro.stats import chi_square_uniformity_test
+
+
+class TestSpecs:
+    def test_seventeen_datasets(self):
+        assert len(UCR_SPECS) == 17
+        assert len(PAPER_DATASET_NAMES) == 17
+        assert set(PAPER_DATASET_NAMES) == set(UCR_SPECS)
+
+    def test_real_metadata_sample(self):
+        gun_point = get_spec("GunPoint")
+        assert gun_point.n_series == 200
+        assert gun_point.length == 150
+        assert gun_point.n_classes == 2
+
+    def test_average_metadata_matches_paper(self):
+        """Paper: 'on average 502 time series of length 290 per dataset'."""
+        n = np.mean([spec.n_series for spec in UCR_SPECS.values()])
+        length = np.mean([spec.length for spec in UCR_SPECS.values()])
+        assert n == pytest.approx(502, rel=0.1)
+        assert length == pytest.approx(290, rel=0.1)
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            get_spec("NotADataset")
+
+    def test_scaled_spec_caps(self):
+        spec = scaled_spec(get_spec("FaceAll"), n_series=40, length=32)
+        assert spec.n_series == 40
+        assert spec.length == 32
+        assert spec.n_classes <= 20
+
+    def test_scaled_spec_never_exceeds_real_size(self):
+        spec = scaled_spec(get_spec("Coffee"), n_series=10_000)
+        assert spec.n_series == 56
+
+    def test_scaled_spec_rejects_tiny(self):
+        with pytest.raises(DatasetError):
+            scaled_spec(get_spec("Coffee"), n_series=1)
+
+    def test_hardness_encoded_in_separation(self):
+        """Section 6: Adiac/SwedishLeaf hard, FaceFour/OSULeaf easy."""
+        assert get_spec("Adiac").separation < get_spec("FaceFour").separation
+        assert get_spec("SwedishLeaf").separation < get_spec("OSULeaf").separation
+
+
+class TestPrimitiveGenerators:
+    def test_cbf_classes_differ_in_shape(self):
+        rng = make_rng(0)
+        cylinder = cylinder_bell_funnel(rng, 128, 0)
+        assert cylinder.size == 128
+        with pytest.raises(InvalidParameterError):
+            cylinder_bell_funnel(rng, 128, 3)
+
+    def test_control_chart_trend_classes(self):
+        rng = make_rng(1)
+        increasing = control_chart(rng, 60, 2)
+        decreasing = control_chart(rng, 60, 3)
+        assert increasing[-10:].mean() > increasing[:10].mean()
+        assert decreasing[-10:].mean() < decreasing[:10].mean()
+
+    def test_control_chart_validates_class(self):
+        with pytest.raises(InvalidParameterError):
+            control_chart(make_rng(2), 60, 6)
+
+    def test_fourier_template_smoothness(self):
+        template = fourier_template(make_rng(3), 256)
+        point_diffs = np.abs(np.diff(template))
+        assert point_diffs.max() < 0.5  # band-limited, no jumps
+
+    def test_fourier_template_validation(self):
+        with pytest.raises(InvalidParameterError):
+            fourier_template(make_rng(4), 64, n_harmonics=0)
+
+    def test_smooth_warp_monotone(self):
+        warp = smooth_warp(make_rng(5), 200, strength=0.05)
+        assert np.all(np.diff(warp) >= 0.0)
+        assert warp[0] >= 0.0 and warp[-1] <= 1.0
+
+    def test_smooth_warp_validation(self):
+        with pytest.raises(InvalidParameterError):
+            smooth_warp(make_rng(6), 100, strength=-0.1)
+
+    def test_warped_instance_close_to_template(self):
+        template = fourier_template(make_rng(7), 128)
+        instance = warped_instance(template, make_rng(8), noise_std=0.01)
+        correlation = np.corrcoef(template, instance)[0, 1]
+        assert correlation > 0.9
+
+    def test_spike_train_features(self):
+        rng = make_rng(9)
+        with_spike = spike_train(rng, 200, has_spike=True, has_ramp=False)
+        without = spike_train(rng, 200, has_spike=False, has_ramp=False)
+        assert with_spike.max() > without.max() + 1.0
+
+
+class TestGenerateDataset:
+    @pytest.mark.parametrize("name", PAPER_DATASET_NAMES)
+    def test_all_datasets_generate(self, name):
+        collection = generate_dataset(name, seed=3, n_series=20, length=32)
+        assert len(collection) == 20
+        assert collection.series_length == 32
+        assert collection.name == name
+
+    def test_full_size_metadata(self):
+        collection = generate_dataset("Coffee", seed=3)
+        assert len(collection) == 56
+        assert collection.series_length == 286
+
+    def test_znormalized_by_default(self):
+        collection = generate_dataset("Beef", seed=3, n_series=10, length=64)
+        for series in collection:
+            assert abs(series.values.mean()) < 1e-9
+            assert series.values.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_raw_option(self):
+        collection = generate_dataset(
+            "syntheticControl", seed=3, n_series=12, length=60,
+            znormalize=False,
+        )
+        # Raw control-chart values hover around 30.
+        assert collection.values_matrix().mean() == pytest.approx(30.0, abs=15.0)
+
+    def test_deterministic(self):
+        a = generate_dataset("Trace", seed=9, n_series=10, length=40)
+        b = generate_dataset("Trace", seed=9, n_series=10, length=40)
+        assert np.array_equal(a.values_matrix(), b.values_matrix())
+
+    def test_seed_changes_data(self):
+        a = generate_dataset("Trace", seed=9, n_series=10, length=40)
+        b = generate_dataset("Trace", seed=10, n_series=10, length=40)
+        assert not np.array_equal(a.values_matrix(), b.values_matrix())
+
+    def test_labels_cover_classes(self):
+        collection = generate_dataset("CBF", seed=3, n_series=30, length=64)
+        assert set(collection.labels()) == {0, 1, 2}
+
+    def test_uniformity_rejected_everywhere(self):
+        """The Section 4.1.1 property: no dataset has uniform values."""
+        for name in PAPER_DATASET_NAMES:
+            collection = generate_dataset(name, seed=3, n_series=16, length=48)
+            result = chi_square_uniformity_test(
+                collection.values_matrix().ravel()
+            )
+            assert result.rejects_uniformity(alpha=0.01), name
+
+    def test_hardness_ordering_in_average_distance(self):
+        """Tight datasets must come out tighter than spread ones."""
+        def average_distance(name):
+            collection = generate_dataset(name, seed=3, n_series=30, length=64)
+            values = collection.values_matrix()
+            matrix = euclidean_matrix(values, values)
+            np.fill_diagonal(matrix, np.nan)
+            return np.nanmean(matrix)
+
+        assert average_distance("Adiac") < average_distance("FaceFour")
+        assert average_distance("SwedishLeaf") < average_distance("OSULeaf")
+
+
+class TestLoaders:
+    def test_parse_line_whitespace(self):
+        label, values = parse_ucr_line("2 0.5 1.5 -0.5")
+        assert label == 2
+        assert values.tolist() == [0.5, 1.5, -0.5]
+
+    def test_parse_line_comma(self):
+        label, values = parse_ucr_line("1,0.1,0.2")
+        assert label == 1
+        assert values.tolist() == [0.1, 0.2]
+
+    def test_parse_blank_line(self):
+        assert parse_ucr_line("   \n") is None
+
+    def test_parse_malformed(self):
+        with pytest.raises(DatasetError):
+            parse_ucr_line("1")
+        with pytest.raises(DatasetError):
+            parse_ucr_line("a b c")
+
+    def test_load_file_and_directory(self, tmp_path):
+        train = tmp_path / "Demo_TRAIN"
+        test = tmp_path / "Demo_TEST"
+        train.write_text("1 0.0 1.0 2.0\n2 3.0 4.0 5.0\n")
+        test.write_text("1 6.0 7.0 8.0\n")
+        series = load_ucr_file(str(train))
+        assert len(series) == 2
+        assert series[0].label == 1
+
+        collection = load_ucr_directory(str(tmp_path), "Demo", znormalize=False)
+        assert len(collection) == 3
+        assert collection.series_length == 3
+
+    def test_load_directory_znormalizes(self, tmp_path):
+        (tmp_path / "D_TRAIN").write_text("1 0.0 1.0 2.0 5.0\n")
+        collection = load_ucr_directory(str(tmp_path), "D")
+        assert abs(collection[0].values.mean()) < 1e-9
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_ucr_file(str(tmp_path / "missing"))
+        with pytest.raises(DatasetError):
+            load_ucr_directory(str(tmp_path), "Nothing")
+
+    def test_load_inconsistent_lengths(self, tmp_path):
+        (tmp_path / "Bad_TRAIN").write_text("1 0.0 1.0\n2 0.0 1.0 2.0\n")
+        with pytest.raises(DatasetError):
+            load_ucr_directory(str(tmp_path), "Bad")
+
+    def test_load_empty_file(self, tmp_path):
+        (tmp_path / "Empty_TRAIN").write_text("\n\n")
+        with pytest.raises(DatasetError):
+            load_ucr_file(str(tmp_path / "Empty_TRAIN"))

@@ -1,0 +1,157 @@
+"""Unit tests for repro.distances.dtw."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import InvalidParameterError
+from repro.distances import (
+    dtw_distance,
+    dtw_path,
+    euclidean,
+    keogh_envelope,
+    lb_keogh,
+    lb_kim,
+)
+
+SHORT = hnp.arrays(
+    np.float64, st.integers(min_value=2, max_value=16),
+    elements=st.floats(-10.0, 10.0),
+)
+
+
+class TestDtwDistance:
+    def test_identical_series_zero(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert dtw_distance(x, x) == 0.0
+
+    def test_window_zero_equals_euclidean(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=20), rng.normal(size=20)
+        assert dtw_distance(x, y, window=0) == pytest.approx(euclidean(x, y))
+
+    def test_unconstrained_leq_banded(self):
+        rng = np.random.default_rng(1)
+        x, y = rng.normal(size=15), rng.normal(size=15)
+        unconstrained = dtw_distance(x, y)
+        for window in (0, 2, 5, 14):
+            assert unconstrained <= dtw_distance(x, y, window=window) + 1e-9
+
+    def test_handles_shift_better_than_euclidean(self):
+        t = np.linspace(0.0, 4.0 * np.pi, 60)
+        x, y = np.sin(t), np.sin(t + 0.4)
+        assert dtw_distance(x, y) < euclidean(x, y)
+
+    def test_different_lengths(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        y = np.array([0.0, 1.5, 3.0])
+        assert dtw_distance(x, y) >= 0.0
+
+    def test_band_widened_for_unequal_lengths(self):
+        x = np.zeros(10)
+        y = np.zeros(4)
+        # window=0 alone could not align different lengths; the implementation
+        # widens it to |n - m|, so this must succeed.
+        assert dtw_distance(x, y, window=0) == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            dtw_distance(np.array([]), np.array([1.0]))
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(InvalidParameterError):
+            dtw_distance(np.ones(3), np.ones(3), window=-1)
+
+    def test_custom_point_cost(self):
+        x, y = np.array([0.0, 1.0]), np.array([0.0, 2.0])
+        doubled = dtw_distance(
+            x, y, point_cost=lambda a, b: 2.0 * (a - b) ** 2
+        )
+        standard = dtw_distance(x, y)
+        assert doubled == pytest.approx(np.sqrt(2.0) * standard)
+
+    @settings(max_examples=30, deadline=None)
+    @given(x=SHORT, y=SHORT)
+    def test_symmetry_property(self, x, y):
+        assert dtw_distance(x, y) == pytest.approx(dtw_distance(y, x))
+
+    @settings(max_examples=30, deadline=None)
+    @given(x=SHORT)
+    def test_reflexive_property(self, x):
+        assert dtw_distance(x, x) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestDtwPath:
+    def test_distance_matches_fast_version(self):
+        rng = np.random.default_rng(2)
+        x, y = rng.normal(size=12), rng.normal(size=9)
+        d_path, path = dtw_path(x, y)
+        assert d_path == pytest.approx(dtw_distance(x, y))
+        assert path[0] == (0, 0)
+        assert path[-1] == (11, 8)
+
+    def test_path_monotone(self):
+        rng = np.random.default_rng(3)
+        x, y = rng.normal(size=10), rng.normal(size=10)
+        _, path = dtw_path(x, y)
+        for (i0, j0), (i1, j1) in zip(path, path[1:]):
+            assert 0 <= i1 - i0 <= 1
+            assert 0 <= j1 - j0 <= 1
+            assert (i1 - i0) + (j1 - j0) >= 1
+
+    def test_path_cost_equals_distance(self):
+        rng = np.random.default_rng(4)
+        x, y = rng.normal(size=8), rng.normal(size=8)
+        distance, path = dtw_path(x, y)
+        cost = sum((x[i] - y[j]) ** 2 for i, j in path)
+        assert np.sqrt(cost) == pytest.approx(distance)
+
+
+class TestLowerBounds:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_lb_kim_lower_bounds_dtw(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=12))
+        elements = st.floats(-10.0, 10.0)
+        x = data.draw(hnp.arrays(np.float64, n, elements=elements))
+        y = data.draw(hnp.arrays(np.float64, n, elements=elements))
+        assert lb_kim(x, y) <= dtw_distance(x, y) + 1e-7
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_lb_keogh_lower_bounds_banded_dtw(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=12))
+        window = data.draw(st.integers(min_value=0, max_value=4))
+        elements = st.floats(-10.0, 10.0)
+        x = data.draw(hnp.arrays(np.float64, n, elements=elements))
+        y = data.draw(hnp.arrays(np.float64, n, elements=elements))
+        assert lb_keogh(x, y, window) <= dtw_distance(x, y, window=window) + 1e-7
+
+    def test_envelope_contains_series(self):
+        rng = np.random.default_rng(5)
+        y = rng.normal(size=30)
+        lower, upper = keogh_envelope(y, 3)
+        assert np.all(lower <= y)
+        assert np.all(y <= upper)
+
+    def test_envelope_window_zero_is_series(self):
+        y = np.random.default_rng(6).normal(size=10)
+        lower, upper = keogh_envelope(y, 0)
+        assert np.array_equal(lower, y)
+        assert np.array_equal(upper, y)
+
+    def test_lb_keogh_zero_for_series_inside_envelope(self):
+        y = np.array([0.0, 1.0, 2.0, 1.0, 0.0])
+        assert lb_keogh(y, y, 2) == 0.0
+
+    def test_lb_kim_validates(self):
+        with pytest.raises(InvalidParameterError):
+            lb_kim(np.array([]), np.array([1.0]))
+
+    def test_envelope_rejects_negative_window(self):
+        with pytest.raises(InvalidParameterError):
+            keogh_envelope(np.ones(5), -1)

@@ -1,0 +1,195 @@
+"""Unit tests for the moving-average filters (Equations 15–18)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    ErrorModel,
+    InvalidParameterError,
+    LengthMismatchError,
+    TimeSeries,
+    UncertainTimeSeries,
+    make_rng,
+)
+from repro.distances import (
+    FilteredEuclidean,
+    exponential_moving_average,
+    moving_average,
+    uema,
+    uema_distance,
+    uma,
+    uma_distance,
+)
+from repro.distributions import NormalError
+
+
+class TestMovingAverage:
+    def test_window_zero_is_identity(self):
+        values = np.array([1.0, 5.0, -2.0])
+        assert np.array_equal(moving_average(values, 0), values)
+
+    def test_interior_value_is_plain_mean(self):
+        values = np.array([0.0, 3.0, 6.0, 9.0, 12.0])
+        out = moving_average(values, 1)
+        assert out[2] == pytest.approx((3.0 + 6.0 + 9.0) / 3.0)
+
+    def test_boundary_truncates_window(self):
+        values = np.array([0.0, 3.0, 6.0])
+        out = moving_average(values, 1)
+        assert out[0] == pytest.approx((0.0 + 3.0) / 2.0)
+        assert out[-1] == pytest.approx((3.0 + 6.0) / 2.0)
+
+    def test_constant_series_unchanged(self):
+        values = np.full(10, 4.0)
+        assert np.allclose(moving_average(values, 3), 4.0)
+
+    def test_reduces_noise_variance(self):
+        noise = make_rng(0).normal(size=2000)
+        filtered = moving_average(noise, 2)
+        assert filtered.std() < noise.std() * 0.6
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(InvalidParameterError):
+            moving_average(np.ones(5), -1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            moving_average(np.array([]), 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=hnp.arrays(
+            np.float64, st.integers(min_value=1, max_value=64),
+            elements=st.floats(-1e3, 1e3),
+        ),
+        window=st.integers(min_value=0, max_value=8),
+    )
+    def test_output_within_input_range(self, values, window):
+        out = moving_average(values, window)
+        assert out.min() >= values.min() - 1e-9
+        assert out.max() <= values.max() + 1e-9
+
+
+class TestExponentialMovingAverage:
+    def test_zero_decay_equals_moving_average(self):
+        values = make_rng(1).normal(size=30)
+        assert np.allclose(
+            exponential_moving_average(values, 3, decay=0.0),
+            moving_average(values, 3),
+        )
+
+    def test_large_decay_approaches_identity(self):
+        values = make_rng(2).normal(size=30)
+        out = exponential_moving_average(values, 3, decay=50.0)
+        assert np.allclose(out, values, atol=1e-9)
+
+    def test_center_weighted_more(self):
+        # Single spike: EMA keeps more of the spike than plain MA.
+        values = np.zeros(11)
+        values[5] = 1.0
+        ema_out = exponential_moving_average(values, 2, decay=1.0)
+        ma_out = moving_average(values, 2)
+        assert ema_out[5] > ma_out[5]
+
+    def test_rejects_negative_decay(self):
+        with pytest.raises(InvalidParameterError):
+            exponential_moving_average(np.ones(5), 2, decay=-0.1)
+
+
+class TestUma:
+    def test_constant_stds_scale_input(self):
+        """With constant s, UMA = MA / s (Equation 17)."""
+        values = make_rng(3).normal(size=25)
+        stds = np.full(25, 2.0)
+        assert np.allclose(uma(values, stds, 2), moving_average(values, 2) / 2.0)
+
+    def test_uncertain_points_down_weighted(self):
+        values = np.array([1.0, 1.0, 100.0, 1.0, 1.0])
+        trusted = uma(values, np.array([1.0, 1.0, 1.0, 1.0, 1.0]), 1)
+        distrusted = uma(values, np.array([1.0, 1.0, 100.0, 1.0, 1.0]), 1)
+        # The spike contributes ~nothing when its sigma is large.
+        assert abs(distrusted[2]) < abs(trusted[2]) / 10.0
+
+    def test_rejects_non_positive_stds(self):
+        with pytest.raises(InvalidParameterError):
+            uma(np.ones(4), np.array([1.0, 0.0, 1.0, 1.0]), 1)
+
+    def test_rejects_mismatched_stds(self):
+        with pytest.raises(LengthMismatchError):
+            uma(np.ones(4), np.ones(3), 1)
+
+
+class TestUema:
+    def test_zero_decay_equals_uma(self):
+        values = make_rng(4).normal(size=25)
+        stds = np.abs(make_rng(5).normal(size=25)) + 0.5
+        assert np.allclose(uema(values, stds, 3, 0.0), uma(values, stds, 3))
+
+    def test_window_zero_scales_by_inverse_std(self):
+        values = np.array([2.0, 4.0])
+        stds = np.array([2.0, 4.0])
+        assert np.allclose(uema(values, stds, 0, 1.0), [1.0, 1.0])
+
+    def test_combines_decay_and_confidence(self):
+        values = np.array([0.0, 10.0, 0.0])
+        stds = np.array([1.0, 5.0, 1.0])
+        out = uema(values, stds, 1, decay=1.0)
+        # Center output pulled down by its own large sigma.
+        assert out[1] < values[1] / stds[1]
+
+
+class TestFilteredEuclidean:
+    def test_name_contains_parameters(self):
+        assert FilteredEuclidean("uema", 2, 1.0).name == "UEMA(w=2, lambda=1)"
+        assert FilteredEuclidean("ma", 3).name == "MA(w=3)"
+
+    def test_invalid_kind(self):
+        with pytest.raises(InvalidParameterError):
+            FilteredEuclidean("median", 2)
+
+    def test_ema_requires_decay(self):
+        with pytest.raises(InvalidParameterError):
+            FilteredEuclidean("ema", 2, decay=None)
+
+    def test_uses_error_stds_flag(self):
+        assert FilteredEuclidean("uma").uses_error_stds
+        assert not FilteredEuclidean("ma").uses_error_stds
+
+    def test_distance_zero_for_same_series(self, uncertain_pair):
+        x, _ = uncertain_pair
+        assert FilteredEuclidean("uema").distance(x, x) == 0.0
+
+    def test_distance_symmetric(self, uncertain_pair):
+        x, y = uncertain_pair
+        filtered = FilteredEuclidean("uma")
+        assert filtered.distance(x, y) == pytest.approx(filtered.distance(y, x))
+
+    def test_uma_requires_stds_for_raw_values(self):
+        with pytest.raises(InvalidParameterError):
+            FilteredEuclidean("uma").filter_values(np.ones(5))
+
+    def test_convenience_wrappers(self, uncertain_pair):
+        x, y = uncertain_pair
+        assert uma_distance(x, y) == pytest.approx(
+            FilteredEuclidean("uma").distance(x, y)
+        )
+        assert uema_distance(x, y) == pytest.approx(
+            FilteredEuclidean("uema").distance(x, y)
+        )
+
+    def test_filtering_brings_noisy_copies_closer(self):
+        """The paper's core intuition: filtering suppresses per-point noise."""
+        rng = make_rng(6)
+        base = np.sin(np.linspace(0.0, 3.0 * np.pi, 120))
+        model = ErrorModel.constant(NormalError(0.5), 120)
+        a = UncertainTimeSeries(base + model.sample(rng), model)
+        b = UncertainTimeSeries(base + model.sample(rng), model)
+        raw = float(np.linalg.norm(a.observations - b.observations))
+        filtered = FilteredEuclidean("uma", window=2)
+        scaled_raw = raw / 0.5  # UMA divides by sigma; compare like with like
+        assert filtered.distance(a, b) < scaled_raw * 0.6

@@ -1,0 +1,131 @@
+"""Unit tests for repro.distances.lp and the distance registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import InvalidParameterError, LengthMismatchError
+from repro.distances import (
+    euclidean,
+    euclidean_matrix,
+    get_distance,
+    lp_distance,
+    manhattan,
+    pairwise_matrix,
+    register_distance,
+    registered_distances,
+    squared_euclidean,
+)
+
+VECTORS = hnp.arrays(
+    np.float64, st.integers(min_value=1, max_value=32),
+    elements=st.floats(-100.0, 100.0),
+)
+
+
+class TestEuclidean:
+    def test_simple_value(self):
+        assert euclidean(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+    def test_identity(self):
+        x = np.array([1.0, -2.0, 3.0])
+        assert euclidean(x, x) == 0.0
+
+    def test_squared_consistent(self):
+        x, y = np.array([1.0, 2.0]), np.array([4.0, 6.0])
+        assert squared_euclidean(x, y) == pytest.approx(euclidean(x, y) ** 2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(LengthMismatchError):
+            euclidean(np.zeros(3), np.zeros(4))
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_metric_properties(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=16))
+        elements = st.floats(-100.0, 100.0)
+        x = data.draw(hnp.arrays(np.float64, n, elements=elements))
+        y = data.draw(hnp.arrays(np.float64, n, elements=elements))
+        z = data.draw(hnp.arrays(np.float64, n, elements=elements))
+        dxy = euclidean(x, y)
+        assert dxy >= 0.0
+        assert dxy == pytest.approx(euclidean(y, x))
+        assert euclidean(x, z) <= dxy + euclidean(y, z) + 1e-7
+
+
+class TestLp:
+    def test_manhattan(self):
+        assert manhattan(np.array([0.0, 0.0]), np.array([1.0, -2.0])) == 3.0
+
+    def test_chebyshev(self):
+        x, y = np.array([0.0, 0.0]), np.array([1.0, -2.0])
+        assert lp_distance(x, y, p=np.inf) == 2.0
+
+    def test_p3(self):
+        x, y = np.zeros(2), np.array([1.0, 1.0])
+        assert lp_distance(x, y, p=3.0) == pytest.approx(2.0 ** (1.0 / 3.0))
+
+    def test_rejects_p_below_one(self):
+        with pytest.raises(InvalidParameterError):
+            lp_distance(np.zeros(2), np.ones(2), p=0.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_lp_monotone_in_p(self, data):
+        """||v||_p is non-increasing in p."""
+        n = data.draw(st.integers(min_value=1, max_value=8))
+        x = data.draw(
+            hnp.arrays(np.float64, n, elements=st.floats(-50.0, 50.0))
+        )
+        y = np.zeros(n)
+        d1 = lp_distance(x, y, p=1.0)
+        d2 = lp_distance(x, y, p=2.0)
+        d4 = lp_distance(x, y, p=4.0)
+        dinf = lp_distance(x, y, p=np.inf)
+        assert d1 + 1e-9 >= d2 >= d4 - 1e-9
+        assert d4 + 1e-9 >= dinf
+
+
+class TestEuclideanMatrix:
+    def test_matches_pairwise_loop(self):
+        rng = np.random.default_rng(0)
+        rows = rng.normal(size=(5, 12))
+        columns = rng.normal(size=(7, 12))
+        fast = euclidean_matrix(rows, columns)
+        slow = pairwise_matrix(euclidean, rows, columns)
+        assert np.allclose(fast, slow)
+
+    def test_diagonal_zero_for_self(self):
+        rows = np.random.default_rng(1).normal(size=(6, 9))
+        matrix = euclidean_matrix(rows, rows)
+        assert np.allclose(np.diag(matrix), 0.0, atol=1e-6)
+
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            euclidean_matrix(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        for name in ("euclidean", "manhattan", "dtw"):
+            assert callable(get_distance(name))
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            get_distance("nope")
+
+    def test_register_and_overwrite_guard(self):
+        register_distance("test-custom", euclidean, overwrite=True)
+        with pytest.raises(InvalidParameterError):
+            register_distance("test-custom", euclidean)
+        register_distance("test-custom", manhattan, overwrite=True)
+        assert get_distance("test-custom") is manhattan
+
+    def test_snapshot_is_copy(self):
+        snapshot = registered_distances()
+        snapshot["euclidean"] = None
+        assert get_distance("euclidean") is not None

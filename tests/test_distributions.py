@@ -1,0 +1,235 @@
+"""Unit tests for repro.distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DistributionError, make_rng
+from repro.distributions import (
+    FAMILIES,
+    PAPER_FAMILIES,
+    ExponentialError,
+    MixtureError,
+    NormalError,
+    UniformError,
+    make_distribution,
+    with_tails,
+)
+
+ALL_FAMILIES = [NormalError, UniformError, ExponentialError]
+STDS = st.floats(min_value=0.05, max_value=5.0, allow_nan=False)
+
+
+class TestFactory:
+    def test_registry_contains_paper_families(self):
+        for family in PAPER_FAMILIES:
+            assert family in FAMILIES
+
+    @pytest.mark.parametrize("family", PAPER_FAMILIES)
+    def test_make_distribution(self, family):
+        dist = make_distribution(family, 0.4)
+        assert dist.family == family
+        assert dist.std == pytest.approx(0.4)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(DistributionError):
+            make_distribution("cauchy", 0.5)
+
+    @pytest.mark.parametrize("bad_std", [0.0, -1.0, np.nan, np.inf])
+    def test_invalid_std_rejected(self, bad_std):
+        with pytest.raises(DistributionError):
+            NormalError(bad_std)
+
+
+class TestValueObjectSemantics:
+    def test_equality_within_family(self):
+        assert NormalError(0.3) == NormalError(0.3)
+        assert NormalError(0.3) != NormalError(0.4)
+
+    def test_inequality_across_families(self):
+        assert NormalError(0.3) != UniformError(0.3)
+
+    def test_hashability(self):
+        table = {NormalError(0.3): "a", UniformError(0.3): "b"}
+        assert table[NormalError(0.3)] == "a"
+
+    def test_with_std(self):
+        rescaled = UniformError(0.2).with_std(0.8)
+        assert isinstance(rescaled, UniformError)
+        assert rescaled.std == pytest.approx(0.8)
+
+
+@pytest.mark.parametrize("cls", ALL_FAMILIES)
+class TestFamilyContracts:
+    """Contracts every error family must satisfy."""
+
+    def test_zero_mean_samples(self, cls):
+        dist = cls(0.7)
+        samples = dist.sample(make_rng(5), 200_000)
+        assert abs(samples.mean()) < 0.01
+
+    def test_sample_std_matches(self, cls):
+        dist = cls(0.7)
+        samples = dist.sample(make_rng(6), 200_000)
+        assert samples.std() == pytest.approx(0.7, rel=0.02)
+
+    def test_pdf_non_negative(self, cls):
+        dist = cls(0.5)
+        grid = np.linspace(-5.0, 5.0, 501)
+        assert np.all(dist.pdf(grid) >= 0.0)
+
+    def test_pdf_integrates_to_one(self, cls):
+        dist = cls(0.5)
+        low, high = dist.support()
+        grid = np.linspace(low, high, 20_001)
+        assert np.trapezoid(dist.pdf(grid), grid) == pytest.approx(1.0, abs=1e-3)
+
+    def test_cdf_monotone_and_bounded(self, cls):
+        dist = cls(0.9)
+        grid = np.linspace(-6.0, 6.0, 301)
+        cdf = dist.cdf(grid)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert np.all((cdf >= 0.0) & (cdf <= 1.0))
+
+    def test_cdf_matches_empirical(self, cls):
+        dist = cls(0.6)
+        samples = dist.sample(make_rng(7), 100_000)
+        for q in (-0.5, 0.0, 0.5):
+            empirical = np.mean(samples <= q)
+            assert float(dist.cdf(np.array(q))) == pytest.approx(
+                empirical, abs=0.01
+            )
+
+    def test_variance_property(self, cls):
+        assert cls(0.4).variance == pytest.approx(0.16)
+
+    def test_mean_is_zero(self, cls):
+        assert cls(1.3).mean == 0.0
+
+
+class TestUniformSpecifics:
+    def test_half_width(self):
+        dist = UniformError(1.0)
+        assert dist.half_width == pytest.approx(np.sqrt(3.0))
+
+    def test_pdf_zero_outside_support(self):
+        dist = UniformError(0.5)
+        a = dist.half_width
+        assert float(dist.pdf(np.array(a * 1.01))) == 0.0
+        assert float(dist.pdf(np.array(-a * 1.01))) == 0.0
+
+    def test_samples_within_support(self):
+        dist = UniformError(0.5)
+        samples = dist.sample(make_rng(8), 10_000)
+        assert np.all(np.abs(samples) <= dist.half_width)
+
+
+class TestExponentialSpecifics:
+    def test_left_edge(self):
+        dist = ExponentialError(0.5)
+        assert float(dist.pdf(np.array(-0.51))) == 0.0
+        assert float(dist.pdf(np.array(-0.49))) > 0.0
+
+    def test_skewness_positive(self):
+        samples = ExponentialError(1.0).sample(make_rng(9), 100_000)
+        skew = np.mean(((samples - samples.mean()) / samples.std()) ** 3)
+        assert skew == pytest.approx(2.0, abs=0.15)
+
+    def test_samples_respect_lower_bound(self):
+        dist = ExponentialError(0.7)
+        samples = dist.sample(make_rng(10), 10_000)
+        assert np.all(samples >= -0.7)
+
+
+class TestMixture:
+    def test_std_is_combined(self):
+        mixture = MixtureError(
+            [NormalError(1.0), NormalError(2.0)], [0.5, 0.5]
+        )
+        assert mixture.std == pytest.approx(np.sqrt(0.5 + 2.0))
+
+    def test_weights_normalized(self):
+        mixture = MixtureError([NormalError(1.0), NormalError(1.0)], [2.0, 2.0])
+        assert np.allclose(mixture.weights, [0.5, 0.5])
+
+    def test_pdf_is_weighted_sum(self):
+        a, b = NormalError(0.5), NormalError(1.5)
+        mixture = MixtureError([a, b], [0.3, 0.7])
+        grid = np.linspace(-3.0, 3.0, 11)
+        expected = 0.3 * a.pdf(grid) + 0.7 * b.pdf(grid)
+        assert np.allclose(mixture.pdf(grid), expected)
+
+    def test_sampling_moments(self):
+        mixture = MixtureError(
+            [NormalError(0.5), UniformError(1.5)], [0.4, 0.6]
+        )
+        samples = mixture.sample(make_rng(11), 200_000)
+        assert abs(samples.mean()) < 0.02
+        assert samples.std() == pytest.approx(mixture.std, rel=0.02)
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(DistributionError):
+            MixtureError([], [])
+
+    def test_weight_component_mismatch_rejected(self):
+        with pytest.raises(DistributionError):
+            MixtureError([NormalError(1.0)], [0.5, 0.5])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(DistributionError):
+            MixtureError([NormalError(1.0), NormalError(2.0)], [0.5, -0.5])
+
+    def test_with_std_rescales(self):
+        mixture = MixtureError([NormalError(1.0), UniformError(2.0)], [0.5, 0.5])
+        rescaled = mixture.with_std(0.5)
+        assert rescaled.std == pytest.approx(0.5)
+
+    def test_equality(self):
+        a = MixtureError([NormalError(1.0), UniformError(2.0)], [0.5, 0.5])
+        b = MixtureError([NormalError(1.0), UniformError(2.0)], [0.5, 0.5])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestWithTails:
+    def test_pdf_never_zero_within_wide_range(self):
+        tailed = with_tails(UniformError(0.5))
+        grid = np.linspace(-8.0, 8.0, 1001)
+        assert np.all(tailed.pdf(grid) > 0.0)
+
+    def test_mass_mostly_base(self):
+        tailed = with_tails(UniformError(0.5), tail_weight=0.01)
+        assert tailed.weights[0] == pytest.approx(0.99)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DistributionError):
+            with_tails(UniformError(0.5), tail_weight=0.0)
+        with pytest.raises(DistributionError):
+            with_tails(UniformError(0.5), tail_scale=-1.0)
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(std=STDS, q=st.floats(-10.0, 10.0))
+    def test_normal_cdf_pdf_consistency(self, std, q):
+        """cdf' ≈ pdf (finite differences)."""
+        dist = NormalError(std)
+        h = 1e-5 * max(std, 1.0)
+        derivative = (
+            float(dist.cdf(np.array(q + h))) - float(dist.cdf(np.array(q - h)))
+        ) / (2 * h)
+        assert derivative == pytest.approx(float(dist.pdf(np.array(q))),
+                                           abs=1e-4 / std)
+
+    @settings(max_examples=30, deadline=None)
+    @given(std=STDS)
+    def test_support_contains_mass(self, std):
+        for cls in ALL_FAMILIES:
+            dist = cls(std)
+            low, high = dist.support()
+            mass = float(dist.cdf(np.array(high))) - float(
+                dist.cdf(np.array(low))
+            )
+            assert mass > 0.999

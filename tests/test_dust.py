@@ -1,0 +1,239 @@
+"""Unit tests for repro.dust (phi, tables, distance)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ErrorModel,
+    LengthMismatchError,
+    TimeSeries,
+    UncertainTimeSeries,
+    make_rng,
+)
+from repro.distances import euclidean
+from repro.distributions import (
+    ExponentialError,
+    NormalError,
+    UniformError,
+    with_tails,
+)
+from repro.dust import (
+    Dust,
+    DustTable,
+    DustTableCache,
+    phi,
+    phi_normal_closed_form,
+    phi_numeric,
+    phi_support_radius,
+)
+from repro.perturbation import perturb
+
+
+def _uncertain(values, distribution):
+    values = np.asarray(values, dtype=np.float64)
+    model = ErrorModel.constant(distribution, values.size)
+    return UncertainTimeSeries(values, model)
+
+
+class TestPhi:
+    def test_numeric_matches_normal_closed_form(self):
+        grid = np.linspace(0.0, 4.0, 21)
+        numeric = phi_numeric(grid, NormalError(0.4), NormalError(0.7))
+        closed = phi_normal_closed_form(grid, 0.4, 0.7)
+        assert np.allclose(numeric, closed, rtol=1e-6)
+
+    def test_dispatch_uses_closed_form_for_normals(self):
+        grid = np.array([0.0, 1.0])
+        assert np.allclose(
+            phi(grid, NormalError(0.3), NormalError(0.3)),
+            phi_normal_closed_form(grid, 0.3, 0.3),
+        )
+
+    def test_phi_maximal_at_zero_for_symmetric_errors(self):
+        grid = np.linspace(0.0, 3.0, 31)
+        for dist in (NormalError(0.5), UniformError(0.5)):
+            values = phi(grid, dist, dist)
+            assert values[0] == values.max()
+
+    def test_phi_symmetric_in_sign(self):
+        # Exact mathematically; tolerance covers trapezoid error at the
+        # exponential pdf's discontinuous left edge.
+        dist = ExponentialError(0.5)
+        left = phi_numeric(np.array([-1.2]), dist, dist)
+        right = phi_numeric(np.array([1.2]), dist, dist)
+        assert left == pytest.approx(right, rel=5e-3)
+
+    def test_uniform_phi_zero_beyond_support(self):
+        """The Section 4.2.1 degeneracy: bounded supports make phi vanish."""
+        dist = UniformError(0.5)
+        radius = phi_support_radius(dist, dist)
+        outside = phi_numeric(np.array([radius * 1.05]), dist, dist)
+        assert outside.item() == 0.0
+
+    def test_phi_integrates_to_one_over_d(self):
+        """phi is the density of e_x - e_y, so it integrates to 1."""
+        dist_x, dist_y = NormalError(0.4), UniformError(0.6)
+        grid = np.linspace(-8.0, 8.0, 4001)
+        values = phi_numeric(grid, dist_x, dist_y)
+        assert np.trapezoid(values, grid) == pytest.approx(1.0, abs=1e-3)
+
+    def test_support_radius_covers_both(self):
+        radius = phi_support_radius(UniformError(1.0), ExponentialError(0.5))
+        assert radius > UniformError(1.0).half_width
+
+
+class TestDustTable:
+    def test_zero_difference_is_zero_distance(self):
+        """Reflexivity: the constant k makes dust(0) = 0."""
+        table = DustTable(NormalError(0.4), NormalError(0.4))
+        assert float(table.dust(np.array(0.0))) == pytest.approx(0.0, abs=1e-9)
+
+    def test_monotone_in_difference(self):
+        table = DustTable(NormalError(0.4), NormalError(0.4))
+        grid = np.linspace(0.0, 5.0, 101)
+        values = table.dust(grid)
+        assert np.all(np.diff(values) >= -1e-9)
+
+    def test_normal_closed_form_value(self):
+        """dust(d)^2 = d^2 / (2 (s_x^2 + s_y^2)) for normal errors."""
+        table = DustTable(NormalError(0.3), NormalError(0.4))
+        d = np.array([0.5, 1.0, 2.0])
+        expected = d / np.sqrt(2.0 * (0.09 + 0.16))
+        assert np.allclose(table.dust(d), expected, rtol=1e-3)
+
+    def test_extrapolation_beyond_radius_continues(self):
+        table = DustTable(NormalError(0.2), NormalError(0.2))
+        inside = float(table.dust(np.array(table.radius * 0.9)))
+        outside = float(table.dust(np.array(table.radius * 1.5)))
+        assert outside > inside
+
+    def test_uniform_with_workaround_finite(self):
+        table = DustTable(UniformError(0.4), UniformError(0.4),
+                          tail_workaround=True)
+        values = table.dust(np.linspace(0.0, 10.0, 50))
+        assert np.all(np.isfinite(values))
+
+    def test_uniform_without_workaround_capped(self):
+        """Without tails, phi hits the floor and dust saturates (finite)."""
+        table = DustTable(UniformError(0.4), UniformError(0.4),
+                          tail_workaround=False)
+        far = table.dust(np.array([3.0, 5.0]))
+        assert np.all(np.isfinite(far))
+
+    def test_symmetry_of_identical_pair(self):
+        dist = ExponentialError(0.6)
+        table = DustTable(dist, dist)
+        d = np.linspace(0.0, 2.0, 9)
+        assert np.allclose(table.dust(d), table.dust(-d))
+
+
+class TestDustTableCache:
+    def test_tables_shared_by_value(self):
+        cache = DustTableCache()
+        a = cache.get(NormalError(0.4), NormalError(0.4))
+        b = cache.get(NormalError(0.4), NormalError(0.4))
+        assert a is b
+        assert len(cache) >= 1
+
+    def test_distinct_pairs_distinct_tables(self):
+        cache = DustTableCache()
+        a = cache.get(NormalError(0.4), NormalError(0.4))
+        b = cache.get(NormalError(0.4), NormalError(0.8))
+        assert a is not b
+
+    def test_clear(self):
+        cache = DustTableCache()
+        cache.get(NormalError(0.4), NormalError(0.4))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestDustDistance:
+    def test_equivalent_to_scaled_euclidean_for_normal(self):
+        """Paper Section 2.3: for normal errors DUST ∝ Euclidean."""
+        rng = make_rng(0)
+        x = _uncertain(rng.normal(size=50), NormalError(0.5))
+        y = _uncertain(rng.normal(size=50), NormalError(0.5))
+        dust = Dust()
+        expected = euclidean(x.observations, y.observations) / np.sqrt(
+            2.0 * (0.25 + 0.25)
+        )
+        assert dust.distance(x, y) == pytest.approx(expected, rel=1e-3)
+
+    def test_reflexive(self, uncertain_pair):
+        x, _ = uncertain_pair
+        assert Dust().distance(x, x) == pytest.approx(0.0, abs=1e-6)
+
+    def test_symmetric_for_identical_models(self, uncertain_pair):
+        x, y = uncertain_pair
+        dust = Dust()
+        assert dust.distance(x, y) == pytest.approx(dust.distance(y, x))
+
+    def test_length_mismatch(self):
+        with pytest.raises(LengthMismatchError):
+            Dust().distance(
+                _uncertain([1.0], NormalError(0.3)),
+                _uncertain([1.0, 2.0], NormalError(0.3)),
+            )
+
+    def test_heterogeneous_models_grouped_correctly(self):
+        """Per-timestamp tables: verify against point-wise evaluation."""
+        rng = make_rng(1)
+        distributions_x = [NormalError(0.3), UniformError(0.5), NormalError(0.3)]
+        distributions_y = [NormalError(0.3), UniformError(0.5), NormalError(0.8)]
+        x = UncertainTimeSeries(rng.normal(size=3), ErrorModel(distributions_x))
+        y = UncertainTimeSeries(rng.normal(size=3), ErrorModel(distributions_y))
+        dust = Dust()
+        total = sum(
+            dust.point_dust(
+                x.observations[i], y.observations[i],
+                distributions_x[i], distributions_y[i],
+            ) ** 2
+            for i in range(3)
+        )
+        assert dust.distance(x, y) == pytest.approx(np.sqrt(total), rel=1e-9)
+
+    def test_down_weights_high_sigma_timestamps(self):
+        """A big difference at a noisy timestamp matters less than the same
+        difference at a precise timestamp — DUST's whole point."""
+        dust = Dust()
+        noisy = dust.point_dust(0.0, 2.0, NormalError(1.5), NormalError(1.5))
+        precise = dust.point_dust(0.0, 2.0, NormalError(0.2), NormalError(0.2))
+        assert noisy < precise
+
+    def test_mixed_error_advantage_mechanism(self):
+        """With correct per-timestamp sigma knowledge, DUST discounts exactly
+        the timestamps that were heavily perturbed (Figure 8 mechanism)."""
+        rng = make_rng(2)
+        n = 60
+        base = np.zeros(n)
+        stds = np.where(np.arange(n) < n // 5, 1.5, 0.2)
+        distributions = [NormalError(float(s)) for s in stds]
+        model = ErrorModel(distributions)
+        x = UncertainTimeSeries(base + model.sample(rng), model)
+        y = UncertainTimeSeries(base + model.sample(rng), model)
+        profile = Dust().dust_squared_profile(x, y)
+        # Noisy prefix contributes less per unit squared difference.
+        observed_sq = (x.observations - y.observations) ** 2
+        ratio_noisy = profile[: n // 5].sum() / observed_sq[: n // 5].sum()
+        ratio_precise = profile[n // 5:].sum() / observed_sq[n // 5:].sum()
+        assert ratio_noisy < ratio_precise / 10.0
+
+    def test_dtw_variant_leq_pointwise(self):
+        """DUST-DTW warps, so it can only reduce the aggregate cost."""
+        rng = make_rng(3)
+        x = _uncertain(np.sin(np.linspace(0, 6, 25)), NormalError(0.4))
+        y = _uncertain(np.sin(np.linspace(0.4, 6.4, 25)), NormalError(0.4))
+        dust = Dust()
+        assert dust.dtw_distance(x, y) <= dust.distance(x, y) + 1e-9
+
+    def test_dtw_variant_reflexive(self, uncertain_pair):
+        x, _ = uncertain_pair
+        assert Dust().dtw_distance(x, x) == pytest.approx(0.0, abs=1e-9)
+
+    def test_repr_counts_tables(self):
+        dust = Dust()
+        dust.point_dust(0.0, 1.0, NormalError(0.3), NormalError(0.3))
+        assert "cached_tables" in repr(dust)

@@ -1,0 +1,236 @@
+"""Unit tests for repro.evaluation (metrics, tau search, harness)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InvalidParameterError
+from repro.datasets import generate_dataset
+from repro.evaluation import (
+    DEFAULT_TAU_GRID,
+    mean_with_ci,
+    optimal_tau,
+    results_at_tau,
+    run_similarity_experiment,
+    score_result_set,
+)
+from repro.munich import Munich
+from repro.perturbation import ConstantScenario, paper_mixed_scenario
+from repro.queries import (
+    DustTechnique,
+    EuclideanTechnique,
+    FilteredTechnique,
+    MunichTechnique,
+    ProudTechnique,
+)
+
+
+class TestMetrics:
+    def test_perfect_result(self):
+        scores = score_result_set([1, 2, 3], {1, 2, 3})
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0
+        assert scores.f1 == 1.0
+
+    def test_half_precision(self):
+        scores = score_result_set([1, 2, 3, 4], {1, 2})
+        assert scores.precision == 0.5
+        assert scores.recall == 1.0
+        assert scores.f1 == pytest.approx(2 / 3)
+
+    def test_empty_result_with_nonempty_truth(self):
+        scores = score_result_set([], {1})
+        assert scores.precision == 0.0
+        assert scores.recall == 0.0
+        assert scores.f1 == 0.0
+
+    def test_empty_truth_conventions(self):
+        scores = score_result_set([], set())
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0
+
+    def test_f1_is_harmonic_mean(self):
+        scores = score_result_set([1, 2, 9, 8], {1, 2, 3, 4})
+        p, r = scores.precision, scores.recall
+        assert scores.f1 == pytest.approx(2 * p * r / (p + r))
+
+    def test_mean_with_ci_basics(self):
+        stats = mean_with_ci([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.n == 3
+        assert stats.low < 2.0 < stats.high
+
+    def test_mean_with_ci_single_value(self):
+        stats = mean_with_ci([5.0])
+        assert stats.mean == 5.0
+        assert stats.ci95 == 0.0
+
+    def test_mean_with_ci_empty(self):
+        stats = mean_with_ci([])
+        assert np.isnan(stats.mean)
+
+    def test_mean_with_ci_formula(self):
+        values = [0.2, 0.4, 0.6, 0.8]
+        stats = mean_with_ci(values)
+        se = np.std(values, ddof=1) / 2.0
+        assert stats.ci95 == pytest.approx(1.959963984540054 * se)
+
+    def test_str_format(self):
+        assert "±" in str(mean_with_ci([1.0, 2.0]))
+
+
+class TestTauSearch:
+    def _toy_inputs(self):
+        # Two queries over 4 candidates; truth = {0} and {1}.
+        probabilities = [
+            np.array([0.9, 0.2, 0.1, 0.05]),
+            np.array([0.3, 0.8, 0.6, 0.1]),
+        ]
+        candidates = [np.arange(4), np.arange(4)]
+        truths = [frozenset({0}), frozenset({1})]
+        return probabilities, candidates, truths
+
+    def test_results_at_tau(self):
+        probabilities, candidates, truths = self._toy_inputs()
+        scores = results_at_tau(probabilities, candidates, truths, 0.7)
+        assert scores[0].precision == 1.0
+        assert scores[0].recall == 1.0
+        assert scores[1].precision == 1.0
+
+    def test_optimal_tau_maximizes(self):
+        probabilities, candidates, truths = self._toy_inputs()
+        result = optimal_tau(probabilities, candidates, truths,
+                             tau_grid=(0.05, 0.5, 0.7, 0.95))
+        assert result.best_tau == 0.7
+        assert result.best_mean_f1 == 1.0
+        assert result.mean_f1_by_tau[0.05] < 1.0
+
+    def test_ties_prefer_larger_tau(self):
+        probabilities = [np.array([0.9, 0.1])]
+        candidates = [np.arange(2)]
+        truths = [frozenset({0})]
+        result = optimal_tau(probabilities, candidates, truths,
+                             tau_grid=(0.2, 0.5, 0.8))
+        assert result.best_tau == 0.8
+
+    def test_validation(self):
+        probabilities, candidates, truths = self._toy_inputs()
+        with pytest.raises(InvalidParameterError):
+            optimal_tau(probabilities, candidates, truths, tau_grid=())
+        with pytest.raises(InvalidParameterError):
+            optimal_tau(probabilities, candidates, truths, tau_grid=(1.5,))
+        with pytest.raises(InvalidParameterError):
+            optimal_tau(probabilities[:1], candidates, truths)
+
+    def test_default_grid_covers_low_probabilities(self):
+        assert min(DEFAULT_TAU_GRID) <= 1e-9
+        assert max(DEFAULT_TAU_GRID) >= 0.99
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def exact(self):
+        return generate_dataset("GunPoint", seed=5, n_series=30, length=24)
+
+    def test_basic_run_structure(self, exact):
+        result = run_similarity_experiment(
+            exact,
+            ConstantScenario("normal", 0.4),
+            [EuclideanTechnique(), DustTechnique()],
+            n_queries=6,
+            seed=2,
+        )
+        assert result.n_queries == 6
+        assert set(result.techniques) == {"Euclidean", "DUST"}
+        for outcome in result.techniques.values():
+            assert len(outcome.queries) == 6
+            for query in outcome.queries:
+                assert 0.0 <= query.scores.f1 <= 1.0
+                assert query.epsilon > 0.0
+                assert query.elapsed_seconds >= 0.0
+
+    def test_f1_row(self, exact):
+        result = run_similarity_experiment(
+            exact, ConstantScenario("normal", 0.4),
+            [EuclideanTechnique()], n_queries=4, seed=2,
+        )
+        row = result.f1_row()
+        assert set(row) == {"Euclidean"}
+
+    def test_deterministic(self, exact):
+        runs = [
+            run_similarity_experiment(
+                exact, ConstantScenario("normal", 0.4),
+                [EuclideanTechnique()], n_queries=5, seed=7,
+            ).techniques["Euclidean"].f1().mean
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_probabilistic_technique_gets_tau(self, exact):
+        result = run_similarity_experiment(
+            exact, ConstantScenario("normal", 0.4),
+            [ProudTechnique(assumed_std=0.4)], n_queries=5, seed=2,
+        )
+        outcome = result.techniques["PROUD"]
+        assert outcome.tau in DEFAULT_TAU_GRID
+
+    def test_fixed_tau_respected(self, exact):
+        result = run_similarity_experiment(
+            exact, ConstantScenario("normal", 0.4),
+            [ProudTechnique(assumed_std=0.4)], n_queries=5, seed=2,
+            fixed_tau=0.5,
+        )
+        assert result.techniques["PROUD"].tau == 0.5
+
+    def test_munich_technique_runs(self):
+        exact = generate_dataset("GunPoint", seed=5, n_series=24, length=6)
+        result = run_similarity_experiment(
+            exact, ConstantScenario("normal", 0.4),
+            [MunichTechnique(Munich(n_bins=256))],
+            n_queries=3, seed=2, munich_samples=3,
+        )
+        assert len(result.techniques["MUNICH"].queries) == 3
+
+    def test_low_noise_beats_high_noise(self, exact):
+        low = run_similarity_experiment(
+            exact, ConstantScenario("normal", 0.1),
+            [EuclideanTechnique()], n_queries=8, seed=3,
+        ).techniques["Euclidean"].f1().mean
+        high = run_similarity_experiment(
+            exact, ConstantScenario("normal", 2.0),
+            [EuclideanTechnique()], n_queries=8, seed=3,
+        ).techniques["Euclidean"].f1().mean
+        assert low > high
+
+    def test_filters_beat_euclidean_under_mixed_noise(self):
+        """The paper's headline, as a regression test."""
+        exact = generate_dataset("SwedishLeaf", seed=5, n_series=40, length=96)
+        result = run_similarity_experiment(
+            exact, paper_mixed_scenario("normal"),
+            [EuclideanTechnique(), FilteredTechnique.uma()],
+            n_queries=10, seed=3,
+        )
+        euclid = result.techniques["Euclidean"].f1().mean
+        uma = result.techniques["UMA(w=2)"].f1().mean
+        assert uma > euclid
+
+    def test_k_validation(self, exact):
+        with pytest.raises(InvalidParameterError):
+            run_similarity_experiment(
+                exact, ConstantScenario("normal", 0.4),
+                [EuclideanTechnique()], k=0,
+            )
+        with pytest.raises(InvalidParameterError):
+            run_similarity_experiment(
+                exact, ConstantScenario("normal", 0.4),
+                [EuclideanTechnique()], k=len(exact),
+            )
+
+    def test_mean_query_seconds(self, exact):
+        result = run_similarity_experiment(
+            exact, ConstantScenario("normal", 0.4),
+            [EuclideanTechnique()], n_queries=4, seed=2,
+        )
+        assert result.techniques["Euclidean"].mean_query_seconds() > 0.0

@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs to completion and prints what
+its docstring promises."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+#: script -> fragments its stdout must contain.
+EXPECTED_OUTPUT = {
+    "quickstart.py": (
+        "pairwise comparison",
+        "similarity-matching evaluation",
+        "MUNICH",
+    ),
+    "sensor_monitoring.py": (
+        "bearing-wear",
+        "distance contrast",
+    ),
+    "privacy_lbs.py": (
+        "probabilistic range query",
+        "PROUD internals",
+        "Euclidean baseline",
+    ),
+    "practitioner_guide.py": (
+        "recommendation",
+        "UEMA",
+        "Section 6",
+    ),
+    "streaming_monitor.py": (
+        "streaming",
+        "final result set: ['pump-start']",
+    ),
+}
+
+
+def _run(script: str) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs(script):
+    stdout = _run(script)
+    for fragment in EXPECTED_OUTPUT[script]:
+        assert fragment in stdout, (script, fragment)
+
+
+def test_examples_directory_complete():
+    """Every example on disk is covered by this smoke test."""
+    on_disk = {
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    }
+    assert on_disk == set(EXPECTED_OUTPUT)

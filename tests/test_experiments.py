@@ -1,0 +1,240 @@
+"""Tests for the experiment layer (tiny-scale smoke + shape checks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InvalidParameterError
+from repro.experiments import (
+    FIG4_TECHNIQUES,
+    FIG5_TECHNIQUES,
+    FULL,
+    REDUCED,
+    TINY,
+    Scale,
+    clear_sweep_cache,
+    format_bar_table,
+    format_figure4,
+    format_figure5,
+    format_moving_average_figure,
+    format_parameter_sweep,
+    format_per_dataset_f1,
+    format_precision_recall,
+    format_series_table,
+    format_timing_table,
+    format_uniformity_check,
+    get_scale,
+    munich_cost_check,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure10,
+    run_figure11,
+    run_figure12,
+    run_figure13,
+    run_figure14,
+    run_figure16,
+    run_uniformity_check,
+    sigma_sweep,
+    summarize_means,
+)
+
+#: An even smaller scale than TINY for the slowest smoke tests.
+MICRO = Scale(
+    name="tiny",
+    n_series=20,
+    series_length=24,
+    n_queries=4,
+    sigmas=(0.4, 1.6),
+    dataset_names=("GunPoint", "CBF"),
+)
+
+
+class TestConfig:
+    def test_get_scale_by_name(self):
+        assert get_scale("tiny") is TINY
+        assert get_scale("reduced") is REDUCED
+        assert get_scale("full") is FULL
+
+    def test_get_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert get_scale() is TINY
+
+    def test_unknown_scale(self):
+        with pytest.raises(InvalidParameterError):
+            get_scale("enormous")
+
+    def test_sigma_label(self):
+        assert "0.2" in TINY.sigma_label()
+
+
+class TestReportFormatting:
+    def test_series_table(self):
+        text = format_series_table(
+            "t", "x", [1, 2], {"A": [0.1, 0.2], "B": [0.3, 0.4]}
+        )
+        assert "t" in text and "A" in text and "0.400" in text
+
+    def test_bar_table(self):
+        text = format_bar_table(
+            "bars", "ds", {"d1": {"A": 0.5}, "d2": {"A": 0.25}}
+        )
+        assert "d1" in text and "0.250" in text
+
+    def test_bar_table_empty(self):
+        assert format_bar_table("only title", "ds", {}) == "only title"
+
+    def test_summarize_means(self):
+        means = summarize_means({"a": {"X": 0.2}, "b": {"X": 0.6}})
+        assert means["X"] == pytest.approx(0.4)
+        assert summarize_means({}) == {}
+
+
+class TestSigmaSweepCache:
+    def test_memoized(self):
+        clear_sweep_cache()
+        first = sigma_sweep(MICRO, "normal", seed=3)
+        second = sigma_sweep(MICRO, "normal", seed=3)
+        assert first is second
+        clear_sweep_cache()
+        third = sigma_sweep(MICRO, "normal", seed=3)
+        assert third is not first
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_figure4(scale=MICRO, seed=3)
+
+    def test_structure(self, results):
+        assert set(results) == {"normal", "uniform", "exponential"}
+        for per_sigma in results.values():
+            assert list(per_sigma) == list(MICRO.sigmas)
+            for row in per_sigma.values():
+                assert set(row) == set(FIG4_TECHNIQUES)
+                assert all(0.0 <= v <= 1.0 for v in row.values())
+
+    def test_munich_degrades_with_sigma(self, results):
+        """The collapse: MUNICH at high σ far below its low-σ accuracy."""
+        for per_sigma in results.values():
+            sigmas = list(per_sigma)
+            assert (
+                per_sigma[sigmas[-1]]["MUNICH"]
+                <= per_sigma[sigmas[0]]["MUNICH"] + 0.05
+            )
+
+    def test_formatting(self, results):
+        text = format_figure4(results)
+        assert "Figure 4" in text
+        assert "MUNICH" in text
+
+
+class TestFigures5to7:
+    @pytest.fixture(scope="class", autouse=True)
+    def _fresh_cache(self):
+        clear_sweep_cache()
+        yield
+        clear_sweep_cache()
+
+    def test_figure5_structure_and_trend(self):
+        results = run_figure5(scale=MICRO, seed=3)
+        for per_sigma in results.values():
+            for row in per_sigma.values():
+                assert set(row) == set(FIG5_TECHNIQUES)
+            sigmas = list(per_sigma)
+            # F1 at the largest σ must not exceed F1 at the smallest.
+            for name in FIG5_TECHNIQUES:
+                assert (
+                    per_sigma[sigmas[-1]][name]
+                    <= per_sigma[sigmas[0]][name] + 0.1
+                )
+        assert "Figure 5" in format_figure5(results)
+
+    def test_figures_6_7_reuse_sweeps_and_shape(self):
+        proud = run_figure6(scale=MICRO, seed=3)
+        dust = run_figure7(scale=MICRO, seed=3)
+        for curves in (proud, dust):
+            assert set(curves) == {"precision", "recall"}
+            for family_curves in curves["precision"].values():
+                values = list(family_curves.values())
+                assert all(0.0 <= v <= 1.0 for v in values)
+        text = format_precision_recall("Figure 6", "PROUD", proud)
+        assert "precision" in text
+
+
+class TestFigures8to10:
+    def test_figure8_structure(self):
+        rows = run_figure8(scale=MICRO, seed=3)
+        assert set(rows) == set(MICRO.dataset_names)
+        for row in rows.values():
+            assert set(row) == {"Euclidean", "DUST", "PROUD"}
+        assert "mean over datasets" in format_per_dataset_f1("Figure 8", rows)
+
+    def test_figure10_misreporting_removes_dust_edge(self):
+        """With wrong σ info, DUST should not beat Euclidean meaningfully."""
+        rows = run_figure10(scale=MICRO, seed=3)
+        means = summarize_means(rows)
+        assert means["DUST"] <= means["Euclidean"] + 0.08
+
+
+class TestTimingFigures:
+    def test_figure11_euclidean_fastest(self):
+        clear_sweep_cache()
+        rows = run_figure11(scale=MICRO, seed=3)
+        for per_technique in rows.values():
+            assert per_technique["Euclidean"] <= per_technique["DUST"]
+            assert per_technique["Euclidean"] <= per_technique["PROUD"]
+        assert "milliseconds" in format_timing_table("Fig 11", rows, "sigma")
+
+    def test_figure12_structure(self):
+        # Wall-clock growth assertions are too jittery at micro scale (the
+        # bench asserts the growth shape at reduced scale); here we check
+        # the experiment produces positive timings for every technique.
+        rows = run_figure12(
+            scale=MICRO, seed=3, lengths=(24, 96), dataset_name="CBF"
+        )
+        assert set(rows) == {24, 96}
+        for per_technique in rows.values():
+            assert set(per_technique) == {"PROUD", "DUST", "Euclidean"}
+            assert all(v > 0.0 for v in per_technique.values())
+
+    def test_munich_cost_check_orders_of_magnitude(self):
+        timings = munich_cost_check(seed=3, n_series=14, length=5, samples=4)
+        assert timings["MUNICH"] > 10.0 * timings["Euclidean"]
+
+
+class TestFilterSweepFigures:
+    def test_figure13_window_zero_is_euclidean_anchor(self):
+        rows = run_figure13(scale=MICRO, seed=3, windows=(0, 2))
+        assert set(rows) == {0, 2}
+        first = rows[0]
+        assert first["UMA"] == first["UEMA-0.1"] == first["UEMA-1"]
+
+    def test_figure14_structure(self):
+        rows = run_figure14(scale=MICRO, seed=3, decays=(0.0, 1.0))
+        for row in rows.values():
+            assert set(row) == {"UEMA-5", "UEMA-10"}
+        assert "w" not in format_parameter_sweep("Fig 14", "lambda", rows)[:6]
+
+
+class TestMovingAverageFigures:
+    def test_figure16_structure(self):
+        rows = run_figure16(scale=MICRO, seed=3)
+        for row in rows.values():
+            assert set(row) == {
+                "Euclidean", "DUST", "UMA(w=2)", "UEMA(w=2, lambda=1)"
+            }
+        text = format_moving_average_figure(16, rows)
+        assert "Figure 16" in text and "normal" in text
+
+
+class TestUniformityExperiment:
+    def test_all_rejected(self):
+        results = run_uniformity_check(scale=MICRO, seed=3)
+        assert set(results) == set(MICRO.dataset_names)
+        assert all(r.rejects_uniformity(0.01) for r in results.values())
+        text = format_uniformity_check(results)
+        assert "rejected on 2/2" in text

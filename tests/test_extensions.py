@@ -1,0 +1,168 @@
+"""Tests for the extension experiments (top-k instability, DTW study,
+ablations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    Scale,
+    TINY,
+    dust_table_ablation,
+    format_ablation,
+    format_dtw_study,
+    format_topk_instability,
+    munich_evaluator_ablation,
+    proud_synopsis_ablation,
+    run_dtw_study,
+    run_munich_topk_instability,
+    run_topk_instability,
+    tail_workaround_ablation,
+    tau_sensitivity_study,
+)
+
+SMALL = Scale(
+    name="tiny",
+    n_series=24,
+    series_length=32,
+    n_queries=5,
+    sigmas=(0.4,),
+    dataset_names=("GunPoint", "CBF"),
+)
+
+
+class TestTopkInstability:
+    def test_distance_rankings_epsilon_free(self):
+        overlaps = run_topk_instability(scale=SMALL, seed=3, k=5)
+        assert all(v == 1.0 for v in overlaps["Euclidean"].values())
+        assert all(v == 1.0 for v in overlaps["DUST"].values())
+
+    def test_probabilistic_overlaps_bounded(self):
+        overlaps = run_topk_instability(scale=SMALL, seed=3, k=5)
+        for delta, value in overlaps["PROUD"].items():
+            assert 0.0 <= value <= 1.0
+
+    def test_munich_destabilizes(self):
+        overlaps = run_munich_topk_instability(
+            seed=3, n_series=20, n_queries=3, k=4
+        )
+        assert overlaps[0.5] <= overlaps[0.1] + 1e-9
+        assert overlaps[0.5] < 1.0
+
+    def test_formatting(self):
+        pdf = run_topk_instability(scale=SMALL, seed=3, k=5)
+        munich = run_munich_topk_instability(
+            seed=3, n_series=20, n_queries=3, k=4
+        )
+        text = format_topk_instability(pdf, munich)
+        assert "MUNICH" in text and "Jaccard" in text
+
+
+class TestDtwStudy:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_dtw_study(
+            scale=SMALL, seed=3, sigmas=(0.3, 1.0), n_queries=4
+        )
+
+    def test_constant_sigma_equivalences(self, results):
+        """DUST ≡ Euclidean and DUST-DTW ≡ DTW under constant normal σ."""
+        for row in results.values():
+            assert row["DUST"] == row["Euclidean"]
+            assert row["DUST-DTW"] == row["DTW"]
+
+    def test_dtw_helps_on_warped_data(self, results):
+        for sigma, row in results.items():
+            assert row["DTW"] >= row["Euclidean"] - 0.1, sigma
+
+    def test_formatting(self, results):
+        assert "DTW under uncertainty" in format_dtw_study(results)
+
+
+class TestMunichEvaluatorAblation:
+    def test_convolution_agrees_with_naive(self):
+        results = munich_evaluator_ablation(seed=3, n_pairs=4)
+        assert results["convolution(4096)"]["max_error"] < 0.01
+        assert results["montecarlo(20k)"]["max_error"] < 0.05
+
+    def test_all_report_time(self):
+        results = munich_evaluator_ablation(seed=3, n_pairs=2)
+        assert all(r["seconds"] > 0 for r in results.values())
+
+
+class TestDustTableAblation:
+    def test_error_monotone_in_resolution(self):
+        results = dust_table_ablation(resolutions=(64, 512))
+        assert results[512]["max_error"] <= results[64]["max_error"]
+
+    def test_default_resolution_tight(self):
+        results = dust_table_ablation(resolutions=(2048,))
+        assert results[2048]["max_error"] < 0.002
+
+
+class TestTailWorkaroundAblation:
+    def test_produces_all_three_variants(self):
+        results = tail_workaround_ablation(
+            scale=SMALL, seed=3, dataset_names=("GunPoint",)
+        )
+        row = results["GunPoint"]
+        assert set(row) == {"Euclidean", "DUST(tails)", "DUST(no tails)"}
+        assert all(0.0 <= v <= 1.0 for v in row.values())
+
+
+class TestProudSynopsisAblation:
+    def test_accuracy_monotone_in_coefficients(self):
+        results = proud_synopsis_ablation(
+            scale=SMALL, seed=3, dataset_name="CBF",
+            coefficient_counts=(4, 16, 0),
+        )
+        assert results["PROUD(full)"]["f1"] >= results["PROUD(k=4)"]["f1"] - 0.1
+
+    def test_reports_time(self):
+        results = proud_synopsis_ablation(
+            scale=SMALL, seed=3, dataset_name="CBF",
+            coefficient_counts=(8, 0),
+        )
+        assert all(r["ms_per_query"] > 0 for r in results.values())
+
+
+class TestFilterWeightingAblation:
+    def test_structure_and_bounds(self):
+        from repro.experiments import filter_weighting_ablation
+
+        results = filter_weighting_ablation(
+            scale=SMALL, seed=3, dataset_names=("SwedishLeaf",)
+        )
+        row = results["SwedishLeaf"]
+        assert set(row) == {
+            "Euclidean", "MA(w=2)", "EMA(w=2,λ=1)", "UMA(w=2)", "UEMA(w=2,λ=1)"
+        }
+        assert all(0.0 <= v <= 1.0 for v in row.values())
+
+
+class TestTauSensitivity:
+    def test_structure(self):
+        results = tau_sensitivity_study(
+            seed=3, taus=(0.2, 0.8), sigmas=(0.2, 1.4), n_series=24
+        )
+        assert set(results) == {0.2, 0.8}
+        for row in results.values():
+            assert set(row) == {0.2, 1.4}
+
+    def test_strict_tau_collapses_at_high_sigma(self):
+        results = tau_sensitivity_study(
+            seed=3, taus=(0.1, 0.9), sigmas=(0.2, 1.6), n_series=30
+        )
+        assert results[0.9][1.6] <= results[0.1][1.6] + 0.05
+
+
+class TestFormatAblation:
+    def test_renders_nested_dict(self):
+        text = format_ablation(
+            "title", {"row": {"col_a": 0.5, "col_b": 1.0}}
+        )
+        assert "title" in text and "col_a" in text and "0.5000" in text
+
+    def test_empty(self):
+        assert format_ablation("only", {}) == "only"

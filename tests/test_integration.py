@@ -1,0 +1,200 @@
+"""Integration tests: cross-module behaviour and the paper's headline claims
+at small scale.
+
+These tests exercise full pipelines (dataset → perturbation → technique →
+evaluation) rather than single modules, and assert the *relationships* the
+paper reports rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.core import spawn
+from repro.datasets import generate_dataset
+from repro.evaluation import run_similarity_experiment
+from repro.munich import Munich
+from repro.perturbation import (
+    ConstantScenario,
+    paper_misreported_scenario,
+    paper_mixed_scenario,
+)
+from repro.queries import (
+    DustTechnique,
+    EuclideanTechnique,
+    FilteredTechnique,
+    MunichTechnique,
+    ProudTechnique,
+)
+
+
+class TestApiFacade:
+    def test_facade_exports_work_together(self):
+        rng = api.make_rng(0)
+        exact = api.generate_dataset("CBF", seed=1, n_series=12, length=32)
+        scenario = api.ConstantScenario("normal", 0.3)
+        uncertain = [
+            scenario.apply(series, spawn(0, "t", i))
+            for i, series in enumerate(exact)
+        ]
+        dust = api.Dust()
+        d = dust.distance(uncertain[0], uncertain[1])
+        assert d > 0.0
+        assert api.euclidean(
+            uncertain[0].observations, uncertain[1].observations
+        ) > 0.0
+
+    def test_version_exported(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+
+class TestDustEuclideanEquivalence:
+    """Section 2.3: with constant normal errors, DUST's ordering of
+    candidates is exactly the Euclidean ordering."""
+
+    def test_rankings_identical(self):
+        exact = generate_dataset("FISH", seed=2, n_series=20, length=48)
+        scenario = ConstantScenario("normal", 0.6)
+        uncertain = [
+            scenario.apply(s, spawn(3, "p", i)) for i, s in enumerate(exact)
+        ]
+        dust = DustTechnique()
+        euclid = EuclideanTechnique()
+        query = uncertain[0]
+        dust_order = np.argsort(
+            [dust.distance(query, c) for c in uncertain[1:]]
+        )
+        euclid_order = np.argsort(
+            [euclid.distance(query, c) for c in uncertain[1:]]
+        )
+        assert np.array_equal(dust_order, euclid_order)
+
+
+class TestHeadlineClaims:
+    """The paper's main experimental findings, as small-scale regressions."""
+
+    #: Averaging basket — the paper's claims are averages over datasets;
+    #: single-dataset draws are too noisy to assert orderings on.
+    DATASETS = ("SwedishLeaf", "Beef", "Adiac", "FaceFour", "Coffee", "OliveOil")
+
+    @pytest.fixture(scope="class")
+    def mixed_run(self):
+        sums: dict = {}
+        for name in self.DATASETS:
+            exact = generate_dataset(name, seed=4, n_series=45, length=96)
+            run = run_similarity_experiment(
+                exact,
+                paper_mixed_scenario("normal"),
+                [
+                    EuclideanTechnique(),
+                    DustTechnique(),
+                    ProudTechnique(assumed_std=0.7),
+                    FilteredTechnique.uma(),
+                    FilteredTechnique.uema(),
+                ],
+                n_queries=10,
+                seed=5,
+            )
+            for technique, outcome in run.techniques.items():
+                sums.setdefault(technique, []).append(outcome.f1().mean)
+        return {name: float(np.mean(values)) for name, values in sums.items()}
+
+    def test_uma_beats_euclidean(self, mixed_run):
+        assert mixed_run["UMA(w=2)"] > mixed_run["Euclidean"]
+
+    def test_uema_beats_euclidean(self, mixed_run):
+        assert mixed_run["UEMA(w=2, lambda=1)"] > mixed_run["Euclidean"]
+
+    def test_dust_at_least_euclidean_with_correct_info(self, mixed_run):
+        """Figure 8: informed DUST has a small edge over Euclidean."""
+        assert mixed_run["DUST"] >= mixed_run["Euclidean"] - 0.02
+
+    def test_misreported_sigma_removes_dust_edge(self):
+        """Figure 10: with wrong σ info DUST ≈ Euclidean."""
+        exact = generate_dataset("SwedishLeaf", seed=4, n_series=40, length=64)
+        run = run_similarity_experiment(
+            exact,
+            paper_misreported_scenario(),
+            [EuclideanTechnique(), DustTechnique()],
+            n_queries=10,
+            seed=6,
+        )
+        dust = run.techniques["DUST"].f1().mean
+        euclid = run.techniques["Euclidean"].f1().mean
+        assert dust == pytest.approx(euclid, abs=0.05)
+
+    def test_proud_comparable_to_euclidean(self, mixed_run):
+        """Figures 5/8: PROUD tracks Euclidean, no dramatic gap."""
+        assert mixed_run["PROUD"] == pytest.approx(
+            mixed_run["Euclidean"], abs=0.15
+        )
+
+
+class TestMunichIntegration:
+    def test_munich_accurate_at_low_sigma(self):
+        """Figure 4's low-σ regime: MUNICH at least matches Euclidean."""
+        exact = generate_dataset("GunPoint", seed=7, n_series=40, length=6)
+        scenario = ConstantScenario("normal", 0.2)
+        munich_run = run_similarity_experiment(
+            exact, scenario,
+            [MunichTechnique(Munich(n_bins=512))],
+            n_queries=6, seed=8, munich_samples=5,
+            tau_grid=tuple(round(0.1 * i, 1) for i in range(1, 10)),
+        )
+        euclid_run = run_similarity_experiment(
+            exact, scenario, [EuclideanTechnique()], n_queries=6, seed=8,
+        )
+        munich_f1 = munich_run.techniques["MUNICH"].f1().mean
+        euclid_f1 = euclid_run.techniques["Euclidean"].f1().mean
+        assert munich_f1 >= euclid_f1 - 0.05
+
+    def test_munich_collapses_at_high_sigma_with_fixed_tau(self):
+        """Figure 4's collapse regime, with τ frozen at a low-σ optimum."""
+        exact = generate_dataset("GunPoint", seed=7, n_series=40, length=6)
+        low = run_similarity_experiment(
+            exact, ConstantScenario("normal", 0.2),
+            [MunichTechnique(Munich(n_bins=512))],
+            n_queries=6, seed=8, munich_samples=5, fixed_tau=0.5,
+        ).techniques["MUNICH"].f1().mean
+        high = run_similarity_experiment(
+            exact, ConstantScenario("normal", 2.0),
+            [MunichTechnique(Munich(n_bins=512))],
+            n_queries=6, seed=8, munich_samples=5, fixed_tau=0.5,
+        ).techniques["MUNICH"].f1().mean
+        assert high < low
+
+
+class TestSection6DatasetEffect:
+    """Section 6: datasets with low average inter-series distance are hard."""
+
+    def test_tight_dataset_scores_lower(self):
+        scenario = ConstantScenario("normal", 0.6)
+        scores = {}
+        for name in ("Adiac", "OSULeaf"):
+            exact = generate_dataset(name, seed=9, n_series=40, length=64)
+            run = run_similarity_experiment(
+                exact, scenario, [EuclideanTechnique()], n_queries=10, seed=10,
+            )
+            scores[name] = run.techniques["Euclidean"].f1().mean
+        assert scores["Adiac"] < scores["OSULeaf"]
+
+
+class TestEndToEndDeterminism:
+    def test_full_pipeline_reproducible(self):
+        results = []
+        for _ in range(2):
+            exact = generate_dataset("Coffee", seed=11, n_series=24, length=40)
+            run = run_similarity_experiment(
+                exact, paper_mixed_scenario("exponential"),
+                [EuclideanTechnique(), DustTechnique(),
+                 FilteredTechnique.uema()],
+                n_queries=6, seed=12,
+            )
+            results.append(
+                tuple(o.f1().mean for o in run.techniques.values())
+            )
+        assert results[0] == results[1]

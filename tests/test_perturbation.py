@@ -1,0 +1,193 @@
+"""Unit tests for repro.perturbation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ErrorModel,
+    InvalidParameterError,
+    LengthMismatchError,
+    TimeSeries,
+    make_rng,
+)
+from repro.distributions import NormalError, UniformError
+from repro.perturbation import (
+    MIXED_FRACTION_HIGH,
+    MIXED_PROUD_STD,
+    MIXED_STD_HIGH,
+    MIXED_STD_LOW,
+    ConstantScenario,
+    MisreportedScenario,
+    MixedFamilyScenario,
+    MixedStdScenario,
+    paper_misreported_scenario,
+    paper_mixed_family_scenario,
+    paper_mixed_scenario,
+    perturb,
+    perturb_multisample,
+)
+
+
+@pytest.fixture
+def base_series():
+    return TimeSeries(np.linspace(-1.0, 1.0, 40), label=1, name="base")
+
+
+class TestPerturb:
+    def test_observation_is_value_plus_error(self, base_series):
+        model = ErrorModel.constant(NormalError(0.5), 40)
+        uncertain = perturb(base_series, model, rng=3)
+        residual = uncertain.observations - base_series.values
+        assert not np.allclose(residual, 0.0)
+        assert np.abs(residual).max() < 5.0  # within ~10 sigma
+
+    def test_deterministic_under_seed(self, base_series):
+        model = ErrorModel.constant(NormalError(0.5), 40)
+        a = perturb(base_series, model, rng=3)
+        b = perturb(base_series, model, rng=3)
+        assert np.array_equal(a.observations, b.observations)
+
+    def test_metadata_preserved(self, base_series):
+        model = ErrorModel.constant(NormalError(0.5), 40)
+        uncertain = perturb(base_series, model, rng=3)
+        assert uncertain.label == 1
+        assert uncertain.name == "base"
+
+    def test_reported_model_attached(self, base_series):
+        actual = ErrorModel.constant(NormalError(0.5), 40)
+        reported = ErrorModel.constant(NormalError(0.7), 40)
+        uncertain = perturb(base_series, actual, rng=3, reported_model=reported)
+        assert uncertain.error_model[0].std == 0.7
+
+    def test_length_mismatch(self, base_series):
+        with pytest.raises(LengthMismatchError):
+            perturb(base_series, ErrorModel.constant(NormalError(0.5), 10))
+        with pytest.raises(LengthMismatchError):
+            perturb(
+                base_series,
+                ErrorModel.constant(NormalError(0.5), 40),
+                reported_model=ErrorModel.constant(NormalError(0.5), 10),
+            )
+
+
+class TestPerturbMultisample:
+    def test_shape(self, base_series):
+        model = ErrorModel.constant(NormalError(0.5), 40)
+        ms = perturb_multisample(base_series, model, 5, rng=4)
+        assert ms.samples.shape == (40, 5)
+
+    def test_columns_are_independent_draws(self, base_series):
+        model = ErrorModel.constant(NormalError(0.5), 40)
+        ms = perturb_multisample(base_series, model, 2, rng=4)
+        assert not np.allclose(ms.samples[:, 0], ms.samples[:, 1])
+
+    def test_sample_mean_approaches_truth(self, base_series):
+        model = ErrorModel.constant(NormalError(0.5), 40)
+        ms = perturb_multisample(base_series, model, 400, rng=4)
+        assert np.abs(ms.means() - base_series.values).mean() < 0.06
+
+    def test_rejects_zero_samples(self, base_series):
+        model = ErrorModel.constant(NormalError(0.5), 40)
+        with pytest.raises(InvalidParameterError):
+            perturb_multisample(base_series, model, 0)
+
+
+class TestConstantScenario:
+    def test_models_are_homogeneous(self):
+        scenario = ConstantScenario("uniform", 0.6)
+        actual, reported = scenario.build_models(20, make_rng(0))
+        assert actual == reported
+        assert actual.is_homogeneous
+        assert actual[0].family == "uniform"
+
+    def test_proud_std(self):
+        assert ConstantScenario("normal", 0.8).proud_std == 0.8
+
+    def test_name_mentions_family(self):
+        assert "uniform" in ConstantScenario("uniform", 0.6).name
+
+
+class TestMixedStdScenario:
+    def test_fraction_of_high_sigma(self):
+        scenario = MixedStdScenario("normal")
+        actual, _ = scenario.build_models(100, make_rng(1))
+        stds = actual.stds()
+        assert np.count_nonzero(np.isclose(stds, MIXED_STD_HIGH)) == 20
+        assert np.count_nonzero(np.isclose(stds, MIXED_STD_LOW)) == 80
+
+    def test_reported_equals_actual(self):
+        scenario = MixedStdScenario("normal")
+        actual, reported = scenario.build_models(50, make_rng(2))
+        assert actual == reported
+
+    def test_paper_defaults(self):
+        scenario = paper_mixed_scenario("normal")
+        assert scenario.fraction_high == MIXED_FRACTION_HIGH
+        assert scenario.proud_std == MIXED_PROUD_STD
+
+    def test_positions_vary_across_series(self):
+        scenario = MixedStdScenario("normal")
+        rng = make_rng(3)
+        first = scenario.build_models(100, rng)[0].stds()
+        second = scenario.build_models(100, rng)[0].stds()
+        assert not np.array_equal(first, second)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MixedStdScenario("normal", fraction_high=1.5)
+
+
+class TestMixedFamilyScenario:
+    def test_multiple_families_present(self):
+        scenario = paper_mixed_family_scenario()
+        actual, _ = scenario.build_models(300, make_rng(4))
+        families = {d.family for d in actual}
+        assert families == {"uniform", "normal", "exponential"}
+
+    def test_sigma_split_respected(self):
+        scenario = paper_mixed_family_scenario()
+        actual, _ = scenario.build_models(200, make_rng(5))
+        stds = actual.stds()
+        assert np.count_nonzero(np.isclose(stds, MIXED_STD_HIGH)) == 40
+
+    def test_empty_families_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MixedFamilyScenario(families=())
+
+
+class TestMisreportedScenario:
+    def test_reported_differs_from_actual(self):
+        scenario = paper_misreported_scenario()
+        actual, reported = scenario.build_models(100, make_rng(6))
+        assert reported.is_homogeneous
+        assert reported[0].std == pytest.approx(MIXED_PROUD_STD)
+        assert set(np.round(actual.stds(), 3)) == {MIXED_STD_HIGH, MIXED_STD_LOW}
+
+    def test_applied_series_carries_wrong_model(self):
+        scenario = paper_misreported_scenario()
+        series = TimeSeries(np.zeros(50))
+        uncertain = scenario.apply(series, rng=7)
+        assert np.allclose(uncertain.stds(), MIXED_PROUD_STD)
+        # ...but the actual perturbation contains the large-σ minority.
+        assert np.abs(uncertain.observations).max() > MIXED_PROUD_STD
+
+    def test_proud_std_is_reported(self):
+        assert paper_misreported_scenario().proud_std == MIXED_PROUD_STD
+
+
+class TestScenarioApplication:
+    def test_apply_multisample_uses_actual_model(self):
+        scenario = ConstantScenario("normal", 1.0)
+        series = TimeSeries(np.zeros(2000))
+        ms = scenario.apply_multisample(series, 3, rng=8)
+        assert ms.samples.std() == pytest.approx(1.0, rel=0.05)
+
+    def test_apply_deterministic(self):
+        scenario = MixedStdScenario("normal")
+        series = TimeSeries(np.zeros(64))
+        a = scenario.apply(series, rng=9)
+        b = scenario.apply(series, rng=9)
+        assert np.array_equal(a.observations, b.observations)
+        assert np.array_equal(a.stds(), b.stds())

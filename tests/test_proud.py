@@ -1,0 +1,189 @@
+"""Unit tests for repro.proud (distance model, query rule, wavelet mode)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ErrorModel,
+    InvalidParameterError,
+    LengthMismatchError,
+    TimeSeries,
+    UncertainTimeSeries,
+    make_rng,
+)
+from repro.distributions import NormalError
+from repro.perturbation import perturb
+from repro.proud import (
+    DistanceDistribution,
+    Proud,
+    WaveletSynopsisModel,
+    distance_distribution,
+    expected_distance,
+)
+
+
+def _uncertain(values, std=0.3, **kwargs):
+    values = np.asarray(values, dtype=np.float64)
+    model = ErrorModel.constant(NormalError(std), values.size)
+    return UncertainTimeSeries(values, model, **kwargs)
+
+
+class TestDistanceDistribution:
+    def test_moments_formula(self):
+        """Check against the hand-computed single-point case."""
+        x = _uncertain([1.0], std=0.3)
+        y = _uncertain([3.0], std=0.4)
+        model = distance_distribution(x, y)
+        variance_d = 0.09 + 0.16
+        expected_mean = 4.0 + variance_d
+        expected_var = 2.0 * variance_d**2 + 4.0 * 4.0 * variance_d
+        assert model.mean == pytest.approx(expected_mean)
+        assert model.variance == pytest.approx(expected_var)
+
+    def test_additive_over_timestamps(self):
+        x = _uncertain([1.0, 2.0])
+        y = _uncertain([0.0, 4.0])
+        combined = distance_distribution(x, y)
+        first = distance_distribution(_uncertain([1.0]), _uncertain([0.0]))
+        second = distance_distribution(_uncertain([2.0]), _uncertain([4.0]))
+        assert combined.mean == pytest.approx(first.mean + second.mean)
+        assert combined.variance == pytest.approx(
+            first.variance + second.variance
+        )
+
+    def test_moments_match_monte_carlo(self):
+        """The analytic moments match simulation of the squared distance."""
+        rng = make_rng(0)
+        x = _uncertain([0.5, -1.0, 2.0], std=0.4)
+        y = _uncertain([0.0, 0.5, 1.0], std=0.6)
+        model = distance_distribution(x, y)
+        draws = 200_000
+        ex = x.observations + rng.normal(0, 0.4, size=(draws, 3))
+        ey = y.observations + rng.normal(0, 0.6, size=(draws, 3))
+        squared = ((ex - ey) ** 2).sum(axis=1)
+        assert squared.mean() == pytest.approx(model.mean, rel=0.01)
+        assert squared.var() == pytest.approx(model.variance, rel=0.03)
+
+    def test_length_mismatch(self):
+        with pytest.raises(LengthMismatchError):
+            distance_distribution(_uncertain([1.0]), _uncertain([1.0, 2.0]))
+
+    def test_probability_within_monotone_in_epsilon(self):
+        x, y = _uncertain([1.0, 2.0]), _uncertain([0.0, 0.0])
+        model = distance_distribution(x, y)
+        probabilities = [
+            model.probability_within(e) for e in (0.5, 1.0, 2.0, 4.0, 8.0)
+        ]
+        assert probabilities == sorted(probabilities)
+
+    def test_probability_negative_epsilon_zero(self):
+        model = DistanceDistribution(mean=1.0, variance=1.0)
+        assert model.probability_within(-1.0) == 0.0
+
+    def test_degenerate_variance(self):
+        model = DistanceDistribution(mean=4.0, variance=0.0)
+        assert model.probability_within(2.0) == 1.0
+        assert model.probability_within(1.9) == 0.0
+
+    def test_expected_distance(self):
+        x, y = _uncertain([3.0]), _uncertain([0.0])
+        assert expected_distance(x, y) == pytest.approx(
+            np.sqrt(9.0 + 0.18)
+        )
+
+
+class TestProudQuery:
+    def test_epsilon_limit_is_normal_quantile(self):
+        proud = Proud(tau=0.9)
+        assert proud.epsilon_limit() == pytest.approx(1.2815515655, abs=1e-6)
+
+    def test_pruning_rule_equivalent_to_probability_rule(self):
+        rng = make_rng(1)
+        base = TimeSeries(np.sin(np.linspace(0.0, 4.0, 30)))
+        other = TimeSeries(np.cos(np.linspace(0.0, 4.0, 30)))
+        model = ErrorModel.constant(NormalError(0.4), 30)
+        x, y = perturb(base, model, rng), perturb(other, model, rng)
+        proud = Proud()
+        for epsilon in (0.5, 2.0, 4.0, 8.0):
+            for tau in (0.05, 0.3, 0.7, 0.95):
+                via_rule = proud.matches(x, y, epsilon, tau=tau)
+                via_probability = (
+                    proud.match_probability(x, y, epsilon) >= tau
+                )
+                assert via_rule == via_probability
+
+    def test_match_probability_bounds(self, uncertain_pair):
+        x, y = uncertain_pair
+        p = Proud().match_probability(x, y, 3.0)
+        assert 0.0 <= p <= 1.0
+
+    def test_invalid_tau(self):
+        with pytest.raises(InvalidParameterError):
+            Proud(tau=0.0)
+        with pytest.raises(InvalidParameterError):
+            Proud().matches(
+                _uncertain([1.0]), _uncertain([1.0]), 1.0, tau=1.5
+            )
+
+    def test_invalid_epsilon(self, uncertain_pair):
+        x, y = uncertain_pair
+        with pytest.raises(InvalidParameterError):
+            Proud().match_probability(x, y, -1.0)
+
+    def test_identical_series_match_generously(self):
+        x = _uncertain(np.zeros(20), std=0.2)
+        proud = Proud()
+        # distance^2 concentrates around 2*n*sigma^2 = 1.6; epsilon generous.
+        assert proud.match_probability(x, x, 3.0) > 0.99
+
+    def test_repr(self):
+        assert "tau=0.9" in repr(Proud(tau=0.9))
+
+
+class TestWaveletMode:
+    def test_full_synopsis_matches_exact_moments(self):
+        """With all coefficients kept and no padding, moments are identical."""
+        rng = make_rng(2)
+        base = TimeSeries(rng.normal(size=32))
+        other = TimeSeries(rng.normal(size=32))
+        model = ErrorModel.constant(NormalError(0.5), 32)
+        x, y = perturb(base, model, rng), perturb(other, model, rng)
+        exact = distance_distribution(x, y)
+        synopsis = WaveletSynopsisModel(32).distance_distribution(x, y)
+        assert synopsis.mean == pytest.approx(exact.mean, rel=1e-9)
+        assert synopsis.variance == pytest.approx(exact.variance, rel=0.35)
+
+    def test_small_synopsis_approximates(self):
+        rng = make_rng(3)
+        base = TimeSeries(np.sin(np.linspace(0.0, 2.0 * np.pi, 64)))
+        other = TimeSeries(np.sin(np.linspace(0.3, 2.0 * np.pi + 0.3, 64)))
+        model = ErrorModel.constant(NormalError(0.3), 64)
+        x, y = perturb(base, model, rng), perturb(other, model, rng)
+        exact = distance_distribution(x, y)
+        approx = WaveletSynopsisModel(16).distance_distribution(x, y)
+        assert approx.mean == pytest.approx(exact.mean, rel=0.2)
+
+    def test_probability_agreement(self):
+        rng = make_rng(4)
+        base = TimeSeries(np.sin(np.linspace(0.0, 2.0 * np.pi, 64)))
+        other = TimeSeries(np.sin(np.linspace(0.2, 2.0 * np.pi + 0.2, 64)))
+        model = ErrorModel.constant(NormalError(0.3), 64)
+        x, y = perturb(base, model, rng), perturb(other, model, rng)
+        full = Proud()
+        wavelet = Proud(synopsis_coefficients=32)
+        epsilon = expected_distance(x, y)
+        assert wavelet.match_probability(x, y, epsilon) == pytest.approx(
+            full.match_probability(x, y, epsilon), abs=0.15
+        )
+
+    def test_rejects_bad_coefficient_count(self):
+        with pytest.raises(InvalidParameterError):
+            WaveletSynopsisModel(0)
+
+    def test_incompatible_lengths_rejected(self):
+        x = _uncertain(np.zeros(16))
+        y = _uncertain(np.zeros(64))
+        with pytest.raises(InvalidParameterError):
+            WaveletSynopsisModel(8).distance_distribution(x, y)

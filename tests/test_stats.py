@@ -1,0 +1,223 @@
+"""Unit tests for repro.stats (normal, chi-square, wavelets).
+
+The from-scratch implementations are validated against scipy, which the
+library itself only depends on for generic numerics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import InvalidParameterError, make_rng
+from repro.stats import (
+    HaarSynopsis,
+    chi2_sf,
+    chi_square_uniformity_test,
+    haar_synopsis,
+    haar_transform,
+    inverse_haar_transform,
+    normal_cdf,
+    normal_ppf,
+    std_normal_cdf,
+    std_normal_pdf,
+    std_normal_ppf,
+    synopsis_distance,
+)
+
+
+class TestStdNormal:
+    @pytest.mark.parametrize("x", [-5.0, -1.0, 0.0, 0.5, 2.0, 6.0])
+    def test_cdf_matches_scipy(self, x):
+        assert float(std_normal_cdf(np.array(x))) == pytest.approx(
+            scipy.stats.norm.cdf(x), abs=1e-12
+        )
+
+    @pytest.mark.parametrize(
+        "p", [1e-10, 1e-4, 0.01, 0.3, 0.5, 0.9, 0.975, 0.999, 1 - 1e-10]
+    )
+    def test_ppf_matches_scipy(self, p):
+        assert std_normal_ppf(p) == pytest.approx(
+            scipy.stats.norm.ppf(p), abs=1e-8
+        )
+
+    @pytest.mark.parametrize("p", [0.0, 1.0, -0.1, 1.1])
+    def test_ppf_rejects_out_of_range(self, p):
+        with pytest.raises(ValueError):
+            std_normal_ppf(p)
+
+    def test_pdf_matches_scipy(self):
+        grid = np.linspace(-4.0, 4.0, 17)
+        assert np.allclose(std_normal_pdf(grid), scipy.stats.norm.pdf(grid))
+
+    @settings(max_examples=50, deadline=None)
+    @given(p=st.floats(1e-9, 1 - 1e-9))
+    def test_ppf_cdf_roundtrip(self, p):
+        assert float(std_normal_cdf(np.array(std_normal_ppf(p)))) == (
+            pytest.approx(p, abs=1e-9)
+        )
+
+    def test_located_scaled_variants(self):
+        assert float(normal_cdf(np.array(3.0), mean=1.0, std=2.0)) == (
+            pytest.approx(scipy.stats.norm.cdf(3.0, loc=1.0, scale=2.0))
+        )
+        assert normal_ppf(0.8, mean=1.0, std=2.0) == pytest.approx(
+            scipy.stats.norm.ppf(0.8, loc=1.0, scale=2.0), abs=1e-8
+        )
+
+    def test_located_scaled_validation(self):
+        with pytest.raises(ValueError):
+            normal_cdf(np.array(0.0), mean=0.0, std=0.0)
+        with pytest.raises(ValueError):
+            normal_ppf(0.5, mean=0.0, std=-1.0)
+
+
+class TestChi2Sf:
+    @pytest.mark.parametrize(
+        "x,k",
+        [(0.5, 1), (3.2, 4), (12.0, 5), (25.0, 10), (100.0, 3), (1.0, 60)],
+    )
+    def test_matches_scipy(self, x, k):
+        assert chi2_sf(x, k) == pytest.approx(
+            scipy.stats.chi2.sf(x, k), rel=1e-9
+        )
+
+    def test_edge_cases(self):
+        assert chi2_sf(0.0, 5) == 1.0
+        assert chi2_sf(-3.0, 5) == 1.0
+        assert chi2_sf(float("inf"), 5) == 0.0
+
+    def test_rejects_bad_dof(self):
+        with pytest.raises(InvalidParameterError):
+            chi2_sf(1.0, 0)
+
+
+class TestUniformityTest:
+    def test_rejects_normal_data(self):
+        data = make_rng(1).normal(size=5000)
+        result = chi_square_uniformity_test(data)
+        assert result.rejects_uniformity(alpha=0.01)
+
+    def test_accepts_uniform_data(self):
+        data = make_rng(2).uniform(-1.0, 1.0, size=5000)
+        result = chi_square_uniformity_test(data)
+        assert not result.rejects_uniformity(alpha=0.01)
+
+    def test_constant_data_rejected_hard(self):
+        result = chi_square_uniformity_test(np.full(100, 2.0))
+        assert result.p_value == 0.0
+        assert result.rejects_uniformity()
+
+    def test_too_few_values_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            chi_square_uniformity_test([1.0, 2.0, 3.0])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            chi_square_uniformity_test([np.nan] * 20)
+
+    def test_explicit_bins(self):
+        data = make_rng(3).uniform(size=1000)
+        result = chi_square_uniformity_test(data, n_bins=10)
+        assert result.n_bins == 10
+        assert result.degrees_of_freedom == 9
+
+    def test_statistic_against_scipy(self):
+        data = make_rng(4).normal(size=1000)
+        ours = chi_square_uniformity_test(data, n_bins=20)
+        observed, _ = np.histogram(data, bins=20,
+                                   range=(data.min(), data.max()))
+        stat, p = scipy.stats.chisquare(observed)
+        assert ours.statistic == pytest.approx(stat)
+        assert ours.p_value == pytest.approx(p, rel=1e-6, abs=1e-300)
+
+
+class TestHaar:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 17, 64, 100])
+    def test_roundtrip(self, n):
+        values = make_rng(n).normal(size=n)
+        coefficients, original = haar_transform(values)
+        assert original == n
+        assert np.allclose(inverse_haar_transform(coefficients, n), values)
+
+    def test_energy_preserved(self):
+        values = make_rng(5).normal(size=64)
+        coefficients, _ = haar_transform(values)
+        assert np.linalg.norm(coefficients) == pytest.approx(
+            np.linalg.norm(values)
+        )
+
+    def test_constant_series_single_coefficient(self):
+        coefficients, _ = haar_transform(np.full(8, 3.0))
+        assert np.count_nonzero(np.abs(coefficients) > 1e-12) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            haar_transform(np.array([]))
+
+    def test_inverse_validates_input(self):
+        with pytest.raises(InvalidParameterError):
+            inverse_haar_transform(np.zeros(3), 3)  # not a power of two
+        with pytest.raises(InvalidParameterError):
+            inverse_haar_transform(np.zeros(4), 9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=128),
+            elements=st.floats(-1e6, 1e6),
+        )
+    )
+    def test_roundtrip_property(self, values):
+        coefficients, n = haar_transform(values)
+        restored = inverse_haar_transform(coefficients, n)
+        assert np.allclose(restored, values, rtol=1e-9, atol=1e-6)
+
+
+class TestSynopsis:
+    def test_full_synopsis_reconstructs(self):
+        values = make_rng(6).normal(size=32)
+        synopsis = haar_synopsis(values, 32)
+        assert np.allclose(synopsis.reconstruct(), values)
+
+    def test_keeps_largest_coefficients(self):
+        values = make_rng(7).normal(size=64)
+        full, _ = haar_transform(values)
+        synopsis = haar_synopsis(values, 8)
+        kept_magnitudes = np.abs(synopsis.coefficients)
+        dropped = np.delete(np.abs(full), synopsis.indices)
+        assert kept_magnitudes.min() >= dropped.max() - 1e-12
+
+    def test_energy_monotone_in_k(self):
+        values = make_rng(8).normal(size=64)
+        energies = [haar_synopsis(values, k).energy() for k in (4, 16, 64)]
+        assert energies[0] <= energies[1] <= energies[2]
+
+    def test_distance_converges_to_euclidean(self):
+        rng = make_rng(9)
+        a, b = rng.normal(size=64), rng.normal(size=64)
+        exact = np.linalg.norm(a - b)
+        errors = [
+            abs(
+                synopsis_distance(haar_synopsis(a, k), haar_synopsis(b, k))
+                - exact
+            )
+            for k in (4, 16, 64)
+        ]
+        assert errors[-1] == pytest.approx(0.0, abs=1e-9)
+        assert errors[0] >= errors[-1]
+
+    def test_rejects_mismatched_lengths(self):
+        a = haar_synopsis(np.ones(8), 4)
+        b = haar_synopsis(np.ones(32), 4)
+        with pytest.raises(InvalidParameterError):
+            synopsis_distance(a, b)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(InvalidParameterError):
+            haar_synopsis(np.ones(8), 0)
