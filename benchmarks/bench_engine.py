@@ -1,0 +1,225 @@
+#!/usr/bin/env python
+"""Batch query engine benchmark: per-pair loops vs vectorized profiles.
+
+Times the Figure 11–12 style workload — every technique scoring queries
+against a synthetic collection (default 200 series × 128 timestamps,
+normal σ=0.4) — twice per technique:
+
+* **per-pair** ("before"): the base-class fallback, one Python-level
+  ``distance()`` / ``probability()`` call per candidate — exactly what the
+  harness scoring loop did before the batch engine;
+* **batch** ("after"): the technique's vectorized ``distance_profile`` /
+  ``probability_profile`` override backed by the
+  :class:`~repro.queries.engine.QueryEngine` materialization cache.
+
+Results (seconds per query and speedups) are written to
+``BENCH_engine.json`` at the repository root.
+
+Run:  PYTHONPATH=src python benchmarks/bench_engine.py
+      PYTHONPATH=src python benchmarks/bench_engine.py --quick  (CI smoke)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.core import spawn
+from repro.datasets import generate_dataset
+from repro.munich import Munich
+from repro.perturbation import ConstantScenario
+from repro.queries import (
+    DustTechnique,
+    EuclideanTechnique,
+    FilteredTechnique,
+    MunichTechnique,
+    ProudTechnique,
+    Technique,
+)
+
+SEED = 2012
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_engine.json",
+)
+
+
+def _build_workload(n_series: int, length: int, munich_samples: int):
+    exact = generate_dataset(
+        "GunPoint", seed=SEED, n_series=n_series, length=length
+    )
+    scenario = ConstantScenario("normal", 0.4)
+    pdf = [
+        scenario.apply(series, spawn(SEED, "pdf", index))
+        for index, series in enumerate(exact)
+    ]
+    multisample = [
+        scenario.apply_multisample(
+            series, munich_samples, spawn(SEED, "ms", index)
+        )
+        for index, series in enumerate(exact)
+    ]
+    return pdf, multisample
+
+
+def _time_per_query(
+    run_one_query: Callable[[object], np.ndarray],
+    queries: Sequence,
+    repeats: int,
+) -> float:
+    """Best-of-``repeats`` mean seconds per query (warmup included)."""
+    run_one_query(queries[0])  # warm caches (tables, matrices, filters)
+    best = np.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for query in queries:
+            run_one_query(query)
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed / len(queries))
+    return float(best)
+
+
+def _bench_distance(technique, collection, queries, repeats) -> Dict:
+    per_pair = _time_per_query(
+        lambda q: Technique.distance_profile(technique, q, collection),
+        queries,
+        repeats,
+    )
+    batch = _time_per_query(
+        lambda q: technique.distance_profile(q, collection),
+        queries,
+        repeats,
+    )
+    return _row(technique.name, "distance", per_pair, batch)
+
+
+def _bench_probability(
+    technique, collection, queries, epsilon, repeats
+) -> Dict:
+    per_pair = _time_per_query(
+        lambda q: Technique.probability_profile(
+            technique, q, collection, epsilon
+        ),
+        queries,
+        repeats,
+    )
+    batch = _time_per_query(
+        lambda q: technique.probability_profile(q, collection, epsilon),
+        queries,
+        repeats,
+    )
+    return _row(technique.name, "probability", per_pair, batch)
+
+
+def _row(name: str, kind: str, per_pair: float, batch: float) -> Dict:
+    speedup = per_pair / batch if batch > 0 else float("inf")
+    print(
+        f"  {name:22s} per-pair {per_pair * 1e3:9.3f} ms/query   "
+        f"batch {batch * 1e3:9.3f} ms/query   speedup {speedup:6.1f}x"
+    )
+    return {
+        "technique": name,
+        "kind": kind,
+        "per_pair_seconds_per_query": per_pair,
+        "batch_seconds_per_query": batch,
+        "speedup": speedup,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-series", type=int, default=200)
+    parser.add_argument("--length", type=int, default=128)
+    parser.add_argument("--queries", type=int, default=20)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload for CI smoke runs",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.n_series, args.length, args.queries, args.repeats = 40, 32, 4, 1
+
+    munich_samples = 3
+    pdf, multisample = _build_workload(
+        args.n_series, args.length, munich_samples
+    )
+    query_indices = np.linspace(
+        0, args.n_series - 1, args.queries, dtype=int
+    )
+    pdf_queries = [pdf[i] for i in query_indices]
+    ms_queries = [multisample[i] for i in query_indices]
+    # A mid-scale ε: roughly the 10th-NN band, so MUNICH's bounds filter
+    # faces a realistic accept/reject/undecided mix.
+    sample = np.vstack([s.observations for s in pdf])
+    epsilon = float(
+        np.median(
+            np.sqrt(((sample[:20, None, :] - sample[None, :20, :]) ** 2).sum(-1))
+        )
+        * 0.6
+    )
+
+    print(
+        f"workload: {args.n_series} series x {args.length} timestamps, "
+        f"{args.queries} queries, normal sigma=0.4, epsilon={epsilon:.2f}"
+    )
+    results = [
+        _bench_distance(EuclideanTechnique(), pdf, pdf_queries, args.repeats),
+        _bench_distance(DustTechnique(), pdf, pdf_queries, args.repeats),
+        _bench_distance(
+            FilteredTechnique.uma(), pdf, pdf_queries, args.repeats
+        ),
+        _bench_distance(
+            FilteredTechnique.uema(), pdf, pdf_queries, args.repeats
+        ),
+        _bench_probability(
+            ProudTechnique(assumed_std=0.7),
+            pdf,
+            pdf_queries,
+            epsilon,
+            args.repeats,
+        ),
+        _bench_probability(
+            MunichTechnique(Munich(tau=0.5, n_bins=512)),
+            multisample,
+            ms_queries,
+            epsilon,
+            args.repeats,
+        ),
+    ]
+
+    payload = {
+        "benchmark": "batch query engine: per-pair vs vectorized profiles",
+        "workload": {
+            "n_series": args.n_series,
+            "length": args.length,
+            "n_queries": int(args.queries),
+            "scenario": "normal sigma=0.4",
+            "munich_samples": munich_samples,
+            "epsilon": epsilon,
+            "seed": SEED,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": results,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"[written to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -74,7 +74,10 @@ from .queries import (
     FilteredTechnique,
     MunichTechnique,
     ProudTechnique,
+    QueryEngine,
+    Technique,
     knn_query,
+    knn_technique_query,
     probabilistic_range_query,
     range_query,
 )
@@ -95,10 +98,11 @@ __all__ = [
     "uma_distance", "uema_distance",
     # techniques
     "Munich", "Proud", "Dust", "DustTable", "DustTableCache",
-    "EuclideanTechnique", "DustTechnique", "FilteredTechnique",
+    "Technique", "EuclideanTechnique", "DustTechnique", "FilteredTechnique",
     "ProudTechnique", "MunichTechnique",
     # queries
-    "range_query", "probabilistic_range_query", "knn_query",
+    "QueryEngine", "range_query", "probabilistic_range_query", "knn_query",
+    "knn_technique_query",
     # datasets
     "generate_dataset", "load_ucr_directory", "UCR_SPECS",
     "PAPER_DATASET_NAMES",

@@ -61,6 +61,40 @@ def manhattan(x: np.ndarray, y: np.ndarray) -> float:
     return lp_distance(x, y, p=1.0)
 
 
+def euclidean_profile(query: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Euclidean distance from ``query`` to every row of ``matrix``.
+
+    The batch counterpart of :func:`euclidean` — one exact row-wise kernel
+    (no norm-expansion cancellation), used by the query engine's
+    distance-profile paths.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+    if matrix.shape[1] != query.size:
+        raise InvalidParameterError(
+            f"query length {query.size} != row length {matrix.shape[1]}"
+        )
+    difference = matrix - query[None, :]
+    return np.sqrt(np.einsum("ij,ij->i", difference, difference))
+
+
+def manhattan_profile(query: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Manhattan distance from ``query`` to every row of ``matrix``."""
+    query = np.asarray(query, dtype=np.float64)
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+    if matrix.shape[1] != query.size:
+        raise InvalidParameterError(
+            f"query length {query.size} != row length {matrix.shape[1]}"
+        )
+    return np.abs(matrix - query[None, :]).sum(axis=1)
+
+
+# Batch hooks consumed by repro.distances.base.distance_profile: a distance
+# callable may carry a `.profile(query, matrix)` vectorized fast path.
+euclidean.profile = euclidean_profile
+manhattan.profile = manhattan_profile
+
+
 def euclidean_matrix(rows: np.ndarray, columns: np.ndarray) -> np.ndarray:
     """Vectorized pairwise Euclidean distances between two series stacks.
 

@@ -57,6 +57,11 @@ class Proud:
         if synopsis_coefficients is not None:
             self._synopsis = WaveletSynopsisModel(synopsis_coefficients)
 
+    @property
+    def synopsis(self) -> Optional[WaveletSynopsisModel]:
+        """The Haar-synopsis model when enabled, else ``None``."""
+        return self._synopsis
+
     def distance_distribution(
         self, x: UncertainTimeSeries, y: UncertainTimeSeries
     ) -> DistanceDistribution:

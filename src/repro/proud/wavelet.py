@@ -42,7 +42,24 @@ class WaveletSynopsisModel:
         self.n_coefficients = n_coefficients
         # Synopses are deterministic functions of the observations; cache by
         # object identity so repeated queries over a collection are cheap.
-        self._cache: Dict[int, Tuple[np.ndarray, np.ndarray, int, float]] = {}
+        # Each entry stores the series itself alongside the synopsis: the
+        # strong reference pins id(series) so the key can never be recycled
+        # by a new object after garbage collection.
+        self._cache: Dict[
+            int,
+            Tuple[
+                UncertainTimeSeries, Tuple[np.ndarray, np.ndarray, int, float]
+            ],
+        ] = {}
+
+    def clear_cache(self) -> None:
+        """Drop all cached synopses (and their pinned series references).
+
+        Callers that sweep many collections (the harness calls
+        ``Technique.reset`` between datasets) use this to keep the
+        identity-keyed cache from growing without bound.
+        """
+        self._cache.clear()
 
     def _synopsize(
         self, series: UncertainTimeSeries
@@ -51,7 +68,7 @@ class WaveletSynopsisModel:
         key = id(series)
         cached = self._cache.get(key)
         if cached is not None:
-            return cached
+            return cached[1]
         synopsis = haar_synopsis(series.observations, self.n_coefficients)
         mean_variance = float(series.error_model.variances().mean())
         coefficient_variance = (
@@ -63,7 +80,7 @@ class WaveletSynopsisModel:
             synopsis.padded_length,
             coefficient_variance,
         )
-        self._cache[key] = result
+        self._cache[key] = (series, result)
         return result
 
     def distance_distribution(

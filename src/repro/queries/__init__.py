@@ -1,7 +1,20 @@
-"""Query framework: RQ / PRQ / top-k and the threshold-calibration protocol."""
+"""Query framework: RQ / PRQ / top-k and the threshold-calibration protocol.
+
+Collection-level scoring runs through the batch query engine
+(:mod:`repro.queries.engine`): techniques expose vectorized
+``distance_profile`` / ``probability_profile`` methods whose per-collection
+materializations (values matrices, filtered matrices, error-model codes,
+bounding intervals) are cached by :class:`~repro.queries.engine.QueryEngine`.
+"""
 
 from __future__ import annotations
 
+from .engine import (
+    DEFAULT_MAX_COLLECTIONS,
+    SHARED_ENGINE,
+    CollectionMaterialization,
+    QueryEngine,
+)
 from .knn import (
     euclidean_knn_table,
     knn_indices,
@@ -30,6 +43,10 @@ from .thresholds import (
 )
 
 __all__ = [
+    "QueryEngine",
+    "CollectionMaterialization",
+    "SHARED_ENGINE",
+    "DEFAULT_MAX_COLLECTIONS",
     "Technique",
     "EuclideanTechnique",
     "DustTechnique",

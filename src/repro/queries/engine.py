@@ -1,0 +1,276 @@
+"""Batch query engine: per-collection materializations for vectorized queries.
+
+Architecture note
+-----------------
+
+Every similarity workload in the repo — the harness scoring loops, the
+ε-calibration protocol, kNN, and range queries — asks one question many
+times: *"score one query against every series of a collection"*.  Answering
+it pair-by-pair pays a Python-interpreter round-trip per candidate.  The
+batch engine removes that overhead in two pieces:
+
+* :class:`CollectionMaterialization` turns one collection into the dense
+  NumPy arrays the vectorized kernels consume — the ``(N, n)`` observation
+  matrix, per-filter filtered matrices (UMA/UEMA), the error-model *code*
+  matrix that groups DUST's lookup-table applications, per-timestamp error
+  variances (PROUD), and sample/bounding-interval stacks (MUNICH).  Every
+  array is built lazily, at most once.
+* :class:`QueryEngine` owns those materializations, keyed by collection
+  identity.  Unlike the earlier per-technique ``id(series)`` dicts, the
+  engine holds a **strong reference** to each keyed collection, so a key
+  can never be silently reused after garbage collection (the stale-cache
+  hazard).  Capacity is bounded: the least recently used collection is
+  evicted — together with its strong reference — once the bound is hit.
+
+Consumers reach the engine through
+:meth:`repro.queries.techniques.Technique.distance_profile` /
+``probability_profile``, which every concrete technique overrides with a
+truly vectorized kernel; the default implementations fall back to the
+per-pair methods, so third-party techniques keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import InvalidParameterError, LengthMismatchError
+from ..core.series import TimeSeries
+from ..core.uncertain import (
+    MultisampleUncertainTimeSeries,
+    UncertainTimeSeries,
+)
+from ..distances.filtered import FilteredEuclidean
+from ..distributions.base import ErrorDistribution
+
+#: Default number of collections an engine keeps materialized at once.
+DEFAULT_MAX_COLLECTIONS = 8
+
+
+def _stack(rows: List[np.ndarray]) -> np.ndarray:
+    """``np.vstack`` with the repo's error type for ragged collections."""
+    lengths = {row.shape[-1] for row in rows}
+    if len(lengths) > 1:
+        raise LengthMismatchError(
+            max(lengths), min(lengths),
+            "collection materialization (all series must share one length)",
+        )
+    return np.vstack(rows)
+
+
+def _point_estimate(item) -> np.ndarray:
+    """One value per timestamp, mirroring ``Collection.values_matrix``."""
+    if isinstance(item, UncertainTimeSeries):
+        return item.observations
+    if isinstance(item, TimeSeries):
+        return item.values
+    if isinstance(item, MultisampleUncertainTimeSeries):
+        return item.means()
+    return np.asarray(item, dtype=np.float64)
+
+
+class CollectionMaterialization:
+    """Lazily-built dense views of one collection of series.
+
+    The materialization keeps a strong reference to the collection it was
+    built from (``self.collection``), which is what makes identity-keyed
+    caching sound: the key ``id(collection)`` cannot be recycled while the
+    entry is alive.
+    """
+
+    __slots__ = (
+        "collection",
+        "_items",
+        "_values",
+        "_variances",
+        "_filtered",
+        "_model_codes",
+        "_sample_columns",
+        "_bounds",
+    )
+
+    def __init__(self, collection: Sequence) -> None:
+        self.collection = collection
+        # Snapshot of the members at materialization time.  The strong
+        # references pin each item, so is_current() can compare by identity
+        # without id-recycling false positives; a caller that mutates the
+        # collection in place (append / replace / remove) is detected and
+        # the engine rebuilds instead of serving stale arrays.
+        self._items = list(collection)
+        self._values: np.ndarray = None
+        self._variances: np.ndarray = None
+        self._filtered: Dict[Hashable, np.ndarray] = {}
+        self._model_codes: Tuple[np.ndarray, Tuple[ErrorDistribution, ...]] = None
+        self._sample_columns: Dict[int, np.ndarray] = {}
+        self._bounds: Tuple[np.ndarray, np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.collection)
+
+    def is_current(self) -> bool:
+        """Whether the collection still holds exactly the snapshotted items.
+
+        O(N) identity comparisons — negligible next to any batch kernel.
+        (In-place mutation of a *series'* internal arrays is not detected;
+        series are treated as immutable value holders, as everywhere else
+        in the library.)
+        """
+        if len(self.collection) != len(self._items):
+            return False
+        return all(
+            item is snapshot
+            for item, snapshot in zip(self.collection, self._items)
+        )
+
+    def values_matrix(self) -> np.ndarray:
+        """``(N, n)`` matrix of point estimates (observations / values /
+        per-timestamp sample means, by series kind)."""
+        if self._values is None:
+            self._values = _stack([
+                _point_estimate(item) for item in self._items
+            ])
+        return self._values
+
+    def variances_matrix(self) -> np.ndarray:
+        """``(N, n)`` matrix of reported per-timestamp error variances."""
+        if self._variances is None:
+            self._variances = _stack([
+                item.error_model.variances() for item in self._items
+            ])
+        return self._variances
+
+    def filtered_matrix(self, filtered: FilteredEuclidean) -> np.ndarray:
+        """``(N, n)`` matrix of the collection filtered by ``filtered``.
+
+        One row per series; every series is filtered exactly once per
+        filter configuration (the :class:`FilteredEuclidean` value object
+        is the key).
+        """
+        matrix = self._filtered.get(filtered)
+        if matrix is None:
+            matrix = _stack([
+                filtered.filter_uncertain(item) for item in self._items
+            ])
+            self._filtered[filtered] = matrix
+        return matrix
+
+    def model_codes(
+        self,
+    ) -> Tuple[np.ndarray, Tuple[ErrorDistribution, ...]]:
+        """Integer codes of every series' per-timestamp error distribution.
+
+        Returns ``(codes, distincts)`` where ``codes`` is an ``(N, n)``
+        integer matrix and ``distincts[codes[j, i]]`` is series ``j``'s
+        error distribution at timestamp ``i``.  DUST's batch kernel groups
+        table applications by these codes, so a homogeneous collection
+        costs a single vectorized lookup.
+        """
+        if self._model_codes is None:
+            mapping: Dict[ErrorDistribution, int] = {}
+            n_series = len(self._items)
+            length = len(self._items[0]) if n_series else 0
+            codes = np.empty((n_series, length), dtype=np.intp)
+            for row, item in enumerate(self._items):
+                model = item.error_model
+                if model.is_homogeneous:
+                    distribution = model[0]
+                    code = mapping.setdefault(distribution, len(mapping))
+                    codes[row, :] = code
+                else:
+                    codes[row, :] = [
+                        mapping.setdefault(d, len(mapping)) for d in model
+                    ]
+            self._model_codes = (codes, tuple(mapping))
+        return self._model_codes
+
+    def sample_column_matrix(self, column: int = 0) -> np.ndarray:
+        """``(N, n)`` matrix of multisample series' ``column``-th draws.
+
+        Column 0 is the paper's "single observation" view of a repeated-
+        observation series (MUNICH's ε_eucl calibration).
+        """
+        matrix = self._sample_columns.get(column)
+        if matrix is None:
+            matrix = _stack([
+                item.samples[:, column] for item in self._items
+            ])
+            self._sample_columns[column] = matrix
+        return matrix
+
+    def bounding_matrices(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Stacked minimal bounding intervals: ``(low, high)``, each
+        ``(N, n)`` (MUNICH's summarization structures, Section 2.1)."""
+        if self._bounds is None:
+            lows: List[np.ndarray] = []
+            highs: List[np.ndarray] = []
+            for item in self._items:
+                low, high = item.bounding_intervals()
+                lows.append(low)
+                highs.append(high)
+            self._bounds = (_stack(lows), _stack(highs))
+        return self._bounds
+
+
+class QueryEngine:
+    """Identity-keyed cache of :class:`CollectionMaterialization` objects.
+
+    Parameters
+    ----------
+    max_collections:
+        How many distinct collections stay materialized; the least
+        recently used entry (and its strong collection reference) is
+        dropped beyond this.  The harness touches at most two collections
+        per run (pdf and multisample forms), so the default is generous.
+    """
+
+    def __init__(self, max_collections: int = DEFAULT_MAX_COLLECTIONS) -> None:
+        if max_collections < 1:
+            raise InvalidParameterError(
+                f"max_collections must be >= 1, got {max_collections}"
+            )
+        self.max_collections = max_collections
+        self._entries: Dict[int, CollectionMaterialization] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def materialize(self, collection: Sequence) -> CollectionMaterialization:
+        """Fetch (building on first use) the materialization of a collection.
+
+        The entry holds a strong reference to ``collection``: while it is
+        cached, ``id(collection)`` cannot be recycled, so a hit is always
+        the same object that was keyed.
+        """
+        key = id(collection)
+        entry = self._entries.get(key)
+        if entry is not None:
+            if entry.is_current():
+                # Move to the back of the (insertion-ordered) dict: LRU.
+                del self._entries[key]
+                self._entries[key] = entry
+                return entry
+            # The collection was mutated in place since materialization;
+            # drop the stale entry and rebuild below.
+            del self._entries[key]
+        entry = CollectionMaterialization(collection)
+        if len(self._entries) >= self.max_collections:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[key] = entry
+        return entry
+
+    def clear(self) -> None:
+        """Drop every materialization (and its collection reference)."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryEngine(collections={len(self._entries)}, "
+            f"max_collections={self.max_collections})"
+        )
+
+
+#: Engine shared by techniques that are not given their own (one per
+#: process keeps Euclidean / PROUD / UMA reusing the same values matrix).
+SHARED_ENGINE = QueryEngine()

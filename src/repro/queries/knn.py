@@ -13,7 +13,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.errors import InvalidParameterError
-from ..distances.base import Distance
+from ..distances.base import Distance, distance_profile
 from ..distances.lp import euclidean_matrix
 
 
@@ -45,12 +45,14 @@ def knn_query(
     k: int,
     exclude: Optional[int] = None,
 ) -> List[int]:
-    """Top-k query under an arbitrary distance callable."""
-    matrix = np.atleast_2d(np.asarray(collection_values, dtype=np.float64))
-    query_values = np.asarray(query_values, dtype=np.float64)
-    distances = np.array(
-        [distance(query_values, row) for row in matrix]
-    )
+    """Top-k query under an arbitrary distance callable.
+
+    Distances are computed through the batch
+    :func:`~repro.distances.base.distance_profile` entry point, so measures
+    with a vectorized ``profile`` hook (Euclidean, Manhattan, filtered
+    Euclidean) score the whole collection in one kernel.
+    """
+    distances = distance_profile(distance, query_values, collection_values)
     return knn_indices(distances, k, exclude=exclude)
 
 
@@ -74,9 +76,7 @@ def knn_technique_query(
             f"top-k requires a distance technique; {technique.name} is "
             f"probabilistic and its ranking depends on epsilon"
         )
-    distances = np.array(
-        [technique.distance(query, candidate) for candidate in collection]
-    )
+    distances = technique.distance_profile(query, collection)
     return knn_indices(distances, k, exclude=exclude)
 
 

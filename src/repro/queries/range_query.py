@@ -4,6 +4,12 @@ Both return *candidate indices* into a collection, leaving presentation to
 the caller.  The query itself may be a member of the collection; pass its
 index via ``exclude`` to implement the paper's protocol where every series
 takes a turn as the query against the rest.
+
+Both entry points are batched: the whole per-candidate score vector comes
+from one :func:`~repro.distances.base.distance_profile` call (RQ) or one
+:meth:`~repro.queries.techniques.Technique.distance_profile` /
+``probability_profile`` call (PRQ), so collections are scanned at NumPy
+speed rather than one Python call per candidate.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ import numpy as np
 
 from ..core.collection import Collection
 from ..core.errors import InvalidParameterError
-from ..distances.base import Distance
+from ..distances.base import Distance, distance_profile
 from .techniques import Technique
 
 
@@ -32,14 +38,11 @@ def range_query(
     """
     if epsilon < 0.0:
         raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
-    matrix = np.atleast_2d(np.asarray(collection_values, dtype=np.float64))
-    result = []
-    for index in range(matrix.shape[0]):
-        if exclude is not None and index == exclude:
-            continue
-        if distance(np.asarray(query_values, dtype=np.float64), matrix[index]) <= epsilon:
-            result.append(index)
-    return result
+    distances = distance_profile(distance, query_values, collection_values)
+    indices = np.flatnonzero(distances <= epsilon)
+    if exclude is not None:
+        indices = indices[indices != exclude]
+    return indices.tolist()
 
 
 def probabilistic_range_query(
@@ -53,17 +56,25 @@ def probabilistic_range_query(
     """``PRQ(Q, C, ε, τ)`` (Equation 2) under any :class:`Technique`.
 
     For distance techniques ``τ`` is ignored (their answer is exact); for
-    probabilistic techniques it is required.
+    probabilistic techniques it is required.  Scores come from the
+    technique's batch profile, so one call covers the collection.
     """
     if epsilon < 0.0:
         raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
-    result = []
-    for index, candidate in enumerate(collection):
-        if exclude is not None and index == exclude:
-            continue
-        if technique.matches(query, candidate, epsilon, tau=tau):
-            result.append(index)
-    return result
+    if technique.kind == "distance":
+        scores = technique.distance_profile(query, collection)
+        mask = scores <= epsilon
+    else:
+        if tau is None:
+            raise InvalidParameterError(
+                f"{technique.name} requires a probability threshold tau"
+            )
+        scores = technique.probability_profile(query, collection, epsilon)
+        mask = scores >= tau
+    indices = np.flatnonzero(mask)
+    if exclude is not None:
+        indices = indices[indices != exclude]
+    return indices.tolist()
 
 
 def result_set_from_scores(

@@ -15,12 +15,26 @@ methods on one common task.  The harness talks to every method through the
 
 Exposing the raw probability (rather than just the boolean) lets the
 evaluation layer sweep ``τ`` cheaply to find the paper's "optimal τ".
+
+Batch API
+---------
+
+Each technique additionally answers *collection-level* queries through
+:meth:`Technique.distance_profile` / :meth:`Technique.probability_profile`:
+one call scores a query against every series of a collection and returns
+the ``(N,)`` vector of distances or match probabilities.  The base-class
+implementations fall back to the per-pair methods; every concrete
+technique overrides them with a vectorized kernel backed by the
+:class:`~repro.queries.engine.QueryEngine` materialization cache, which is
+what makes the harness scoring loops, ε-calibration, kNN, and range
+queries run at NumPy speed instead of one interpreter round-trip per
+candidate.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,12 +45,15 @@ from ..core.uncertain import (
     UncertainTimeSeries,
 )
 from ..distances.filtered import FilteredEuclidean
-from ..distances.lp import euclidean
+from ..distances.lp import euclidean, euclidean_profile
 from ..distributions import make_distribution
 from ..dust.distance import Dust
 from ..dust.tables import DustTableCache
+from ..munich.bounds import interval_gap_and_span
 from ..munich.query import Munich
 from ..proud.query import Proud
+from ..stats.normal import std_normal_cdf
+from .engine import SHARED_ENGINE, QueryEngine
 
 
 class Technique(abc.ABC):
@@ -48,9 +65,33 @@ class Technique(abc.ABC):
     kind: str = "distance"
     #: ``"pdf"`` for single-observation input, ``"multisample"`` for MUNICH.
     input_kind: str = "pdf"
+    #: Materialization cache; instances may attach their own.
+    _engine: Optional[QueryEngine] = None
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The :class:`QueryEngine` backing this technique's batch kernels.
+
+        Defaults to the process-wide shared engine so techniques compared
+        side by side reuse one values matrix per collection.
+        """
+        if self._engine is None:
+            return SHARED_ENGINE
+        return self._engine
+
+    def attach_engine(self, engine: QueryEngine) -> None:
+        """Use ``engine`` for this technique's collection materializations."""
+        self._engine = engine
 
     def reset(self) -> None:
-        """Drop any per-collection caches (called between datasets)."""
+        """Drop any per-collection caches (called between datasets).
+
+        A privately attached engine is cleared; the shared engine is left
+        alone (it is identity-keyed with strong references, so entries can
+        never go stale — eviction is purely a capacity concern).
+        """
+        if self._engine is not None:
+            self._engine.clear()
 
     def distance(self, query, candidate) -> float:
         """Distance value (distance techniques only)."""
@@ -62,6 +103,38 @@ class Technique(abc.ABC):
             f"{self.name} is not a probabilistic technique"
         )
 
+    def distance_profile(self, query, collection: Sequence) -> np.ndarray:
+        """Distances from ``query`` to every series of ``collection``.
+
+        The base implementation loops over :meth:`distance`; concrete
+        distance techniques override it with a vectorized kernel.  The
+        result aligns with ``collection`` (entry ``j`` scores series
+        ``j``), so callers exclude self-matches by indexing.
+        """
+        return np.fromiter(
+            (self.distance(query, candidate) for candidate in collection),
+            dtype=np.float64,
+            count=len(collection),
+        )
+
+    def probability_profile(
+        self, query, collection: Sequence, epsilon: float
+    ) -> np.ndarray:
+        """``Pr(distance <= ε)`` against every series of ``collection``.
+
+        Base implementation loops over :meth:`probability`; probabilistic
+        techniques override it with a kernel vectorized over the candidate
+        axis.
+        """
+        return np.fromiter(
+            (
+                self.probability(query, candidate, epsilon)
+                for candidate in collection
+            ),
+            dtype=np.float64,
+            count=len(collection),
+        )
+
     def calibration_distance(self, query, candidate) -> float:
         """Distance used to derive this technique's ``ε`` from the 10th NN.
 
@@ -69,6 +142,23 @@ class Technique(abc.ABC):
         Euclidean on the observations (the paper's ``ε_eucl``).
         """
         return self.distance(query, candidate)
+
+    def calibration_profile(self, query, collection: Sequence) -> np.ndarray:
+        """Calibration distances from ``query`` to every collection series.
+
+        For distance techniques this *is* :meth:`distance_profile`, so the
+        harness derives ε and the result set from one batch computation.
+        """
+        if self.kind == "distance":
+            return self.distance_profile(query, collection)
+        return np.fromiter(
+            (
+                self.calibration_distance(query, candidate)
+                for candidate in collection
+            ),
+            dtype=np.float64,
+            count=len(collection),
+        )
 
     def matches(self, query, candidate, epsilon: float,
                 tau: Optional[float] = None) -> bool:
@@ -97,6 +187,13 @@ class EuclideanTechnique(Technique):
     ) -> float:
         return euclidean(query.observations, candidate.observations)
 
+    def distance_profile(
+        self, query: UncertainTimeSeries, collection: Sequence
+    ) -> np.ndarray:
+        """Row-wise Euclidean against the cached ``(N, n)`` values matrix."""
+        matrix = self.engine.materialize(collection).values_matrix()
+        return euclidean_profile(query.observations, matrix)
+
 
 class DustTechnique(Technique):
     """DUST distance using each series' *reported* error model."""
@@ -118,12 +215,60 @@ class DustTechnique(Technique):
     ) -> float:
         return self._dust.distance(query, candidate)
 
+    def distance_profile(
+        self, query: UncertainTimeSeries, collection: Sequence
+    ) -> np.ndarray:
+        """DUST lifted to the whole ``(N, n)`` difference matrix.
+
+        Cells are grouped by their ``(error_q, error_c)`` lookup table via
+        the collection's cached error-model code matrix, so a homogeneous
+        run costs a single vectorized table application and mixed-error
+        runs cost one per distinct pair — never one per candidate.
+        """
+        materialized = self.engine.materialize(collection)
+        values = materialized.values_matrix()
+        differences = np.abs(values - query.observations[None, :])
+        codes, distincts = materialized.model_codes()
+
+        query_model = query.error_model
+        table_cache = self._dust.cache
+        if query_model.is_homogeneous and len(distincts) == 1:
+            table = table_cache.get(query_model[0], distincts[0])
+            return np.sqrt(table.dust_squared(differences).sum(axis=1))
+
+        # Map the query's per-timestamp distributions into the collection's
+        # code space (extending it for distributions unseen there).
+        mapping = {distribution: i for i, distribution in enumerate(distincts)}
+        query_codes = np.fromiter(
+            (
+                mapping.setdefault(distribution, len(mapping))
+                for distribution in query_model
+            ),
+            dtype=np.intp,
+            count=len(query_model),
+        )
+        all_distinct = list(mapping)
+        n_codes = len(all_distinct)
+        pair_codes = query_codes[None, :] * n_codes + codes
+        dust_squared = np.empty_like(differences)
+        for pair in np.unique(pair_codes):
+            query_index, candidate_index = divmod(int(pair), n_codes)
+            table = table_cache.get(
+                all_distinct[query_index], all_distinct[candidate_index]
+            )
+            cells = pair_codes == pair
+            dust_squared[cells] = table.dust_squared(differences[cells])
+        return np.sqrt(dust_squared.sum(axis=1))
+
 
 class FilteredTechnique(Technique):
     """UMA / UEMA / MA / EMA: Euclidean over filtered sequences.
 
-    Filtered versions of each series are cached by object identity, so a
-    full query workload filters every series exactly once.
+    Filtered versions of each series are cached so a full query workload
+    filters every series exactly once: collection-level matrices live in
+    the query engine, and the per-pair path memoizes per series while
+    holding a strong reference (object identity stays valid for exactly as
+    long as the entry exists).
     """
 
     kind = "distance"
@@ -131,7 +276,7 @@ class FilteredTechnique(Technique):
     def __init__(self, filtered: FilteredEuclidean) -> None:
         self.filtered = filtered
         self.name = filtered.name
-        self._cache: Dict[int, np.ndarray] = {}
+        self._cache: Dict[int, Tuple[UncertainTimeSeries, np.ndarray]] = {}
 
     @classmethod
     def uma(cls, window: int = 2) -> "FilteredTechnique":
@@ -145,14 +290,16 @@ class FilteredTechnique(Technique):
 
     def reset(self) -> None:
         self._cache.clear()
+        super().reset()
 
     def _filtered_values(self, series: UncertainTimeSeries) -> np.ndarray:
         key = id(series)
-        values = self._cache.get(key)
-        if values is None:
+        entry = self._cache.get(key)
+        if entry is None:
             values = self.filtered.filter_uncertain(series)
-            self._cache[key] = values
-        return values
+            self._cache[key] = (series, values)
+            return values
+        return entry[1]
 
     def distance(
         self, query: UncertainTimeSeries, candidate: UncertainTimeSeries
@@ -160,6 +307,15 @@ class FilteredTechnique(Technique):
         return euclidean(
             self._filtered_values(query), self._filtered_values(candidate)
         )
+
+    def distance_profile(
+        self, query: UncertainTimeSeries, collection: Sequence
+    ) -> np.ndarray:
+        """Row-wise Euclidean over the cached filtered ``(N, n)`` matrix."""
+        matrix = self.engine.materialize(collection).filtered_matrix(
+            self.filtered
+        )
+        return euclidean_profile(self._filtered_values(query), matrix)
 
 
 class ProudTechnique(Technique):
@@ -185,10 +341,15 @@ class ProudTechnique(Technique):
         # here only matters for direct interactive use.
         self._proud = Proud(tau=0.5, synopsis_coefficients=synopsis_coefficients)
         self.assumed_std = assumed_std
-        self._model_cache: Dict[int, UncertainTimeSeries] = {}
+        self._model_cache: Dict[
+            int, Tuple[UncertainTimeSeries, UncertainTimeSeries]
+        ] = {}
 
     def reset(self) -> None:
         self._model_cache.clear()
+        if self._proud.synopsis is not None:
+            self._proud.synopsis.clear_cache()
+        super().reset()
 
     def _with_assumed_model(
         self, series: UncertainTimeSeries
@@ -196,17 +357,20 @@ class ProudTechnique(Technique):
         if self.assumed_std is None:
             return series
         key = id(series)
-        cached = self._model_cache.get(key)
-        if cached is None:
+        entry = self._model_cache.get(key)
+        if entry is None:
             model = ErrorModel.constant(
                 make_distribution("normal", self.assumed_std), len(series)
             )
-            cached = UncertainTimeSeries(
+            rewritten = UncertainTimeSeries(
                 series.observations, model,
                 label=series.label, name=series.name,
             )
-            self._model_cache[key] = cached
-        return cached
+            # The original series is kept alongside the rewrite: the strong
+            # reference pins its id for the lifetime of the cache entry.
+            self._model_cache[key] = (series, rewritten)
+            return rewritten
+        return entry[1]
 
     def probability(
         self,
@@ -220,10 +384,59 @@ class ProudTechnique(Technique):
             epsilon,
         )
 
+    def probability_profile(
+        self,
+        query: UncertainTimeSeries,
+        collection: Sequence,
+        epsilon: float,
+    ) -> np.ndarray:
+        """PROUD's normal model evaluated over the whole candidate axis.
+
+        The squared-distance moments (Equations 5–7) are sums of
+        per-timestamp terms, so they vectorize directly over the cached
+        values and variance matrices.  The synopsis variant estimates
+        moments per union-of-coefficients and keeps the per-pair path.
+        """
+        if self._proud.synopsis is not None:
+            return super().probability_profile(query, collection, epsilon)
+        if epsilon < 0.0:
+            raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
+        materialized = self.engine.materialize(collection)
+        values = materialized.values_matrix()
+        observed = values - query.observations[None, :]
+        if self.assumed_std is not None:
+            # Constant-σ rewrite: Var[D_i] is one scalar; broadcasting it
+            # avoids materializing (N, n) constant matrices per query.
+            assumed_variance = self.assumed_std * self.assumed_std
+            variance_d = assumed_variance + assumed_variance
+        else:
+            variances = materialized.variances_matrix()
+            query_variances = query.error_model.variances()
+            variance_d = variances + query_variances[None, :]
+        mean = (observed * observed + variance_d).sum(axis=1)
+        variance = (
+            2.0 * variance_d * variance_d
+            + 4.0 * observed * observed * variance_d
+        ).sum(axis=1)
+
+        probabilities = np.where(mean <= epsilon * epsilon, 1.0, 0.0)
+        random = variance > 0.0
+        if np.any(random):
+            z = (epsilon * epsilon - mean[random]) / np.sqrt(variance[random])
+            probabilities[random] = std_normal_cdf(z)
+        return probabilities
+
     def calibration_distance(
         self, query: UncertainTimeSeries, candidate: UncertainTimeSeries
     ) -> float:
         return euclidean(query.observations, candidate.observations)
+
+    def calibration_profile(
+        self, query: UncertainTimeSeries, collection: Sequence
+    ) -> np.ndarray:
+        """Vectorized ε_eucl: Euclidean on observations, row-wise."""
+        matrix = self.engine.materialize(collection).values_matrix()
+        return euclidean_profile(query.observations, matrix)
 
 
 class MunichTechnique(Technique):
@@ -249,6 +462,43 @@ class MunichTechnique(Technique):
     ) -> float:
         return self._munich.probability(query, candidate, epsilon)
 
+    def probability_profile(
+        self,
+        query: MultisampleUncertainTimeSeries,
+        collection: Sequence,
+        epsilon: float,
+    ) -> np.ndarray:
+        """MUNICH's bounding filter vectorized over the candidate axis.
+
+        The minimal-bounding-interval bounds (Section 2.1) are computed
+        for *all* candidates in one shot from the cached interval stacks;
+        only the undecided middle — candidates whose bounds straddle ε —
+        pays the per-pair probability evaluation.  With bounds disabled
+        every candidate is "undecided" and the behaviour matches the
+        per-pair path exactly.
+        """
+        if epsilon < 0.0:
+            raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
+        n_series = len(collection)
+        probabilities = np.empty(n_series)
+        if self._munich.use_bounds:
+            materialized = self.engine.materialize(collection)
+            low, high = materialized.bounding_matrices()
+            query_low, query_high = query.bounding_intervals()
+            gap, span = interval_gap_and_span(low, high, query_low, query_high)
+            lower = np.sqrt((gap * gap).sum(axis=1))
+            upper = np.sqrt((span * span).sum(axis=1))
+            probabilities[lower > epsilon] = 0.0
+            probabilities[upper <= epsilon] = 1.0
+            undecided = np.flatnonzero((lower <= epsilon) & (upper > epsilon))
+        else:
+            undecided = np.arange(n_series)
+        for index in undecided:
+            probabilities[index] = self._munich.probability(
+                query, collection[index], epsilon
+            )
+        return probabilities
+
     def calibration_distance(
         self,
         query: MultisampleUncertainTimeSeries,
@@ -261,3 +511,10 @@ class MunichTechnique(Technique):
         # MUNICH's materialization distances carry, systematically deflating
         # its match probabilities.
         return euclidean(query.samples[:, 0], candidate.samples[:, 0])
+
+    def calibration_profile(
+        self, query: MultisampleUncertainTimeSeries, collection: Sequence
+    ) -> np.ndarray:
+        """Vectorized ε_eucl over the cached column-0 sample matrix."""
+        matrix = self.engine.materialize(collection).sample_column_matrix(0)
+        return euclidean_profile(query.samples[:, 0], matrix)
