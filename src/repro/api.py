@@ -11,6 +11,10 @@ For downstream users who just want to *use* the techniques::
     dust = api.Dust()
     d = dust.distance(uncertain[0], uncertain[1])
 
+    # the declarative all-pairs surface
+    session = api.SimilaritySession(uncertain)
+    top10 = session.queries().using(api.DustTechnique()).knn(10)
+
 Everything here is importable from its home subpackage too; this module
 adds no behaviour.
 """
@@ -72,11 +76,17 @@ from .queries import (
     DustTechnique,
     EuclideanTechnique,
     FilteredTechnique,
+    KnnResult,
+    MatrixResult,
     MunichTechnique,
     ProudTechnique,
     QueryEngine,
+    QuerySet,
+    RangeResult,
+    SimilaritySession,
     Technique,
     knn_query,
+    knn_table,
     knn_technique_query,
     probabilistic_range_query,
     range_query,
@@ -101,7 +111,9 @@ __all__ = [
     "Technique", "EuclideanTechnique", "DustTechnique", "FilteredTechnique",
     "ProudTechnique", "MunichTechnique",
     # queries
-    "QueryEngine", "range_query", "probabilistic_range_query", "knn_query",
+    "QueryEngine", "SimilaritySession", "QuerySet", "MatrixResult",
+    "KnnResult", "RangeResult",
+    "range_query", "probabilistic_range_query", "knn_query", "knn_table",
     "knn_technique_query",
     # datasets
     "generate_dataset", "load_ucr_directory", "UCR_SPECS",

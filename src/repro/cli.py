@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli list
     python -m repro.cli fig05 --scale tiny
     python -m repro.cli fig16 --seed 7 --out results.txt
+    python -m repro.cli fig11 --scoring profile
     python -m repro.cli uniformity
     python -m repro.cli all --scale reduced
 
@@ -134,6 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"experiment seed (default {EXPERIMENT_SEED})",
     )
     parser.add_argument(
+        "--scoring",
+        default=None,
+        choices=("matrix", "profile"),
+        help="harness scoring path: all-pairs matrix kernels (default) "
+        "or one vectorized profile per query",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help="also write the rendered tables to this file",
@@ -161,6 +169,11 @@ def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.scoring is not None:
+        from .evaluation.harness import set_default_scoring
+
+        set_default_scoring(args.scoring)
 
     if args.figure == "list":
         print("available figures:")

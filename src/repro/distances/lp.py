@@ -95,12 +95,25 @@ euclidean.profile = euclidean_profile
 manhattan.profile = manhattan_profile
 
 
-def euclidean_matrix(rows: np.ndarray, columns: np.ndarray) -> np.ndarray:
-    """Vectorized pairwise Euclidean distances between two series stacks.
+#: Entries of the GEMM-identity squared matrix below this fraction of the
+#: norm scale are recomputed exactly: the ``||r||² + ||c||² − 2 r·c``
+#: expansion cancels catastrophically for near-duplicate pairs, and the
+#: final square root amplifies that absolute error.
+GEMM_REFINE_THRESHOLD = 1e-8
 
-    Computes ``||r||^2 + ||c||^2 - 2 r.c`` with clipping against negative
-    rounding noise; used by the harness for ground-truth construction over
-    whole datasets.
+
+def squared_euclidean_matrix(
+    rows: np.ndarray, columns: np.ndarray, refine: bool = True
+) -> np.ndarray:
+    """Pairwise squared Euclidean distances between two series stacks.
+
+    One GEMM via the norm expansion ``||r||² + ||c||² − 2 r·c``, clipped
+    against negative rounding noise.  With ``refine`` (the default) the
+    few entries small enough for the expansion's cancellation to matter —
+    near-duplicate pairs, including every self-pair of an all-pairs
+    matrix — are recomputed with the exact difference formula, keeping
+    the result within batch-kernel tolerance (1e-9) of the per-pair path
+    even after the square root.
     """
     rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
     columns = np.atleast_2d(np.asarray(columns, dtype=np.float64))
@@ -110,6 +123,30 @@ def euclidean_matrix(rows: np.ndarray, columns: np.ndarray) -> np.ndarray:
         )
     row_norms = np.einsum("ij,ij->i", rows, rows)
     column_norms = np.einsum("ij,ij->i", columns, columns)
-    squared = row_norms[:, None] + column_norms[None, :] - 2.0 * rows @ columns.T
+    scale = row_norms[:, None] + column_norms[None, :]
+    squared = scale - 2.0 * rows @ columns.T
     np.maximum(squared, 0.0, out=squared)
-    return np.sqrt(squared)
+    if refine:
+        suspects = np.argwhere(squared <= GEMM_REFINE_THRESHOLD * scale)
+        # Batched exact recomputation; chunked so a degenerate input (every
+        # pair near-duplicate) gathers bounded (K, n) stacks instead of one
+        # huge temporary or a per-entry Python loop.
+        for start in range(0, len(suspects), 1 << 16):
+            block = suspects[start:start + (1 << 16)]
+            diff = rows[block[:, 0]] - columns[block[:, 1]]
+            squared[block[:, 0], block[:, 1]] = np.einsum(
+                "ij,ij->i", diff, diff
+            )
+    return squared
+
+
+def euclidean_matrix(
+    rows: np.ndarray, columns: np.ndarray, refine: bool = True
+) -> np.ndarray:
+    """Vectorized pairwise Euclidean distances between two series stacks.
+
+    The square root of :func:`squared_euclidean_matrix`; used by the
+    harness for ground-truth construction and by the batch matrix kernels
+    (Euclidean / UMA / UEMA / ε-calibration) for all-pairs queries.
+    """
+    return np.sqrt(squared_euclidean_matrix(rows, columns, refine=refine))

@@ -127,6 +127,47 @@ class DustTable:
         """``dust(d)`` for absolute differences ``d`` (vectorized)."""
         return np.sqrt(self.dust_squared(difference))
 
+    def dust_squared_sum(self, differences: np.ndarray) -> np.ndarray:
+        """``dust(d)².sum(axis=-1)`` fused for the batch matrix kernels.
+
+        Numerically equivalent to ``self.dust_squared(differences)``
+        followed by the sum, but with in-place arithmetic and the NaN /
+        beyond-grid handling gated on whether the block actually needs
+        them — the passes that dominate all-pairs ``(M, N, n)`` lookups.
+        """
+        d = np.abs(np.asarray(differences, dtype=np.float64))
+        if self._step <= 0.0:
+            flat = np.full(d.shape[:-1], self._dust_squared[0] * d.shape[-1])
+            return flat + self._slope * d.sum(axis=-1)
+        position = np.divide(d, self._step, out=d)
+        top = np.float64(len(self._grid) - 1)
+        peak = position.max() if position.size else 0.0
+        if np.isnan(peak):
+            # Rare: fall back to the NaN-propagating scalar-grid path.
+            return self.dust_squared(differences).sum(axis=-1)
+        # int32 indices halve the gather-index traffic; positions are
+        # clamped to the grid *before* the cast, so overflow is impossible.
+        left = np.minimum(position, top - 1.0).astype(np.int32)
+        values = self._dust_squared
+        beyond_grid = peak > top
+        if beyond_grid:
+            # Keep `position` intact for the extrapolation term below.
+            fraction = np.clip(position - left, 0.0, 1.0)
+        else:
+            fraction = position
+            fraction -= left
+            np.clip(fraction, 0.0, 1.0, out=fraction)
+        interpolated = values[1:][left]  # values[left + 1], no index temp
+        anchor = values[left]
+        interpolated -= anchor
+        interpolated *= fraction
+        interpolated += anchor
+        result = interpolated.sum(axis=-1)
+        if beyond_grid:
+            overshoot = np.maximum(position - top, 0.0)
+            result += (self._slope * self._step) * overshoot.sum(axis=-1)
+        return result
+
     def __repr__(self) -> str:
         return (
             f"DustTable({self.error_x!r}, {self.error_y!r}, "

@@ -4,10 +4,13 @@ from __future__ import annotations
 
 from .harness import (
     DEFAULT_MUNICH_SAMPLES,
+    SCORING_MODES,
     ExperimentResult,
     QueryOutcome,
     TechniqueOutcome,
+    get_default_scoring,
     run_similarity_experiment,
+    set_default_scoring,
 )
 from .metrics import (
     MeanWithCI,
@@ -28,6 +31,9 @@ __all__ = [
     "TechniqueOutcome",
     "QueryOutcome",
     "DEFAULT_MUNICH_SAMPLES",
+    "SCORING_MODES",
+    "set_default_scoring",
+    "get_default_scoring",
     "PrecisionRecall",
     "score_result_set",
     "MeanWithCI",

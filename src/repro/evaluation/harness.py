@@ -16,11 +16,21 @@ Section 4.1.2 on one dataset and one perturbation scenario:
    95% confidence intervals.
 
 Per-query wall-clock time of the scoring kernel is recorded, which is what
-the time-performance figures (11–12) report.  Scoring goes through each
-technique's batch ``distance_profile`` / ``probability_profile`` (one
-vectorized call per query over the whole collection, backed by the
-:mod:`repro.queries.engine` materialization cache) rather than one
-``distance()`` call per candidate.
+the time-performance figures (11–12) report.
+
+Scoring modes
+-------------
+
+The default ``scoring="matrix"`` answers the whole protocol through the
+session API (:mod:`repro.queries.session`): one all-pairs
+``distance_matrix`` / ``probability_matrix`` kernel per technique scores
+every query row at once, each query's ε is read straight off its anchor
+column of the same (calibration) matrix, and per-query time is the
+amortized kernel time.  ``scoring="profile"`` keeps the one-vectorized-
+call-per-query path — it produces identical F1 numbers and exists as the
+reference the matrix path is benchmarked and regression-tested against
+(``benchmarks/bench_matrix.py``).  :func:`set_default_scoring` flips the
+process-wide default (the CLI's ``--scoring`` flag).
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ from ..core.errors import InvalidParameterError
 from ..core.rng import SeedLike, spawn
 from ..core.series import TimeSeries
 from ..perturbation.scenarios import PerturbationScenario
+from ..queries.session import SimilaritySession
 from ..queries.techniques import Technique
 from ..queries.thresholds import (
     PAPER_K,
@@ -50,6 +61,26 @@ from .tau import DEFAULT_TAU_GRID, optimal_tau, results_at_tau
 #: Samples per timestamp for MUNICH's repeated-observation input — the
 #: paper's Figure 4 setting ("for each timestamp, we have 5 samples").
 DEFAULT_MUNICH_SAMPLES = 5
+
+#: Recognized scoring modes (see the module docstring).
+SCORING_MODES = ("matrix", "profile")
+
+_default_scoring = "matrix"
+
+
+def set_default_scoring(mode: str) -> None:
+    """Set the process-wide default scoring mode (``"matrix"``/``"profile"``)."""
+    global _default_scoring
+    if mode not in SCORING_MODES:
+        raise InvalidParameterError(
+            f"scoring must be one of {SCORING_MODES}, got {mode!r}"
+        )
+    _default_scoring = mode
+
+
+def get_default_scoring() -> str:
+    """The scoring mode used when ``run_similarity_experiment`` gets none."""
+    return _default_scoring
 
 
 @dataclass(frozen=True)
@@ -123,6 +154,7 @@ def run_similarity_experiment(
     munich_samples: int = DEFAULT_MUNICH_SAMPLES,
     tau_grid: Sequence[float] = DEFAULT_TAU_GRID,
     fixed_tau: Optional[float] = None,
+    scoring: Optional[str] = None,
 ) -> ExperimentResult:
     """Run the full comparison protocol; see the module docstring.
 
@@ -141,7 +173,17 @@ def run_similarity_experiment(
         Number of query series (sampled deterministically); default all.
     munich_samples:
         Repeated observations per timestamp for multisample techniques.
+    scoring:
+        ``"matrix"`` (all-pairs kernels, the default) or ``"profile"``
+        (per-query vectorized rows); ``None`` uses
+        :func:`get_default_scoring`.
     """
+    if scoring is None:
+        scoring = _default_scoring
+    if scoring not in SCORING_MODES:
+        raise InvalidParameterError(
+            f"scoring must be one of {SCORING_MODES}, got {scoring!r}"
+        )
     if k < 1:
         raise InvalidParameterError(f"k must be >= 1, got {k}")
     if len(exact) <= k:
@@ -172,7 +214,16 @@ def run_similarity_experiment(
             if technique.input_kind == "multisample"
             else pdf_collection
         )
-        if technique.kind == "distance":
+        if scoring == "matrix":
+            outcome = _evaluate_technique_matrix(
+                technique,
+                collection,
+                calibrations,
+                query_indices,
+                tau_grid=tau_grid,
+                fixed_tau=fixed_tau,
+            )
+        elif technique.kind == "distance":
             outcome = _evaluate_distance_technique(
                 technique, collection, calibrations, query_indices
             )
@@ -228,6 +279,89 @@ def _candidate_indices(n_series: int, query_index: int) -> np.ndarray:
     """Every index except the query itself."""
     indices = np.arange(n_series)
     return indices[indices != query_index]
+
+
+def _evaluate_technique_matrix(
+    technique: Technique,
+    collection: Sequence,
+    calibrations: List[QueryCalibration],
+    query_indices: np.ndarray,
+    tau_grid: Sequence[float],
+    fixed_tau: Optional[float],
+) -> TechniqueOutcome:
+    """Score every query in one all-pairs kernel (the session API path).
+
+    Each query's ε is its anchor entry of the same matrix used for the
+    result sets (distance techniques) or of the calibration matrix
+    (probabilistic ones, the paper's ε_eucl).  Per-query elapsed time is
+    the amortized matrix-kernel time — the ``(M, N)`` kernel has no
+    meaningful per-row clock.
+    """
+    session = SimilaritySession(collection)
+    query_set = session.queries(query_indices).using(technique)
+    n_series = len(collection)
+    n_queries = len(query_indices)
+    anchors = np.array(
+        [calibrations[i].anchor_index for i in query_indices], dtype=np.intp
+    )
+
+    if technique.kind == "distance":
+        result = query_set.profile_matrix()
+        matrix = result.values
+        epsilons = matrix[np.arange(n_queries), anchors]
+        outcome = TechniqueOutcome(technique_name=technique.name)
+        for position, query_index in enumerate(query_indices):
+            calibration = calibrations[query_index]
+            candidates = _candidate_indices(n_series, query_index)
+            distances = matrix[position][candidates]
+            selected = candidates[distances <= epsilons[position]]
+            outcome.queries.append(
+                QueryOutcome(
+                    query_index=int(query_index),
+                    epsilon=float(epsilons[position]),
+                    scores=score_result_set(
+                        selected.tolist(), set(calibration.ground_truth)
+                    ),
+                    result_size=int(selected.size),
+                    elapsed_seconds=result.per_query_seconds,
+                )
+            )
+        return outcome
+
+    calibration_matrix = query_set.calibration_matrix()
+    epsilons = calibration_matrix.values[np.arange(n_queries), anchors]
+    result = query_set.profile_matrix(epsilon=epsilons)
+    probabilities: List[np.ndarray] = []
+    candidate_lists: List[np.ndarray] = []
+    ground_truths: List[frozenset] = []
+    for position, query_index in enumerate(query_indices):
+        candidates = _candidate_indices(n_series, query_index)
+        probabilities.append(result.values[position][candidates])
+        candidate_lists.append(candidates)
+        ground_truths.append(calibrations[query_index].ground_truth)
+
+    if fixed_tau is not None:
+        tau = fixed_tau
+    else:
+        tau = optimal_tau(
+            probabilities, candidate_lists, ground_truths, tau_grid
+        ).best_tau
+
+    scores = results_at_tau(probabilities, candidate_lists, ground_truths, tau)
+    outcome = TechniqueOutcome(technique_name=technique.name, tau=tau)
+    for position, query_index in enumerate(query_indices):
+        outcome.queries.append(
+            QueryOutcome(
+                query_index=int(query_index),
+                epsilon=float(epsilons[position]),
+                scores=scores[position],
+                result_size=int(
+                    np.count_nonzero(probabilities[position] >= tau)
+                ),
+                elapsed_seconds=result.per_query_seconds,
+            )
+        )
+    return outcome
 
 
 def _evaluate_distance_technique(

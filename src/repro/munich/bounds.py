@@ -48,9 +48,8 @@ def interval_gap_and_span(
     The minimum absolute difference is the gap between the intervals (zero
     when they overlap); the maximum is attained at opposite extremes.
     """
-    gap = np.maximum.reduce(
-        [x_low - y_high, y_low - x_high, np.zeros_like(x_low)]
-    )
+    gap = np.maximum(x_low - y_high, y_low - x_high)
+    np.maximum(gap, 0.0, out=gap)
     span = np.maximum(np.abs(x_high - y_low), np.abs(y_high - x_low))
     return gap, span
 

@@ -5,6 +5,14 @@ Collection-level scoring runs through the batch query engine
 ``distance_profile`` / ``probability_profile`` methods whose per-collection
 materializations (values matrices, filtered matrices, error-model codes,
 bounding intervals) are cached by :class:`~repro.queries.engine.QueryEngine`.
+
+All-pairs workloads — every series a query, the paper's full protocol —
+go through the declarative session API (:mod:`repro.queries.session`):
+:class:`SimilaritySession` pins a collection, :class:`QuerySet` selects
+queries and a technique, and the techniques' ``distance_matrix`` /
+``probability_matrix`` kernels answer the whole ``(M, N)`` grid at once.
+The free functions (``range_query``, ``knn_technique_query``, ...) remain
+as thin shims over the same kernels.
 """
 
 from __future__ import annotations
@@ -19,12 +27,20 @@ from .knn import (
     euclidean_knn_table,
     knn_indices,
     knn_query,
+    knn_table,
     knn_technique_query,
 )
 from .range_query import (
     probabilistic_range_query,
     range_query,
     result_set_from_scores,
+)
+from .session import (
+    KnnResult,
+    MatrixResult,
+    QuerySet,
+    RangeResult,
+    SimilaritySession,
 )
 from .techniques import (
     DustTechnique,
@@ -47,6 +63,11 @@ __all__ = [
     "CollectionMaterialization",
     "SHARED_ENGINE",
     "DEFAULT_MAX_COLLECTIONS",
+    "SimilaritySession",
+    "QuerySet",
+    "MatrixResult",
+    "KnnResult",
+    "RangeResult",
     "Technique",
     "EuclideanTechnique",
     "DustTechnique",
@@ -57,6 +78,7 @@ __all__ = [
     "probabilistic_range_query",
     "result_set_from_scores",
     "knn_indices",
+    "knn_table",
     "knn_query",
     "knn_technique_query",
     "euclidean_knn_table",

@@ -22,7 +22,9 @@ def knn_indices(
 ) -> List[int]:
     """Indices of the ``k`` smallest entries of a distance vector.
 
-    Ties are broken by index (stable), making ground truth deterministic.
+    Ties are broken by candidate index (stable argsort), making ground
+    truth deterministic and rankings reproducible across the profile and
+    matrix query paths.
     """
     if k < 1:
         raise InvalidParameterError(f"k must be >= 1, got {k}")
@@ -36,6 +38,41 @@ def knn_indices(
         if len(result) == k:
             break
     return result
+
+
+def knn_table(
+    matrix: np.ndarray, k: int, exclude: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Row-wise top-k of an ``(M, N)`` score matrix, shape ``(M, k)``.
+
+    Every row goes through :func:`knn_indices`, so matrix-path rankings
+    agree bit-for-bit with profile-path rankings (same stable
+    break-ties-by-index rule).  ``exclude`` optionally gives one index to
+    skip per row (``-1`` for none) — the self-match column of all-pairs
+    matrices.
+    """
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+    n_queries, n_candidates = matrix.shape
+    if exclude is not None:
+        exclude = np.asarray(exclude, dtype=np.intp)
+        if exclude.shape != (n_queries,):
+            raise InvalidParameterError(
+                f"exclude must hold one index per query row, got shape "
+                f"{exclude.shape} for {n_queries} rows"
+            )
+    excluding = exclude is not None and bool(np.any(exclude >= 0))
+    if k > n_candidates - (1 if excluding else 0):
+        raise InvalidParameterError(
+            f"k={k} must be at most the number of eligible candidates "
+            f"({n_candidates - (1 if excluding else 0)})"
+        )
+    table = np.empty((n_queries, k), dtype=np.intp)
+    for row in range(n_queries):
+        skipped = None
+        if exclude is not None and exclude[row] >= 0:
+            skipped = int(exclude[row])
+        table[row] = knn_indices(matrix[row], k, exclude=skipped)
+    return table
 
 
 def knn_query(
@@ -76,6 +113,9 @@ def knn_technique_query(
             f"top-k requires a distance technique; {technique.name} is "
             f"probabilistic and its ranking depends on epsilon"
         )
+    # One profile row, not a one-row matrix: a [query] wrapper list would
+    # churn a fresh identity-keyed entry through the engine's LRU on every
+    # call.  All-pairs workloads belong to SimilaritySession.queries().
     distances = technique.distance_profile(query, collection)
     return knn_indices(distances, k, exclude=exclude)
 
@@ -85,7 +125,10 @@ def euclidean_knn_table(values: np.ndarray, k: int) -> np.ndarray:
     nearest *other* rows under Euclidean distance, shape ``(N, k)``.
 
     This is the harness' bulk path for ground-truth construction; self-
-    matches are excluded.
+    matches are excluded.  One vectorized stable argsort over the whole
+    matrix — the diagonal is pushed past every finite distance, which
+    yields exactly :func:`knn_table`'s break-ties-by-index rankings
+    without its per-row loop.
     """
     matrix = np.atleast_2d(np.asarray(values, dtype=np.float64))
     n = matrix.shape[0]

@@ -1,0 +1,503 @@
+"""Declarative similarity sessions: the all-pairs query surface.
+
+The paper's full evaluation protocol (Section 4.1.2) makes *every* series
+of a collection a query against all others — an ``(M, N)`` workload.  The
+session API expresses that workload declaratively and answers it with the
+techniques' batch-of-queries matrix kernels
+(:meth:`~repro.queries.techniques.Technique.distance_matrix` /
+``probability_matrix``) instead of ``M`` separate profile calls::
+
+    session = SimilaritySession(collection)
+    result = session.queries().using(DustTechnique()).knn(10)
+    result.indices            # (M, k) rankings, stable tie-breaking
+    result.per_query_seconds  # amortized kernel time
+
+    profile = session.queries([3, 7]).using(EuclideanTechnique())
+    matrix = profile.profile_matrix()          # MatrixResult, (2, N)
+    in_range = profile.range(epsilon=4.0)      # RangeResult
+
+    prq = session.queries().using(ProudTechnique(assumed_std=0.7))
+    hits = prq.prob_range(epsilon=eps_vector, tau=0.4)
+
+A :class:`SimilaritySession` pins one collection on one
+:class:`~repro.queries.engine.QueryEngine` (the process-shared engine by
+default), so every query set against it reuses the same materialization
+matrices.  :class:`QuerySet` is an immutable fluent builder: ``queries()``
+selects the query rows (default: every series — the full protocol),
+``using()`` binds a technique, and the terminal verbs — ``knn``,
+``range``, ``prob_range``, ``profile_matrix``, ``calibration_matrix`` —
+run one matrix kernel and return structured result objects carrying
+scores, rankings, and per-query timings.
+
+Queries that *are* collection members (selected by index, by identity, or
+by the all-series default) are tracked positionally so result sets and
+rankings exclude the self-match, exactly like the free-function protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import InvalidParameterError, UnsupportedQueryError
+from .engine import SHARED_ENGINE, QueryEngine
+from .knn import knn_table
+from .techniques import Technique, _epsilon_vector
+
+
+@dataclass(frozen=True)
+class MatrixResult:
+    """An ``(M, N)`` score matrix with its provenance and timing.
+
+    ``kind`` is ``"distance"``, ``"probability"`` or ``"calibration"``;
+    ``values[i, j]`` scores query ``i`` against collection series ``j``.
+    ``query_positions[i]`` is query ``i``'s index in the collection, or
+    ``-1`` when the query is not a member (no self-match to exclude).
+    """
+
+    technique_name: str
+    kind: str
+    values: np.ndarray
+    query_positions: np.ndarray
+    elapsed_seconds: float
+    epsilons: Optional[np.ndarray] = None
+
+    @property
+    def n_queries(self) -> int:
+        """Number of query rows ``M``."""
+        return int(self.values.shape[0])
+
+    @property
+    def n_candidates(self) -> int:
+        """Number of collection series ``N``."""
+        return int(self.values.shape[1])
+
+    @property
+    def per_query_seconds(self) -> float:
+        """Amortized kernel seconds per query row."""
+        return self.elapsed_seconds / max(self.n_queries, 1)
+
+    def row(self, position: int) -> np.ndarray:
+        """One query's score vector (aligned with the collection)."""
+        return self.values[position]
+
+    def top_k(self, k: int) -> "KnnResult":
+        """Row-wise k-nearest rankings off this matrix (self excluded).
+
+        Only meaningful for score matrices ordered ascending-is-closer
+        (``distance`` / ``calibration`` kinds).
+        """
+        if self.kind == "probability":
+            raise UnsupportedQueryError(
+                "top-k requires a distance matrix; probability rankings "
+                "depend on epsilon"
+            )
+        indices = knn_table(self.values, k, exclude=self.query_positions)
+        return KnnResult(
+            technique_name=self.technique_name,
+            indices=indices,
+            scores=np.take_along_axis(self.values, indices, axis=1),
+            query_positions=self.query_positions,
+            elapsed_seconds=self.elapsed_seconds,
+        )
+
+    def result_sets(self, threshold) -> List[np.ndarray]:
+        """Per-query result sets at a scalar or per-query threshold.
+
+        Distance/calibration matrices select ``score <= threshold``;
+        probability matrices select ``score >= threshold``.  Self-matches
+        are excluded.
+        """
+        cutoff = _epsilon_vector(threshold, self.n_queries)
+        sets: List[np.ndarray] = []
+        for position in range(self.n_queries):
+            row = self.values[position]
+            if self.kind == "probability":
+                mask = row >= cutoff[position]
+            else:
+                mask = row <= cutoff[position]
+            indices = np.flatnonzero(mask)
+            own = self.query_positions[position]
+            if own >= 0:
+                indices = indices[indices != own]
+            sets.append(indices)
+        return sets
+
+    def __repr__(self) -> str:
+        return (
+            f"MatrixResult({self.technique_name!r}, kind={self.kind!r}, "
+            f"shape={self.values.shape}, "
+            f"per_query={self.per_query_seconds * 1e3:.3f}ms)"
+        )
+
+
+@dataclass(frozen=True)
+class KnnResult:
+    """Row-wise k-nearest-neighbor rankings for a query set."""
+
+    technique_name: str
+    indices: np.ndarray
+    scores: np.ndarray
+    query_positions: np.ndarray
+    elapsed_seconds: float
+
+    @property
+    def n_queries(self) -> int:
+        """Number of query rows ``M``."""
+        return int(self.indices.shape[0])
+
+    @property
+    def k(self) -> int:
+        """Neighbors per query."""
+        return int(self.indices.shape[1])
+
+    @property
+    def per_query_seconds(self) -> float:
+        """Amortized kernel seconds per query row."""
+        return self.elapsed_seconds / max(self.n_queries, 1)
+
+    def row(self, position: int) -> List[int]:
+        """One query's ranked neighbor indices."""
+        return [int(i) for i in self.indices[position]]
+
+    def __repr__(self) -> str:
+        return (
+            f"KnnResult({self.technique_name!r}, n_queries={self.n_queries}, "
+            f"k={self.k})"
+        )
+
+
+@dataclass(frozen=True)
+class RangeResult:
+    """Per-query range-query result sets (RQ / PRQ, Equations 1–2)."""
+
+    technique_name: str
+    kind: str
+    matches: Tuple[np.ndarray, ...]
+    epsilons: np.ndarray
+    tau: Optional[float]
+    query_positions: np.ndarray
+    elapsed_seconds: float
+
+    @property
+    def n_queries(self) -> int:
+        """Number of query rows ``M``."""
+        return len(self.matches)
+
+    @property
+    def per_query_seconds(self) -> float:
+        """Amortized kernel seconds per query row."""
+        return self.elapsed_seconds / max(self.n_queries, 1)
+
+    @property
+    def result_sizes(self) -> np.ndarray:
+        """``(M,)`` result-set cardinalities."""
+        return np.array([len(found) for found in self.matches], dtype=np.intp)
+
+    def sets(self) -> List[List[int]]:
+        """Result sets as plain lists (free-function compatible)."""
+        return [[int(i) for i in found] for found in self.matches]
+
+    def __repr__(self) -> str:
+        tau = f", tau={self.tau:g}" if self.tau is not None else ""
+        return (
+            f"RangeResult({self.technique_name!r}, n_queries="
+            f"{self.n_queries}{tau})"
+        )
+
+
+class QuerySet:
+    """A declarative batch of queries against a session's collection.
+
+    Built by :meth:`SimilaritySession.queries`; immutable — ``using``
+    returns a new query set bound to a technique, and the terminal verbs
+    (``knn`` / ``range`` / ``prob_range`` / ``profile_matrix`` /
+    ``calibration_matrix``) run one batch matrix kernel each.
+    """
+
+    __slots__ = ("_session", "_queries", "_positions", "_technique")
+
+    def __init__(
+        self,
+        session: "SimilaritySession",
+        queries: Sequence,
+        positions: np.ndarray,
+        technique: Optional[Technique] = None,
+    ) -> None:
+        self._session = session
+        self._queries = queries
+        self._positions = positions
+        self._technique = technique
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    @property
+    def session(self) -> "SimilaritySession":
+        """The session this query set runs against."""
+        return self._session
+
+    @property
+    def technique(self) -> Optional[Technique]:
+        """The bound technique, if any."""
+        return self._technique
+
+    @property
+    def query_positions(self) -> np.ndarray:
+        """``(M,)`` collection positions of the queries (``-1`` if outside)."""
+        return self._positions.copy()
+
+    def using(self, technique: Technique) -> "QuerySet":
+        """Bind a technique, returning a new query set."""
+        if not isinstance(technique, Technique):
+            raise InvalidParameterError(
+                f"using() expects a Technique, got {type(technique).__name__}"
+            )
+        return QuerySet(
+            self._session, self._queries, self._positions, technique
+        )
+
+    # -- terminal verbs ----------------------------------------------------
+
+    def profile_matrix(self, epsilon=None) -> MatrixResult:
+        """The raw ``(M, N)`` score matrix for this query set.
+
+        Distance techniques return distances (no ``epsilon``);
+        probabilistic techniques return match probabilities and require a
+        scalar or per-query ``epsilon``.
+        """
+        technique = self._require_technique()
+        if technique.kind == "distance":
+            if epsilon is not None:
+                raise InvalidParameterError(
+                    f"{technique.name} is a distance technique; "
+                    f"profile_matrix() takes no epsilon"
+                )
+            values, elapsed = self._run(
+                lambda t: t.distance_matrix(
+                    self._queries, self._session.collection
+                )
+            )
+            return self._matrix_result("distance", values, elapsed)
+        if epsilon is None:
+            raise InvalidParameterError(
+                f"{technique.name} is probabilistic; profile_matrix() "
+                f"requires epsilon (scalar or one per query)"
+            )
+        eps = _epsilon_vector(epsilon, len(self._queries))
+        values, elapsed = self._run(
+            lambda t: t.probability_matrix(
+                self._queries, self._session.collection, eps
+            )
+        )
+        return self._matrix_result("probability", values, elapsed, eps)
+
+    def calibration_matrix(self) -> MatrixResult:
+        """The ``(M, N)`` ε-calibration matrix (10th-NN thresholds live on
+        its rows: entry ``[i, anchor]`` is query ``i``'s ε)."""
+        values, elapsed = self._run(
+            lambda t: t.calibration_matrix(
+                self._queries, self._session.collection
+            )
+        )
+        return self._matrix_result("calibration", values, elapsed)
+
+    def knn(self, k: int) -> KnnResult:
+        """Row-wise k-nearest neighbors (distance techniques only)."""
+        technique = self._require_technique()
+        if technique.kind != "distance":
+            raise UnsupportedQueryError(
+                f"top-k requires a distance technique; {technique.name} is "
+                f"probabilistic and its ranking depends on epsilon"
+            )
+        return self.profile_matrix().top_k(k)
+
+    def range(self, epsilon) -> RangeResult:
+        """Per-query range results ``distance <= ε`` (Equation 1 batch)."""
+        technique = self._require_technique()
+        if technique.kind != "distance":
+            raise UnsupportedQueryError(
+                f"range() requires a distance technique; use prob_range() "
+                f"for {technique.name}"
+            )
+        result = self.profile_matrix()
+        eps = _epsilon_vector(epsilon, len(self._queries))
+        return RangeResult(
+            technique_name=technique.name,
+            kind="distance",
+            matches=tuple(result.result_sets(eps)),
+            epsilons=eps,
+            tau=None,
+            query_positions=self._positions.copy(),
+            elapsed_seconds=result.elapsed_seconds,
+        )
+
+    def prob_range(self, epsilon, tau: float) -> RangeResult:
+        """Per-query probabilistic range results ``Pr(distance <= ε) >= τ``
+        (Equation 2 batch; probabilistic techniques only)."""
+        technique = self._require_technique()
+        if technique.kind != "probabilistic":
+            raise UnsupportedQueryError(
+                f"prob_range() requires a probabilistic technique; use "
+                f"range() for {technique.name}"
+            )
+        if not 0.0 <= tau <= 1.0:
+            raise InvalidParameterError(
+                f"tau must be within [0, 1], got {tau}"
+            )
+        result = self.profile_matrix(epsilon=epsilon)
+        return RangeResult(
+            technique_name=technique.name,
+            kind="probabilistic",
+            matches=tuple(result.result_sets(tau)),
+            epsilons=result.epsilons,
+            tau=float(tau),
+            query_positions=self._positions.copy(),
+            elapsed_seconds=result.elapsed_seconds,
+        )
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _require_technique(self) -> Technique:
+        if self._technique is None:
+            raise InvalidParameterError(
+                "no technique bound; chain .using(technique) first"
+            )
+        return self._technique
+
+    def _run(self, kernel):
+        technique = self._require_technique()
+        with self._session.bound(technique):
+            started = time.perf_counter()
+            values = kernel(technique)
+            elapsed = time.perf_counter() - started
+        return np.asarray(values, dtype=np.float64), elapsed
+
+    def _matrix_result(
+        self,
+        kind: str,
+        values: np.ndarray,
+        elapsed: float,
+        epsilons: Optional[np.ndarray] = None,
+    ) -> MatrixResult:
+        return MatrixResult(
+            technique_name=self._require_technique().name,
+            kind=kind,
+            values=values,
+            query_positions=self._positions.copy(),
+            elapsed_seconds=elapsed,
+            epsilons=epsilons,
+        )
+
+    def __repr__(self) -> str:
+        bound = (
+            self._technique.name if self._technique is not None else "<none>"
+        )
+        return f"QuerySet(n_queries={len(self)}, technique={bound})"
+
+
+class SimilaritySession:
+    """One collection pinned on one query engine.
+
+    Parameters
+    ----------
+    collection:
+        The candidate series (a :class:`~repro.core.collection.Collection`
+        or any sequence of series).  Materialized eagerly, so every query
+        set against the session shares the same dense matrices.
+    engine:
+        The :class:`~repro.queries.engine.QueryEngine` to materialize on;
+        defaults to the process-shared engine (techniques compared side by
+        side reuse one values matrix).  Pass a private engine to isolate
+        the session's caches.
+    """
+
+    __slots__ = ("_collection", "_engine")
+
+    def __init__(
+        self, collection: Sequence, engine: Optional[QueryEngine] = None
+    ) -> None:
+        if len(collection) == 0:
+            raise InvalidParameterError(
+                "a similarity session needs a non-empty collection"
+            )
+        self._collection = collection
+        self._engine = engine if engine is not None else SHARED_ENGINE
+        self._engine.materialize(collection)
+
+    @property
+    def collection(self) -> Sequence:
+        """The pinned candidate collection."""
+        return self._collection
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The engine holding this session's materializations."""
+        return self._engine
+
+    def __len__(self) -> int:
+        return len(self._collection)
+
+    def queries(self, queries: Optional[Sequence] = None) -> QuerySet:
+        """Select the query rows of the workload.
+
+        ``queries`` may be ``None`` (every collection series — the full
+        protocol), a sequence of integer indices into the collection, or a
+        sequence of series objects (members are recognized by identity so
+        their self-matches are excluded from result sets and rankings).
+        """
+        if queries is None:
+            positions = np.arange(len(self._collection), dtype=np.intp)
+            return QuerySet(self, self._collection, positions)
+        items = list(queries)
+        if not items:
+            raise InvalidParameterError(
+                "a query set must contain at least one query"
+            )
+        if all(isinstance(item, (int, np.integer)) for item in items):
+            positions = np.asarray(items, dtype=np.intp)
+            n_series = len(self._collection)
+            if np.any(positions < 0) or np.any(positions >= n_series):
+                raise InvalidParameterError(
+                    f"query indices must be within [0, {n_series - 1}]"
+                )
+            if positions.size == n_series and np.array_equal(
+                positions, np.arange(n_series)
+            ):
+                # The full protocol by index: share the collection-side
+                # materialization instead of building a duplicate stack.
+                return QuerySet(self, self._collection, positions)
+            selected = [self._collection[int(i)] for i in positions]
+            return QuerySet(self, selected, positions)
+        membership = {
+            id(item): index for index, item in enumerate(self._collection)
+        }
+        positions = np.fromiter(
+            (membership.get(id(item), -1) for item in items),
+            dtype=np.intp,
+            count=len(items),
+        )
+        return QuerySet(self, items, positions)
+
+    @contextmanager
+    def bound(self, technique: Technique):
+        """Attach this session's engine to ``technique`` for one kernel run."""
+        previous = technique._engine
+        technique._engine = self._engine
+        try:
+            yield technique
+        finally:
+            technique._engine = previous
+
+    def materialization(self):
+        """The collection's :class:`CollectionMaterialization` (pinned)."""
+        return self._engine.materialize(self._collection)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimilaritySession(n_series={len(self)}, engine={self._engine!r})"
+        )

@@ -1,0 +1,607 @@
+"""Session API: all-pairs matrix kernels + declarative QuerySet semantics.
+
+The contracts under test:
+
+* ``distance_matrix`` / ``probability_matrix`` ≡ the stacked per-query
+  profiles to 1e-9, for all five technique families on homogeneous *and*
+  heterogeneous error models (so the harness can take the matrix path
+  without changing any result);
+* the GEMM identity stays numerically sound on near-duplicate series
+  (where the norm expansion cancels catastrophically);
+* matrix-path and profile-path kNN rankings agree bit-for-bit (stable
+  tie-breaking by candidate index);
+* the fluent ``SimilaritySession`` / ``QuerySet`` surface matches the
+  free-function protocol, including self-match exclusion;
+* the harness produces identical F1 under ``scoring="matrix"`` and
+  ``scoring="profile"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import spawn
+from repro.core.errors import InvalidParameterError, UnsupportedQueryError
+from repro.datasets import generate_dataset
+from repro.distances.lp import (
+    euclidean,
+    euclidean_matrix,
+    squared_euclidean_matrix,
+)
+from repro.evaluation import run_similarity_experiment
+from repro.munich import Munich
+from repro.perturbation import ConstantScenario, MixedStdScenario
+from repro.queries import (
+    DustTechnique,
+    EuclideanTechnique,
+    FilteredTechnique,
+    KnnResult,
+    MatrixResult,
+    MunichTechnique,
+    ProudTechnique,
+    QueryEngine,
+    QuerySet,
+    RangeResult,
+    SimilaritySession,
+    Technique,
+    knn_table,
+    knn_technique_query,
+    probabilistic_range_query,
+)
+from repro.queries.thresholds import PAPER_K
+
+SEED = 4321
+N_SERIES = 24
+LENGTH = 32
+
+
+@pytest.fixture(scope="module")
+def exact():
+    return generate_dataset(
+        "GunPoint", seed=SEED, n_series=N_SERIES, length=LENGTH
+    )
+
+
+def _perturb(exact, scenario, tag):
+    return [
+        scenario.apply(series, spawn(SEED, tag, index))
+        for index, series in enumerate(exact)
+    ]
+
+
+@pytest.fixture(scope="module")
+def homogeneous(exact):
+    return _perturb(exact, ConstantScenario("normal", 0.4), "homog")
+
+
+@pytest.fixture(scope="module")
+def heterogeneous(exact):
+    return _perturb(exact, MixedStdScenario("normal"), "heterog")
+
+
+@pytest.fixture(scope="module")
+def multisample(exact):
+    scenario = ConstantScenario("normal", 0.4)
+    return [
+        scenario.apply_multisample(series, 3, spawn(SEED, "ms", index))
+        for index, series in enumerate(exact)
+    ]
+
+
+def _per_query_epsilons(collection):
+    """A spread of plausible per-query thresholds."""
+    return np.linspace(2.0, 6.0, len(collection))
+
+
+def _distance_techniques():
+    return [
+        EuclideanTechnique(),
+        DustTechnique(),
+        FilteredTechnique.uma(),
+        FilteredTechnique.uema(),
+    ]
+
+
+class TestDistanceMatrixEquivalence:
+    @pytest.mark.parametrize(
+        "technique", _distance_techniques(), ids=lambda t: t.name
+    )
+    @pytest.mark.parametrize("fixture", ["homogeneous", "heterogeneous"])
+    def test_matrix_matches_stacked_profiles(
+        self, technique, fixture, request
+    ):
+        collection = request.getfixturevalue(fixture)
+        technique.reset()
+        matrix = technique.distance_matrix(collection, collection)
+        stacked = np.vstack(
+            [technique.distance_profile(q, collection) for q in collection]
+        )
+        assert matrix.shape == (len(collection), len(collection))
+        np.testing.assert_allclose(matrix, stacked, atol=1e-9, rtol=0.0)
+
+    def test_subset_queries_and_outside_query(self, homogeneous, heterogeneous):
+        technique = DustTechnique()
+        queries = [heterogeneous[0], homogeneous[3], heterogeneous[7]]
+        matrix = technique.distance_matrix(queries, homogeneous)
+        stacked = np.vstack(
+            [technique.distance_profile(q, homogeneous) for q in queries]
+        )
+        np.testing.assert_allclose(matrix, stacked, atol=1e-9, rtol=0.0)
+
+    def test_self_distances_are_zero(self, homogeneous):
+        matrix = EuclideanTechnique().distance_matrix(
+            homogeneous, homogeneous
+        )
+        np.testing.assert_allclose(np.diag(matrix), 0.0, atol=1e-12)
+
+    def test_empty_query_set(self, homogeneous):
+        for technique in _distance_techniques():
+            out = technique.distance_matrix([], homogeneous)
+            assert out.shape == (0, len(homogeneous))
+
+    def test_base_class_fallback_for_custom_techniques(self, homogeneous):
+        class Hamming(Technique):
+            name = "Hamming-ish"
+            kind = "distance"
+
+            def distance(self, query, candidate):
+                return float(
+                    np.sum(query.observations > candidate.observations)
+                )
+
+        technique = Hamming()
+        matrix = technique.distance_matrix(homogeneous[:4], homogeneous)
+        stacked = np.vstack(
+            [
+                technique.distance_profile(q, homogeneous)
+                for q in homogeneous[:4]
+            ]
+        )
+        np.testing.assert_array_equal(matrix, stacked)
+
+
+class TestProbabilityMatrixEquivalence:
+    @pytest.mark.parametrize("assumed_std", [None, 0.7])
+    @pytest.mark.parametrize("fixture", ["homogeneous", "heterogeneous"])
+    def test_proud_matrix_matches_stacked_profiles(
+        self, assumed_std, fixture, request
+    ):
+        collection = request.getfixturevalue(fixture)
+        technique = ProudTechnique(assumed_std=assumed_std)
+        epsilons = _per_query_epsilons(collection)
+        matrix = technique.probability_matrix(
+            collection, collection, epsilons
+        )
+        stacked = np.vstack(
+            [
+                technique.probability_profile(q, collection, float(e))
+                for q, e in zip(collection, epsilons)
+            ]
+        )
+        np.testing.assert_allclose(matrix, stacked, atol=1e-9, rtol=0.0)
+
+    def test_proud_scalar_epsilon_broadcasts(self, homogeneous):
+        technique = ProudTechnique(assumed_std=0.7)
+        matrix = technique.probability_matrix(homogeneous, homogeneous, 4.0)
+        stacked = np.vstack(
+            [
+                technique.probability_profile(q, homogeneous, 4.0)
+                for q in homogeneous
+            ]
+        )
+        np.testing.assert_allclose(matrix, stacked, atol=1e-9, rtol=0.0)
+
+    def test_proud_synopsis_falls_back(self, homogeneous):
+        technique = ProudTechnique(synopsis_coefficients=8)
+        epsilons = _per_query_epsilons(homogeneous)[:3]
+        matrix = technique.probability_matrix(
+            homogeneous[:3], homogeneous, epsilons
+        )
+        stacked = np.vstack(
+            [
+                technique.probability_profile(q, homogeneous, float(e))
+                for q, e in zip(homogeneous[:3], epsilons)
+            ]
+        )
+        np.testing.assert_allclose(matrix, stacked, atol=1e-9, rtol=0.0)
+
+    @pytest.mark.parametrize("use_bounds", [True, False])
+    def test_munich_matrix_matches_stacked_profiles(
+        self, multisample, use_bounds
+    ):
+        technique = MunichTechnique(
+            Munich(tau=0.5, n_bins=256, use_bounds=use_bounds)
+        )
+        epsilons = _per_query_epsilons(multisample)
+        matrix = technique.probability_matrix(
+            multisample, multisample, epsilons
+        )
+        stacked = np.vstack(
+            [
+                technique.probability_profile(q, multisample, float(e))
+                for q, e in zip(multisample, epsilons)
+            ]
+        )
+        np.testing.assert_allclose(matrix, stacked, atol=1e-9, rtol=0.0)
+
+    def test_epsilon_validation(self, homogeneous):
+        technique = ProudTechnique(assumed_std=0.7)
+        with pytest.raises(InvalidParameterError):
+            technique.probability_matrix(homogeneous, homogeneous, -1.0)
+        with pytest.raises(InvalidParameterError):
+            technique.probability_matrix(
+                homogeneous, homogeneous, np.ones(3)
+            )
+
+
+class TestCalibrationMatrix:
+    def test_distance_techniques_use_distance_matrix(self, homogeneous):
+        technique = DustTechnique()
+        np.testing.assert_allclose(
+            technique.calibration_matrix(homogeneous, homogeneous),
+            technique.distance_matrix(homogeneous, homogeneous),
+            atol=1e-12,
+        )
+
+    def test_proud_calibration_is_euclidean_gemm(self, homogeneous):
+        technique = ProudTechnique(assumed_std=0.7)
+        matrix = technique.calibration_matrix(homogeneous, homogeneous)
+        stacked = np.vstack(
+            [
+                technique.calibration_profile(q, homogeneous)
+                for q in homogeneous
+            ]
+        )
+        np.testing.assert_allclose(matrix, stacked, atol=1e-9, rtol=0.0)
+
+    def test_munich_calibration_uses_column_zero(self, multisample):
+        technique = MunichTechnique()
+        matrix = technique.calibration_matrix(multisample, multisample)
+        stacked = np.vstack(
+            [
+                technique.calibration_profile(q, multisample)
+                for q in multisample
+            ]
+        )
+        np.testing.assert_allclose(matrix, stacked, atol=1e-9, rtol=0.0)
+
+
+class TestGemmNumericalStability:
+    def test_near_duplicate_entries_are_exact(self):
+        rng = np.random.default_rng(17)
+        base = rng.normal(size=48)
+        rows = np.vstack([base, base + 1e-9 * rng.normal(size=48)])
+        columns = np.vstack([base, base + 100.0])
+        matrix = euclidean_matrix(rows, columns)
+        for i in range(2):
+            for j in range(2):
+                exact_value = euclidean(rows[i], columns[j])
+                assert matrix[i, j] == pytest.approx(exact_value, abs=1e-9)
+
+    def test_large_offset_near_duplicates(self):
+        """Big norms + tiny distances: the worst case for the expansion."""
+        rng = np.random.default_rng(18)
+        base = rng.normal(size=64) + 1e4
+        perturbed = base + 1e-7 * rng.normal(size=64)
+        matrix = euclidean_matrix(
+            np.vstack([base]), np.vstack([perturbed])
+        )
+        assert matrix[0, 0] == pytest.approx(
+            euclidean(base, perturbed), abs=1e-9
+        )
+
+    def test_refine_off_reproduces_raw_expansion(self):
+        rng = np.random.default_rng(19)
+        rows = rng.normal(size=(4, 16))
+        refined = squared_euclidean_matrix(rows, rows)
+        raw = squared_euclidean_matrix(rows, rows, refine=False)
+        # Far-apart pairs are untouched by refinement.
+        off_diagonal = ~np.eye(4, dtype=bool)
+        np.testing.assert_allclose(
+            refined[off_diagonal], raw[off_diagonal], atol=1e-9
+        )
+        np.testing.assert_array_equal(np.diag(refined), 0.0)
+
+    def test_euclidean_technique_near_duplicate_profile_agreement(
+        self, homogeneous
+    ):
+        technique = EuclideanTechnique()
+        near = [homogeneous[0], homogeneous[0]]  # identical queries
+        matrix = technique.distance_matrix(near, homogeneous)
+        profile = technique.distance_profile(homogeneous[0], homogeneous)
+        np.testing.assert_allclose(matrix[0], profile, atol=1e-9, rtol=0.0)
+        np.testing.assert_allclose(matrix[1], profile, atol=1e-9, rtol=0.0)
+
+
+class TestKnnTieBreaking:
+    def test_knn_table_breaks_ties_by_index(self):
+        matrix = np.array(
+            [
+                [1.0, 0.5, 0.5, 0.5, 2.0],
+                [0.0, 0.0, 0.0, 0.0, 0.0],
+            ]
+        )
+        table = knn_table(matrix, 3)
+        np.testing.assert_array_equal(table[0], [1, 2, 3])
+        np.testing.assert_array_equal(table[1], [0, 1, 2])
+
+    def test_knn_table_excludes_per_row(self):
+        matrix = np.zeros((3, 4))
+        table = knn_table(matrix, 3, exclude=np.array([0, 2, -1]))
+        np.testing.assert_array_equal(table[0], [1, 2, 3])
+        np.testing.assert_array_equal(table[1], [0, 1, 3])
+        np.testing.assert_array_equal(table[2], [0, 1, 2])
+
+    def test_knn_table_validates_k_and_exclude_shape(self):
+        matrix = np.zeros((2, 3))
+        with pytest.raises(InvalidParameterError):
+            knn_table(matrix, 3, exclude=np.array([0, 1]))
+        with pytest.raises(InvalidParameterError):
+            knn_table(matrix, 2, exclude=np.array([0]))
+
+    def test_matrix_and_profile_rankings_agree_bitwise(self, homogeneous):
+        technique = DustTechnique()
+        session = SimilaritySession(homogeneous)
+        result = session.queries().using(technique).knn(5)
+        for index, query in enumerate(homogeneous):
+            expected = knn_technique_query(
+                technique, query, homogeneous, k=5, exclude=index
+            )
+            assert result.row(index) == expected
+
+
+class TestSimilaritySession:
+    def test_default_queries_are_all_series(self, homogeneous):
+        session = SimilaritySession(homogeneous)
+        query_set = session.queries()
+        assert len(query_set) == len(homogeneous)
+        np.testing.assert_array_equal(
+            query_set.query_positions, np.arange(len(homogeneous))
+        )
+
+    def test_queries_by_index_and_identity(self, homogeneous):
+        session = SimilaritySession(homogeneous)
+        by_index = session.queries([3, 7])
+        np.testing.assert_array_equal(by_index.query_positions, [3, 7])
+        by_object = session.queries([homogeneous[3], homogeneous[7]])
+        np.testing.assert_array_equal(by_object.query_positions, [3, 7])
+
+    def test_outside_query_has_no_position(self, homogeneous, heterogeneous):
+        session = SimilaritySession(homogeneous)
+        query_set = session.queries([heterogeneous[0]])
+        np.testing.assert_array_equal(query_set.query_positions, [-1])
+
+    def test_queries_validation(self, homogeneous):
+        session = SimilaritySession(homogeneous)
+        with pytest.raises(InvalidParameterError):
+            session.queries([])
+        with pytest.raises(InvalidParameterError):
+            session.queries([len(homogeneous)])
+
+    def test_using_returns_new_query_set(self, homogeneous):
+        session = SimilaritySession(homogeneous)
+        bare = session.queries()
+        bound = bare.using(EuclideanTechnique())
+        assert bare.technique is None
+        assert bound.technique is not None
+        assert isinstance(bound, QuerySet)
+        with pytest.raises(InvalidParameterError):
+            bare.using("not a technique")
+
+    def test_terminal_verbs_require_technique(self, homogeneous):
+        query_set = SimilaritySession(homogeneous).queries()
+        with pytest.raises(InvalidParameterError):
+            query_set.profile_matrix()
+
+    def test_session_pins_collection_on_private_engine(self, homogeneous):
+        engine = QueryEngine()
+        session = SimilaritySession(homogeneous, engine=engine)
+        assert len(engine) == 1
+        technique = EuclideanTechnique()
+        session.queries().using(technique).profile_matrix()
+        # The technique's own engine was only borrowed, not replaced.
+        assert technique._engine is None
+        assert session.materialization().values_matrix().shape == (
+            len(homogeneous),
+            LENGTH,
+        )
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SimilaritySession([])
+
+
+class TestQuerySetVerbs:
+    def test_profile_matrix_distance(self, homogeneous):
+        session = SimilaritySession(homogeneous)
+        result = (
+            session.queries().using(EuclideanTechnique()).profile_matrix()
+        )
+        assert isinstance(result, MatrixResult)
+        assert result.kind == "distance"
+        assert result.values.shape == (len(homogeneous), len(homogeneous))
+        assert result.n_queries == len(homogeneous)
+        assert result.elapsed_seconds > 0.0
+        assert result.per_query_seconds > 0.0
+
+    def test_profile_matrix_epsilon_rules(self, homogeneous):
+        session = SimilaritySession(homogeneous)
+        with pytest.raises(InvalidParameterError):
+            session.queries().using(EuclideanTechnique()).profile_matrix(
+                epsilon=1.0
+            )
+        with pytest.raises(InvalidParameterError):
+            session.queries().using(
+                ProudTechnique(assumed_std=0.7)
+            ).profile_matrix()
+
+    def test_probability_profile_matrix(self, homogeneous):
+        session = SimilaritySession(homogeneous)
+        epsilons = _per_query_epsilons(homogeneous)
+        result = (
+            session.queries()
+            .using(ProudTechnique(assumed_std=0.7))
+            .profile_matrix(epsilon=epsilons)
+        )
+        assert result.kind == "probability"
+        np.testing.assert_array_equal(result.epsilons, epsilons)
+        with pytest.raises(UnsupportedQueryError):
+            result.top_k(3)
+
+    def test_knn_excludes_self(self, homogeneous):
+        session = SimilaritySession(homogeneous)
+        result = session.queries().using(EuclideanTechnique()).knn(5)
+        assert isinstance(result, KnnResult)
+        assert result.k == 5
+        for index in range(len(homogeneous)):
+            assert index not in result.row(index)
+        # Scores align with indices.
+        matrix = EuclideanTechnique().distance_matrix(
+            homogeneous, homogeneous
+        )
+        np.testing.assert_allclose(
+            result.scores,
+            np.take_along_axis(matrix, result.indices, axis=1),
+            atol=1e-12,
+        )
+
+    def test_knn_rejects_probabilistic(self, homogeneous):
+        session = SimilaritySession(homogeneous)
+        with pytest.raises(UnsupportedQueryError):
+            session.queries().using(ProudTechnique(assumed_std=0.7)).knn(5)
+
+    def test_range_matches_free_function(self, homogeneous):
+        technique = EuclideanTechnique()
+        session = SimilaritySession(homogeneous)
+        result = session.queries().using(technique).range(4.5)
+        assert isinstance(result, RangeResult)
+        for index, found in enumerate(result.sets()):
+            expected = probabilistic_range_query(
+                technique, homogeneous[index], homogeneous, 4.5,
+                exclude=index,
+            )
+            assert found == expected
+
+    def test_range_rejects_probabilistic(self, homogeneous):
+        session = SimilaritySession(homogeneous)
+        with pytest.raises(UnsupportedQueryError):
+            session.queries().using(
+                ProudTechnique(assumed_std=0.7)
+            ).range(4.5)
+
+    def test_prob_range_matches_free_function(self, homogeneous):
+        technique = ProudTechnique(assumed_std=0.7)
+        session = SimilaritySession(homogeneous)
+        result = session.queries().using(technique).prob_range(4.5, 0.5)
+        assert result.tau == 0.5
+        for index, found in enumerate(result.sets()):
+            expected = probabilistic_range_query(
+                technique, homogeneous[index], homogeneous, 4.5, tau=0.5,
+                exclude=index,
+            )
+            assert found == expected
+
+    def test_prob_range_validation(self, homogeneous):
+        session = SimilaritySession(homogeneous)
+        with pytest.raises(UnsupportedQueryError):
+            session.queries().using(EuclideanTechnique()).prob_range(
+                4.5, 0.5
+            )
+        with pytest.raises(InvalidParameterError):
+            session.queries().using(
+                ProudTechnique(assumed_std=0.7)
+            ).prob_range(4.5, 1.5)
+
+    def test_calibration_matrix_anchor_equals_free_epsilon(
+        self, exact, homogeneous
+    ):
+        from repro.queries.thresholds import (
+            calibrate_queries,
+            technique_epsilon,
+        )
+
+        technique = ProudTechnique(assumed_std=0.7)
+        calibrations = calibrate_queries(exact.values_matrix(), k=PAPER_K)
+        session = SimilaritySession(homogeneous)
+        matrix = session.queries().using(technique).calibration_matrix()
+        assert matrix.kind == "calibration"
+        for calibration in calibrations[:5]:
+            from_matrix = matrix.values[
+                calibration.query_index, calibration.anchor_index
+            ]
+            from_pair = technique_epsilon(
+                technique, homogeneous, calibration
+            )
+            assert from_matrix == pytest.approx(from_pair, abs=1e-9)
+
+    def test_result_sets_respect_kind_and_self_exclusion(self, homogeneous):
+        session = SimilaritySession(homogeneous)
+        distance = (
+            session.queries().using(EuclideanTechnique()).profile_matrix()
+        )
+        sets = distance.result_sets(4.5)
+        for index, found in enumerate(sets):
+            assert index not in found
+
+
+class TestHarnessScoringParity:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_dataset(
+            "GunPoint", seed=SEED, n_series=20, length=24
+        )
+
+    def test_matrix_and_profile_scoring_identical_f1(self, dataset):
+        scenario = ConstantScenario("normal", 0.6)
+
+        def techniques():
+            return [
+                EuclideanTechnique(),
+                DustTechnique(),
+                FilteredTechnique.uma(),
+                ProudTechnique(assumed_std=0.7),
+            ]
+
+        matrix_run = run_similarity_experiment(
+            dataset, scenario, techniques(), n_queries=8, seed=3,
+            scoring="matrix",
+        )
+        profile_run = run_similarity_experiment(
+            dataset, scenario, techniques(), n_queries=8, seed=3,
+            scoring="profile",
+        )
+        for name, outcome in matrix_run.techniques.items():
+            reference = profile_run.techniques[name]
+            assert outcome.f1().mean == pytest.approx(
+                reference.f1().mean, abs=1e-12
+            )
+            assert outcome.tau == reference.tau
+            for got, expected in zip(outcome.queries, reference.queries):
+                assert got.epsilon == pytest.approx(
+                    expected.epsilon, abs=1e-9
+                )
+                assert got.result_size == expected.result_size
+
+    def test_scoring_validation_and_default(self, dataset):
+        from repro.evaluation import (
+            get_default_scoring,
+            set_default_scoring,
+        )
+
+        assert get_default_scoring() == "matrix"
+        with pytest.raises(InvalidParameterError):
+            run_similarity_experiment(
+                dataset,
+                ConstantScenario("normal", 0.4),
+                [EuclideanTechnique()],
+                n_queries=2,
+                scoring="bogus",
+            )
+        with pytest.raises(InvalidParameterError):
+            set_default_scoring("bogus")
+        set_default_scoring("profile")
+        try:
+            assert get_default_scoring() == "profile"
+        finally:
+            set_default_scoring("matrix")
