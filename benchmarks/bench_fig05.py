@@ -7,7 +7,6 @@ across the σ range; accuracy declines as σ grows.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments import FIG5_TECHNIQUES, format_figure5, get_scale, run_figure5
 

@@ -1,0 +1,361 @@
+#!/usr/bin/env python
+"""Sharded parallel execution vs the single-process matrix path.
+
+Runs the paper's full evaluation protocol (every series a query — the
+Figure 11–12 workload) three ways per technique:
+
+* **single** ("before"): one all-pairs ``distance_matrix`` /
+  ``probability_matrix`` kernel in the main process — the PR 2 path;
+* **sharded serial**: the same workload through
+  :class:`repro.queries.parallel.ShardedExecutor` with forced row/column
+  shard blocks and the serial backend (isolates shard/merge overhead);
+* **sharded process**: the executor on a ``multiprocessing`` pool
+  (``--workers``, default ``min(4, cpu_count)``).
+
+Every sharded result is asserted to match the single-process matrix to
+**1e-9** (the acceptance tolerance); the kNN merge is additionally
+checked for exact rank equality against ``knn_table``, and a
+memory-mapped copy of the collection (``repro.core.mmapio``) is pushed
+through the process backend to cover the zero-copy worker path.  The
+exit code is non-zero on any parity failure — CI smoke-runs this via
+``--quick``.  Results land in ``BENCH_parallel.json`` at the repo root.
+
+All workloads are seeded (SEED=2012): reruns are deterministic, which is
+what keeps the CI perf-regression gate stable.
+
+Run:  PYTHONPATH=src python benchmarks/bench_parallel.py
+      PYTHONPATH=src python benchmarks/bench_parallel.py --quick  (CI smoke)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core import load_collection, save_collection, spawn
+from repro.datasets import generate_dataset
+from repro.munich import Munich
+from repro.perturbation import ConstantScenario
+from repro.queries import (
+    DustTechnique,
+    EuclideanTechnique,
+    FilteredTechnique,
+    MunichTechnique,
+    ProudTechnique,
+    ShardedExecutor,
+    knn_table,
+)
+
+SEED = 2012
+PARITY_TOL = 1e-9
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_parallel.json",
+)
+
+
+def _build_workload(n_series: int, length: int, munich_samples: int):
+    exact = generate_dataset(
+        "GunPoint", seed=SEED, n_series=n_series, length=length
+    )
+    scenario = ConstantScenario("normal", 0.4)
+    pdf = [
+        scenario.apply(series, spawn(SEED, "pdf", index))
+        for index, series in enumerate(exact)
+    ]
+    multisample = [
+        scenario.apply_multisample(
+            series, munich_samples, spawn(SEED, "ms", index)
+        )
+        for index, series in enumerate(exact)
+    ]
+    return pdf, multisample
+
+
+def _best_of(callable_, repeats: int) -> float:
+    callable_()  # warm caches (materializations, DUST tables, pools)
+    best = np.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return float(best)
+
+
+def _bench_technique(
+    technique,
+    collection,
+    kind: str,
+    epsilons: Optional[np.ndarray],
+    n_workers: int,
+    repeats: int,
+) -> Dict:
+    """Time single vs sharded-serial vs sharded-process; check parity."""
+    n_queries = len(collection)
+
+    def single():
+        if kind == "distance":
+            return technique.distance_matrix(collection, collection)
+        return technique.probability_matrix(
+            collection, collection, epsilons
+        )
+
+    reference = single()
+    single_seconds = _best_of(single, repeats)
+
+    # Forced sharding (4 row x 2 col blocks) so the serial run actually
+    # exercises shard boundaries and reassembly, not a 1-shard no-op.
+    row_block = max(1, -(-n_queries // 4))
+    col_block = max(1, -(-n_queries // 2))
+    row: Dict = {
+        "technique": technique.name,
+        "kind": kind,
+        "n_workers": n_workers,
+        "single_seconds_per_query": single_seconds / n_queries,
+    }
+
+    with ShardedExecutor(
+        n_workers=1, row_block=row_block, col_block=col_block
+    ) as serial:
+
+        def sharded_serial():
+            return serial.matrix(
+                technique, kind, collection, collection, epsilons
+            )
+
+        serial_matrix = sharded_serial()
+        row["serial_seconds_per_query"] = (
+            _best_of(sharded_serial, repeats) / n_queries
+        )
+    row["max_abs_diff_serial"] = float(
+        np.max(np.abs(serial_matrix - reference))
+    )
+
+    with ShardedExecutor(n_workers=n_workers, backend="process") as pool:
+
+        def sharded_process():
+            return pool.matrix(
+                technique, kind, collection, collection, epsilons
+            )
+
+        process_matrix = sharded_process()
+        row["parallel_seconds_per_query"] = (
+            _best_of(sharded_process, repeats) / n_queries
+        )
+    row["max_abs_diff_parallel"] = float(
+        np.max(np.abs(process_matrix - reference))
+    )
+    row["parallel_speedup"] = (
+        row["single_seconds_per_query"] / row["parallel_seconds_per_query"]
+        if row["parallel_seconds_per_query"] > 0
+        else float("inf")
+    )
+    row["parity_ok"] = bool(
+        row["max_abs_diff_serial"] <= PARITY_TOL
+        and row["max_abs_diff_parallel"] <= PARITY_TOL
+    )
+    print(
+        f"  {technique.name:22s} single "
+        f"{row['single_seconds_per_query'] * 1e3:8.3f} ms/q   "
+        f"serial {row['serial_seconds_per_query'] * 1e3:8.3f} ms/q   "
+        f"process[{n_workers}] "
+        f"{row['parallel_seconds_per_query'] * 1e3:8.3f} ms/q   "
+        f"max|diff| {max(row['max_abs_diff_serial'], row['max_abs_diff_parallel']):.2e}"
+    )
+    return row
+
+
+def _knn_merge_check(collection, k: int, n_workers: int) -> Dict:
+    """Sharded per-shard top-k merge must equal the full-matrix ranking."""
+    technique = EuclideanTechnique()
+    matrix = technique.distance_matrix(collection, collection)
+    positions = np.arange(len(collection), dtype=np.intp)
+    expected = knn_table(matrix, k, exclude=positions)
+    col_block = max(1, -(-len(collection) // max(2, n_workers)))
+    with ShardedExecutor(
+        n_workers=n_workers, backend="process", col_block=col_block
+    ) as executor:
+        indices, scores = executor.knn(
+            technique, collection, collection, k, exclude=positions
+        )
+    identical = bool(np.array_equal(indices, expected))
+    print(
+        "  kNN shard merge vs knn_table: "
+        + ("identical rankings" if identical else "MISMATCH")
+    )
+    return {"k": k, "identical": identical}
+
+
+def _mmap_check(collection, n_workers: int) -> Dict:
+    """Process workers over a memory-mapped collection: parity + zero-copy."""
+    technique = EuclideanTechnique()
+    reference = technique.distance_matrix(collection, collection)
+    with tempfile.TemporaryDirectory() as directory:
+        save_collection(collection, directory)
+        mapped = load_collection(directory)
+        zero_copy = bool(
+            np.shares_memory(mapped[0].observations, mapped.mapped_values)
+        )
+        with ShardedExecutor(
+            n_workers=n_workers, backend="process"
+        ) as executor:
+            sharded = executor.matrix(
+                technique, "distance", mapped, mapped
+            )
+    diff = float(np.max(np.abs(sharded - reference)))
+    print(
+        f"  mmap-backed process workers: max|diff| {diff:.2e}, "
+        f"zero-copy rows: {zero_copy}"
+    )
+    return {
+        "max_abs_diff": diff,
+        "zero_copy_rows": zero_copy,
+        "parity_ok": bool(diff <= PARITY_TOL),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-series", type=int, default=200)
+    parser.add_argument("--length", type=int, default=64)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=min(4, os.cpu_count() or 1) or 1,
+        help="process-backend worker count (default min(4, cpus))",
+    )
+    parser.add_argument(
+        "--munich-series",
+        type=int,
+        default=80,
+        help="series count for the MUNICH row (its convolution dominates)",
+    )
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload for CI smoke runs (skips MUNICH)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.n_series, args.length, args.repeats = 40, 32, 1
+    n_workers = max(2, args.workers)
+
+    munich_samples = 3
+    pdf, multisample = _build_workload(
+        args.n_series, args.length, munich_samples
+    )
+    sample = np.vstack([series.observations for series in pdf])
+    pivot = sample[: min(30, args.n_series)]
+    epsilon = float(
+        np.median(
+            np.sqrt(((pivot[:, None, :] - pivot[None, :, :]) ** 2).sum(-1))
+        )
+        * 0.6
+    )
+    epsilons = np.full(args.n_series, epsilon)
+
+    print(
+        f"workload: full protocol, {args.n_series} queries x "
+        f"{args.n_series} series x {args.length} timestamps, "
+        f"normal sigma=0.4, epsilon={epsilon:.2f}, "
+        f"process backend with {n_workers} workers"
+    )
+    results = [
+        _bench_technique(
+            EuclideanTechnique(), pdf, "distance", None, n_workers,
+            args.repeats,
+        ),
+        _bench_technique(
+            DustTechnique(), pdf, "distance", None, n_workers, args.repeats
+        ),
+        _bench_technique(
+            FilteredTechnique.uma(), pdf, "distance", None, n_workers,
+            args.repeats,
+        ),
+        _bench_technique(
+            FilteredTechnique.uema(), pdf, "distance", None, n_workers,
+            args.repeats,
+        ),
+        _bench_technique(
+            ProudTechnique(assumed_std=0.7), pdf, "probability", epsilons,
+            n_workers, args.repeats,
+        ),
+    ]
+    if args.quick:
+        print("  (MUNICH skipped in --quick mode)")
+    else:
+        munich_count = min(args.munich_series, args.n_series)
+        results.append(
+            _bench_technique(
+                MunichTechnique(Munich(tau=0.5, n_bins=512)),
+                multisample[:munich_count],
+                "probability",
+                epsilons[:munich_count],
+                n_workers,
+                args.repeats,
+            )
+        )
+
+    knn_check = _knn_merge_check(pdf, k=10, n_workers=n_workers)
+    mmap_check = _mmap_check(pdf, n_workers=n_workers)
+
+    parity_ok = (
+        all(row["parity_ok"] for row in results)
+        and knn_check["identical"]
+        and mmap_check["parity_ok"]
+    )
+    payload = {
+        "benchmark": "sharded parallel executor vs single-process matrix",
+        "workload": {
+            "protocol": "full (every series is a query)",
+            "n_series": args.n_series,
+            "length": args.length,
+            "scenario": "normal sigma=0.4",
+            "munich_samples": munich_samples,
+            "epsilon": epsilon,
+            "seed": SEED,
+            "n_workers": n_workers,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "results": results,
+        "knn_merge": knn_check,
+        "mmap": mmap_check,
+        "parity": {
+            "tolerance": PARITY_TOL,
+            "all_ok": parity_ok,
+        },
+    }
+    out_dir = os.path.dirname(os.path.abspath(args.out))
+    os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"[written to {args.out}]")
+
+    if not parity_ok:
+        print(
+            f"FAIL: sharded results deviate from the single-process matrix "
+            f"path beyond {PARITY_TOL}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -109,7 +109,7 @@ def main() -> None:
     proud_engine = Proud(tau=0.8)
     candidate = published[1]
     model_of_pair = proud_engine.distance_distribution(reference, candidate)
-    print(f"\nPROUD internals for one candidate:")
+    print("\nPROUD internals for one candidate:")
     print(f"  E[distance²]  = {model_of_pair.mean:8.2f}")
     print(f"  Var[distance²]= {model_of_pair.variance:8.2f}")
     print(f"  ε_norm        = "

@@ -132,8 +132,9 @@ def main() -> None:
     same_mode = uncertain_library[10]  # a bearing-wear reference
     other_mode = uncertain_library[0]  # a healthy reference
     print("\ndistance contrast (same fault mode vs different mode):")
-    print(f"  Euclidean : {euclidean(incoming.observations, same_mode.observations):7.3f}"
-          f" vs {euclidean(incoming.observations, other_mode.observations):7.3f}")
+    same_eucl = euclidean(incoming.observations, same_mode.observations)
+    other_eucl = euclidean(incoming.observations, other_mode.observations)
+    print(f"  Euclidean : {same_eucl:7.3f} vs {other_eucl:7.3f}")
     dust = Dust()
     print(f"  DUST      : {dust.distance(incoming, same_mode):7.3f}"
           f" vs {dust.distance(incoming, other_mode):7.3f}")

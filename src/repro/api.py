@@ -24,11 +24,14 @@ from __future__ import annotations
 from .core import (
     Collection,
     ErrorModel,
+    MappedCollection,
     MultisampleUncertainTimeSeries,
     TimeSeries,
     UncertainTimeSeries,
+    load_collection,
     make_rng,
     resample,
+    save_collection,
     spawn,
     truncate,
     znormalize,
@@ -83,6 +86,7 @@ from .queries import (
     QueryEngine,
     QuerySet,
     RangeResult,
+    ShardedExecutor,
     SimilaritySession,
     Technique,
     knn_query,
@@ -97,6 +101,7 @@ __all__ = [
     "TimeSeries", "UncertainTimeSeries", "MultisampleUncertainTimeSeries",
     "ErrorModel", "Collection", "znormalize", "resample", "truncate",
     "make_rng", "spawn",
+    "MappedCollection", "save_collection", "load_collection",
     # distributions
     "NormalError", "UniformError", "ExponentialError", "MixtureError",
     "make_distribution", "with_tails",
@@ -112,7 +117,7 @@ __all__ = [
     "ProudTechnique", "MunichTechnique",
     # queries
     "QueryEngine", "SimilaritySession", "QuerySet", "MatrixResult",
-    "KnnResult", "RangeResult",
+    "KnnResult", "RangeResult", "ShardedExecutor",
     "range_query", "probabilistic_range_query", "knn_query", "knn_table",
     "knn_technique_query",
     # datasets

@@ -142,6 +142,14 @@ def build_parser() -> argparse.ArgumentParser:
         "or one vectorized profile per query",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the matrix scoring path (default 1; "
+        "N>1 shards the all-pairs kernels across a process pool)",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help="also write the rendered tables to this file",
@@ -174,6 +182,11 @@ def main(argv=None) -> int:
         from .evaluation.harness import set_default_scoring
 
         set_default_scoring(args.scoring)
+
+    if args.workers is not None:
+        from .evaluation.harness import set_default_workers
+
+        set_default_workers(args.workers)
 
     if args.figure == "list":
         print("available figures:")

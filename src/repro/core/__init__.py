@@ -20,6 +20,13 @@ from .normalization import (
     znormalize,
     znormalize_values,
 )
+from .mmapio import (
+    MANIFEST_NAME,
+    MappedCollection,
+    MappedCollectionError,
+    load_collection,
+    save_collection,
+)
 from .rng import DEFAULT_SEED, child_seeds, make_rng, spawn
 from .series import TimeSeries, as_values
 from .uncertain import (
@@ -34,6 +41,11 @@ __all__ = [
     "UncertainTimeSeries",
     "MultisampleUncertainTimeSeries",
     "ErrorModel",
+    "MappedCollection",
+    "MappedCollectionError",
+    "save_collection",
+    "load_collection",
+    "MANIFEST_NAME",
     "as_values",
     "znormalize",
     "znormalize_values",

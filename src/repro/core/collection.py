@@ -38,7 +38,8 @@ class Collection(Generic[ItemT]):
         lengths = {len(item) for item in self._items}
         if len(lengths) != 1:
             raise InvalidSeriesError(
-                f"all series in a collection must share one length, got {sorted(lengths)}"
+                f"all series in a collection must share one length, "
+                f"got {sorted(lengths)}"
             )
         self.name = name
 

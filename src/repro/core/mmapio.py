@@ -1,0 +1,465 @@
+"""Memory-mapped collection storage: out-of-core similarity workloads.
+
+The parallel scale-up (see :mod:`repro.queries.parallel`) shards an
+``(M, N)`` workload across worker processes.  Shipping a collection to a
+worker by pickling every series object copies the whole dataset once per
+worker; for collections larger than RAM it is not possible at all.  This
+module stores a collection as flat ``.npy`` matrices plus a small JSON
+manifest, so any process — a pool worker, a later session, a different
+machine sharing a filesystem — re-opens the values **zero-copy** through
+``numpy``'s memory mapping and lets the OS page data in on demand.
+
+On-disk layout (``save_collection(collection, directory)``)::
+
+    directory/
+        collection.json     # the manifest (see below)
+        values.npy          # (N, n) float64 point estimates
+        variances.npy       # (N, n) float64 error variances (pdf kind)
+        samples.npy         # (N, n, s) float64 draws (multisample kind)
+
+Manifest format (``collection.json``, version 1)::
+
+    {
+      "format": "repro-collection",
+      "version": 1,
+      "kind": "exact" | "pdf" | "multisample",
+      "n_series": N, "length": n, "samples_per_timestamp": s,   # s: ms only
+      "name": "...", "labels": [...], "series_names": [...],
+      "arrays": {"values": "values.npy", ...},                  # per kind
+      "distributions": [ {"family": "normal", "std": 0.4},      # pdf only:
+                         {"family": "mixture",                  # dedup table
+                          "weights": [...], "components": [...]} ],
+      "error_models": [ {"code": 0} |                           # homogeneous
+                        {"codes": [0, 1, ...]} ]                # per series
+    }
+
+:func:`load_collection` rebuilds a :class:`MappedCollection` whose series
+objects hold **row views** of the mapped matrices (no copies; the arrays
+are opened read-only) and whose materialization hooks
+(:attr:`MappedCollection.mapped_values` and friends) let the query
+engine's :class:`~repro.queries.engine.CollectionMaterialization` warm its
+dense matrices straight from the map instead of re-stacking rows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..distributions import FAMILIES, make_distribution
+from ..distributions.base import ErrorDistribution
+from ..distributions.mixture import MixtureError
+from .collection import Collection
+from .errors import InvalidParameterError, InvalidSeriesError
+from .series import TimeSeries
+from .uncertain import (
+    ErrorModel,
+    MultisampleUncertainTimeSeries,
+    UncertainTimeSeries,
+)
+
+#: File name of the JSON manifest inside a saved-collection directory.
+MANIFEST_NAME = "collection.json"
+#: Manifest schema marker / version (bump on incompatible changes).
+MANIFEST_FORMAT = "repro-collection"
+MANIFEST_VERSION = 1
+
+
+class MappedCollectionError(InvalidSeriesError):
+    """A saved collection directory or manifest is malformed."""
+
+
+# ---------------------------------------------------------------------------
+# Error-distribution (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def _distribution_spec(distribution: ErrorDistribution) -> Dict:
+    """JSON-serializable spec of one error distribution."""
+    if isinstance(distribution, MixtureError):
+        return {
+            "family": "mixture",
+            "weights": [float(w) for w in distribution.weights],
+            "components": [
+                _distribution_spec(c) for c in distribution.components
+            ],
+        }
+    if distribution.family in FAMILIES:
+        return {"family": distribution.family, "std": float(distribution.std)}
+    raise MappedCollectionError(
+        f"cannot serialize error distribution family "
+        f"{distribution.family!r}; known families: "
+        f"{sorted(FAMILIES)} + mixture"
+    )
+
+
+def _distribution_from_spec(spec: Dict) -> ErrorDistribution:
+    """Rebuild an error distribution from its manifest spec."""
+    family = spec.get("family")
+    if family == "mixture":
+        components = [
+            _distribution_from_spec(c) for c in spec["components"]
+        ]
+        return MixtureError(components, spec["weights"])
+    if family in FAMILIES:
+        return make_distribution(family, spec["std"])
+    raise MappedCollectionError(
+        f"unknown error distribution family {family!r} in manifest"
+    )
+
+
+def _encode_error_models(
+    items: Sequence[UncertainTimeSeries],
+) -> Tuple[List[Dict], List[Dict]]:
+    """Dedup every distinct distribution into a table + per-series codes."""
+    table: Dict[ErrorDistribution, int] = {}
+    models: List[Dict] = []
+    for item in items:
+        model = item.error_model
+        if model.is_homogeneous:
+            code = table.setdefault(model[0], len(table))
+            models.append({"code": code})
+        else:
+            models.append({
+                "codes": [
+                    table.setdefault(d, len(table)) for d in model
+                ]
+            })
+    specs = [_distribution_spec(d) for d in table]
+    return specs, models
+
+
+def _decode_error_model(
+    entry: Dict, table: Sequence[ErrorDistribution], length: int
+) -> ErrorModel:
+    """Rebuild one series' error model from its manifest entry."""
+    if "code" in entry:
+        return ErrorModel.constant(table[entry["code"]], length)
+    codes = entry["codes"]
+    if len(codes) != length:
+        raise MappedCollectionError(
+            f"error-model codes length {len(codes)} != series length {length}"
+        )
+    return ErrorModel([table[code] for code in codes])
+
+
+# ---------------------------------------------------------------------------
+# Saving
+# ---------------------------------------------------------------------------
+
+
+def _collection_kind(items: Sequence) -> str:
+    """The uniform series kind of a collection, or raise."""
+    kinds = set()
+    for item in items:
+        if isinstance(item, UncertainTimeSeries):
+            kinds.add("pdf")
+        elif isinstance(item, MultisampleUncertainTimeSeries):
+            kinds.add("multisample")
+        elif isinstance(item, TimeSeries):
+            kinds.add("exact")
+        else:
+            raise MappedCollectionError(
+                f"cannot save series of type {type(item).__name__}"
+            )
+    if len(kinds) != 1:
+        raise MappedCollectionError(
+            f"a saved collection must hold one series kind, got "
+            f"{sorted(kinds)}"
+        )
+    return kinds.pop()
+
+
+def save_collection(collection: Sequence, directory: str) -> str:
+    """Save ``collection`` under ``directory``; returns the manifest path.
+
+    The collection must be non-empty and hold one series kind (exact /
+    pdf / multisample).  Existing files in ``directory`` are overwritten.
+    """
+    items = list(collection)
+    if not items:
+        raise InvalidParameterError("cannot save an empty collection")
+    kind = _collection_kind(items)
+    os.makedirs(directory, exist_ok=True)
+
+    manifest: Dict = {
+        "format": MANIFEST_FORMAT,
+        "version": MANIFEST_VERSION,
+        "kind": kind,
+        "n_series": len(items),
+        "length": len(items[0]),
+        "name": getattr(collection, "name", None),
+        "labels": [getattr(item, "label", None) for item in items],
+        "series_names": [getattr(item, "name", None) for item in items],
+        "arrays": {},
+    }
+
+    def _write(array_name: str, matrix: np.ndarray) -> None:
+        file_name = f"{array_name}.npy"
+        np.save(
+            os.path.join(directory, file_name),
+            np.ascontiguousarray(matrix, dtype=np.float64),
+        )
+        manifest["arrays"][array_name] = file_name
+
+    if kind == "multisample":
+        _write("samples", np.stack([item.samples for item in items]))
+        manifest["samples_per_timestamp"] = items[0].samples_per_timestamp
+    else:
+        _write("values", np.vstack([item.values for item in items]))
+    if kind == "pdf":
+        _write(
+            "variances",
+            np.vstack([item.error_model.variances() for item in items]),
+        )
+        specs, models = _encode_error_models(items)
+        manifest["distributions"] = specs
+        manifest["error_models"] = models
+
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+        handle.write("\n")
+    return manifest_path
+
+
+# ---------------------------------------------------------------------------
+# Loading
+# ---------------------------------------------------------------------------
+
+
+class MappedCollection(Collection):
+    """A collection whose dense matrices are memory-mapped from disk.
+
+    Behaves exactly like :class:`~repro.core.collection.Collection` — the
+    items are real series objects — but every series holds a **view** into
+    the mapped value/variance/sample matrices, and the ``mapped_*``
+    attributes let :class:`~repro.queries.engine.CollectionMaterialization`
+    adopt the maps directly (zero copies, OS-paged).
+
+    Pickling a mapped collection transfers only the manifest path and the
+    shard range: the receiving process re-opens the maps itself, which is
+    what keeps worker dispatch zero-copy in
+    :class:`~repro.queries.parallel.ShardedExecutor`.
+    """
+
+    __slots__ = (
+        "manifest_path",
+        "mmap_mode",
+        "kind",
+        "mapped_values",
+        "mapped_variances",
+        "mapped_samples",
+        "_shard_range",
+    )
+
+    def __init__(
+        self,
+        items: Sequence,
+        *,
+        manifest_path: str,
+        mmap_mode: Optional[str],
+        kind: str,
+        mapped_values: Optional[np.ndarray],
+        mapped_variances: Optional[np.ndarray],
+        mapped_samples: Optional[np.ndarray],
+        shard_range: Tuple[int, int],
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(items, name=name)
+        self.manifest_path = manifest_path
+        self.mmap_mode = mmap_mode
+        self.kind = kind
+        self.mapped_values = mapped_values
+        self.mapped_variances = mapped_variances
+        self.mapped_samples = mapped_samples
+        self._shard_range = shard_range
+
+    @property
+    def shard_range(self) -> Tuple[int, int]:
+        """``(start, stop)`` rows of the saved collection this view holds."""
+        return self._shard_range
+
+    def values_matrix(self) -> np.ndarray:
+        """The mapped ``(N, n)`` point-estimate matrix (no re-stacking)."""
+        if self.mapped_values is not None:
+            return self.mapped_values
+        return super().values_matrix()
+
+    def shard(self, start: int, stop: int) -> "MappedCollection":
+        """A zero-copy row-range view ``[start, stop)`` of this collection.
+
+        Items are shared (not rebuilt) and every mapped matrix is sliced,
+        so a shard costs O(1) memory regardless of its width.
+        """
+        n_series = len(self)
+        if not 0 <= start < stop <= n_series:
+            raise InvalidParameterError(
+                f"shard range [{start}, {stop}) invalid for "
+                f"{n_series} series"
+            )
+        offset = self._shard_range[0]
+
+        def _sliced(matrix: Optional[np.ndarray]) -> Optional[np.ndarray]:
+            return None if matrix is None else matrix[start:stop]
+
+        return MappedCollection(
+            self._items[start:stop],
+            manifest_path=self.manifest_path,
+            mmap_mode=self.mmap_mode,
+            kind=self.kind,
+            mapped_values=_sliced(self.mapped_values),
+            mapped_variances=_sliced(self.mapped_variances),
+            mapped_samples=_sliced(self.mapped_samples),
+            shard_range=(offset + start, offset + stop),
+            name=self.name,
+        )
+
+    def __reduce__(self):
+        start, stop = self._shard_range
+        return (
+            _load_shard,
+            (self.manifest_path, self.mmap_mode, start, stop),
+        )
+
+    def __repr__(self) -> str:
+        start, stop = self._shard_range
+        return (
+            f"MappedCollection(kind={self.kind!r}, rows=[{start}, {stop}), "
+            f"length={self.series_length}, "
+            f"manifest={self.manifest_path!r})"
+        )
+
+
+def _resolve_manifest(path: str) -> str:
+    """Accept either a directory or the manifest file itself."""
+    if os.path.isdir(path):
+        path = os.path.join(path, MANIFEST_NAME)
+    if not os.path.isfile(path):
+        raise MappedCollectionError(f"no collection manifest at {path!r}")
+    return path
+
+
+def load_collection(
+    path: str, mmap_mode: Optional[str] = "r"
+) -> MappedCollection:
+    """Open a saved collection; ``path`` is the directory or manifest file.
+
+    ``mmap_mode="r"`` (the default) memory-maps every matrix read-only —
+    series values are views and pages load on demand.  Pass
+    ``mmap_mode=None`` to read the arrays eagerly into RAM (same API,
+    no mapping).
+    """
+    manifest_path = _resolve_manifest(path)
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise MappedCollectionError(
+            f"{manifest_path!r} is not a {MANIFEST_FORMAT} manifest"
+        )
+    if manifest.get("version") != MANIFEST_VERSION:
+        raise MappedCollectionError(
+            f"unsupported manifest version {manifest.get('version')!r} "
+            f"(expected {MANIFEST_VERSION})"
+        )
+
+    directory = os.path.dirname(manifest_path)
+
+    def _open(array_name: str) -> Optional[np.ndarray]:
+        file_name = manifest["arrays"].get(array_name)
+        if file_name is None:
+            return None
+        array = np.load(
+            os.path.join(directory, file_name), mmap_mode=mmap_mode
+        )
+        if mmap_mode is None:
+            # np.load returns a view over a writeable buffer; re-own it
+            # so the whole base chain is read-only and series rows are
+            # adopted as views instead of being defensively copied.
+            if array.base is not None:
+                array = array.copy()
+            array.setflags(write=False)
+        return array
+
+    kind = manifest.get("kind")
+    n_series = manifest["n_series"]
+    length = manifest["length"]
+    labels = manifest.get("labels") or [None] * n_series
+    names = manifest.get("series_names") or [None] * n_series
+
+    values = _open("values")
+    variances = _open("variances")
+    samples = _open("samples")
+
+    items: List = []
+    if kind == "multisample":
+        if samples is None or samples.shape[:2] != (n_series, length):
+            raise MappedCollectionError(
+                f"samples matrix missing or mis-shaped in {manifest_path!r}"
+            )
+        for row in range(n_series):
+            items.append(
+                MultisampleUncertainTimeSeries(
+                    samples[row], label=labels[row], name=names[row]
+                )
+            )
+    elif kind in ("pdf", "exact"):
+        if values is None or values.shape != (n_series, length):
+            raise MappedCollectionError(
+                f"values matrix missing or mis-shaped in {manifest_path!r}"
+            )
+        if kind == "pdf":
+            table = [
+                _distribution_from_spec(spec)
+                for spec in manifest.get("distributions", [])
+            ]
+            models = manifest.get("error_models", [])
+            if len(models) != n_series:
+                raise MappedCollectionError(
+                    f"expected {n_series} error models, got {len(models)}"
+                )
+            for row in range(n_series):
+                items.append(
+                    UncertainTimeSeries(
+                        values[row],
+                        _decode_error_model(models[row], table, length),
+                        label=labels[row],
+                        name=names[row],
+                    )
+                )
+        else:
+            for row in range(n_series):
+                items.append(
+                    TimeSeries(
+                        values[row], label=labels[row], name=names[row]
+                    )
+                )
+    else:
+        raise MappedCollectionError(
+            f"unknown collection kind {kind!r} in {manifest_path!r}"
+        )
+
+    return MappedCollection(
+        items,
+        manifest_path=manifest_path,
+        mmap_mode=mmap_mode,
+        kind=kind,
+        mapped_values=values,
+        mapped_variances=variances,
+        mapped_samples=samples,
+        shard_range=(0, n_series),
+        name=manifest.get("name"),
+    )
+
+
+def _load_shard(
+    manifest_path: str, mmap_mode: Optional[str], start: int, stop: int
+) -> MappedCollection:
+    """Unpickle helper: re-open the maps, then slice to the shard range."""
+    collection = load_collection(manifest_path, mmap_mode=mmap_mode)
+    if (start, stop) == collection.shard_range:
+        return collection
+    return collection.shard(start, stop)

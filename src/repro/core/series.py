@@ -16,6 +16,28 @@ import numpy as np
 from .errors import InvalidSeriesError
 
 
+def owns_readonly_buffer(array: np.ndarray) -> bool:
+    """Whether ``array`` and its whole base chain are non-writeable.
+
+    Only then is adopting the array without a defensive copy safe: a
+    read-only *view* of a writeable base (``base[:]`` +
+    ``setflags(write=False)``) can still be mutated through the base,
+    which would silently desynchronize the engine's cached matrices.
+    Memory-mapped rows (``np.load(..., mmap_mode="r")``) pass — every
+    level of their chain is read-only.
+    """
+    while isinstance(array, np.ndarray):
+        if array.flags.writeable:
+            return False
+        if array.base is None:
+            return True
+        array = array.base
+    # Non-ndarray base (e.g. the mmap buffer of a read-only memmap):
+    # nothing above was writeable, so the data cannot be mutated through
+    # any ndarray reference.
+    return True
+
+
 def as_values(values: Iterable[float], *, allow_empty: bool = False) -> np.ndarray:
     """Validate and convert ``values`` to a read-only 1-D ``float64`` array.
 
@@ -31,8 +53,13 @@ def as_values(values: Iterable[float], *, allow_empty: bool = False) -> np.ndarr
         raise InvalidSeriesError("time series must contain at least one point")
     if array.size and not np.all(np.isfinite(array)):
         raise InvalidSeriesError("time series values must be finite")
-    array = array.copy()
-    array.setflags(write=False)
+    if not owns_readonly_buffer(array):
+        # Writeable (anywhere in the base chain) inputs are defensively
+        # snapshotted.  Fully read-only arrays are adopted as-is:
+        # memory-mapped collection rows (repro.core.mmapio) stay
+        # zero-copy views of the on-disk matrix.
+        array = array.copy()
+        array.setflags(write=False)
     return array
 
 

@@ -20,7 +20,7 @@ import numpy as np
 
 from ..distributions.base import ErrorDistribution
 from .errors import InvalidParameterError, InvalidSeriesError, LengthMismatchError
-from .series import TimeSeries, as_values
+from .series import TimeSeries, as_values, owns_readonly_buffer
 
 
 class ErrorModel:
@@ -219,8 +219,11 @@ class MultisampleUncertainTimeSeries:
             raise InvalidSeriesError("samples matrix must be non-empty")
         if not np.all(np.isfinite(matrix)):
             raise InvalidSeriesError("samples must be finite")
-        matrix = matrix.copy()
-        matrix.setflags(write=False)
+        if not owns_readonly_buffer(matrix):
+            # Fully read-only inputs (memory-mapped sample stacks from
+            # repro.core.mmapio) are adopted without copying.
+            matrix = matrix.copy()
+            matrix.setflags(write=False)
         self.samples = matrix
         self.label = label
         self.name = name

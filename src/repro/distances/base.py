@@ -9,7 +9,7 @@ name.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Protocol
+from typing import Dict, Protocol
 
 import numpy as np
 

@@ -25,7 +25,9 @@ from .base import check_aligned
 PointCost = Callable[[float, float], float]
 
 
-def _band_limits(n: int, m: int, window: Optional[int]) -> Tuple[np.ndarray, np.ndarray]:
+def _band_limits(
+    n: int, m: int, window: Optional[int]
+) -> Tuple[np.ndarray, np.ndarray]:
     """Per-row [start, stop) column limits for a Sakoe–Chiba band.
 
     The band is widened to ``|n - m|`` when the series lengths differ, the

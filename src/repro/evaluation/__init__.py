@@ -9,8 +9,10 @@ from .harness import (
     QueryOutcome,
     TechniqueOutcome,
     get_default_scoring,
+    get_default_workers,
     run_similarity_experiment,
     set_default_scoring,
+    set_default_workers,
 )
 from .metrics import (
     MeanWithCI,
@@ -34,6 +36,8 @@ __all__ = [
     "SCORING_MODES",
     "set_default_scoring",
     "get_default_scoring",
+    "set_default_workers",
+    "get_default_workers",
     "PrecisionRecall",
     "score_result_set",
     "MeanWithCI",

@@ -66,6 +66,7 @@ DEFAULT_MUNICH_SAMPLES = 5
 SCORING_MODES = ("matrix", "profile")
 
 _default_scoring = "matrix"
+_default_workers = 1
 
 
 def set_default_scoring(mode: str) -> None:
@@ -81,6 +82,26 @@ def set_default_scoring(mode: str) -> None:
 def get_default_scoring() -> str:
     """The scoring mode used when ``run_similarity_experiment`` gets none."""
     return _default_scoring
+
+
+def set_default_workers(n_workers: int) -> None:
+    """Set the process-wide default worker count (the CLI's ``--workers``).
+
+    ``1`` keeps the harness single-process; ``> 1`` shards the matrix
+    scoring path across a
+    :class:`~repro.queries.parallel.ShardedExecutor` worker pool.
+    """
+    global _default_workers
+    if n_workers < 1:
+        raise InvalidParameterError(
+            f"n_workers must be >= 1, got {n_workers}"
+        )
+    _default_workers = int(n_workers)
+
+
+def get_default_workers() -> int:
+    """The worker count used when ``run_similarity_experiment`` gets none."""
+    return _default_workers
 
 
 @dataclass(frozen=True)
@@ -155,6 +176,7 @@ def run_similarity_experiment(
     tau_grid: Sequence[float] = DEFAULT_TAU_GRID,
     fixed_tau: Optional[float] = None,
     scoring: Optional[str] = None,
+    n_workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Run the full comparison protocol; see the module docstring.
 
@@ -177,12 +199,23 @@ def run_similarity_experiment(
         ``"matrix"`` (all-pairs kernels, the default) or ``"profile"``
         (per-query vectorized rows); ``None`` uses
         :func:`get_default_scoring`.
+    n_workers:
+        Worker processes for the matrix scoring path (``None`` uses
+        :func:`get_default_workers`; ``1`` stays single-process).  The
+        sharded results match single-process scoring to 1e-9, so F1
+        numbers are unchanged.
     """
     if scoring is None:
         scoring = _default_scoring
     if scoring not in SCORING_MODES:
         raise InvalidParameterError(
             f"scoring must be one of {SCORING_MODES}, got {scoring!r}"
+        )
+    if n_workers is None:
+        n_workers = _default_workers
+    if n_workers < 1:
+        raise InvalidParameterError(
+            f"n_workers must be >= 1, got {n_workers}"
         )
     if k < 1:
         raise InvalidParameterError(f"k must be >= 1, got {k}")
@@ -222,6 +255,7 @@ def run_similarity_experiment(
                 query_indices,
                 tau_grid=tau_grid,
                 fixed_tau=fixed_tau,
+                n_workers=n_workers,
             )
         elif technique.kind == "distance":
             outcome = _evaluate_distance_technique(
@@ -288,6 +322,7 @@ def _evaluate_technique_matrix(
     query_indices: np.ndarray,
     tau_grid: Sequence[float],
     fixed_tau: Optional[float],
+    n_workers: int = 1,
 ) -> TechniqueOutcome:
     """Score every query in one all-pairs kernel (the session API path).
 
@@ -295,9 +330,30 @@ def _evaluate_technique_matrix(
     result sets (distance techniques) or of the calibration matrix
     (probabilistic ones, the paper's ε_eucl).  Per-query elapsed time is
     the amortized matrix-kernel time — the ``(M, N)`` kernel has no
-    meaningful per-row clock.
+    meaningful per-row clock.  With ``n_workers > 1`` the kernels run
+    sharded on the session's worker pool (identical scores to 1e-9).
     """
-    session = SimilaritySession(collection)
+    with SimilaritySession(collection, n_workers=n_workers) as session:
+        return _score_matrix_session(
+            session,
+            technique,
+            collection,
+            calibrations,
+            query_indices,
+            tau_grid=tau_grid,
+            fixed_tau=fixed_tau,
+        )
+
+
+def _score_matrix_session(
+    session: SimilaritySession,
+    technique: Technique,
+    collection: Sequence,
+    calibrations: List[QueryCalibration],
+    query_indices: np.ndarray,
+    tau_grid: Sequence[float],
+    fixed_tau: Optional[float],
+) -> TechniqueOutcome:
     query_set = session.queries(query_indices).using(technique)
     n_series = len(collection)
     n_queries = len(query_indices)

@@ -20,14 +20,13 @@ Five ablations, each backing one implementation decision with data:
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
 from ..core.rng import spawn
-from ..distributions import NormalError, UniformError
-from ..dust.distance import Dust
-from ..dust.tables import DustTable, DustTableCache
+from ..distributions import NormalError
+from ..dust.tables import DustTable
 from ..evaluation.harness import run_similarity_experiment
 from ..munich.exact import convolved_probability, sampled_probability
 from ..munich.naive import naive_probability
@@ -283,8 +282,6 @@ def tau_sensitivity_study(
     Shows that no single τ works across σ — the brittleness that makes
     the paper call τ selection "cumbersome" (Section 6).
     """
-    from .config import TINY
-
     scale = Scale(
         name="tau-study",
         n_series=n_series,

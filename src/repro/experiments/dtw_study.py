@@ -20,7 +20,6 @@ signal), and the DUST weighting adds nothing under constant-σ errors
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Optional
 
 import numpy as np

@@ -24,7 +24,7 @@ one-kernel-per-query path instead (the two are compared head-to-head by
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..core.collection import Collection
 from ..core.normalization import resample

@@ -21,7 +21,7 @@ paper used 0.7 for the mixed scenarios.
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -29,7 +29,7 @@ from ..core.errors import InvalidParameterError
 from ..core.rng import SeedLike, make_rng
 from ..core.series import TimeSeries
 from ..core.uncertain import ErrorModel, UncertainTimeSeries
-from ..distributions import ErrorDistribution, make_distribution
+from ..distributions import make_distribution
 from .perturb import perturb, perturb_multisample
 
 #: The σ split used by every "mixed" experiment in the paper.

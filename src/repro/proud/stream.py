@@ -22,7 +22,7 @@ final decision is then frozen (the paper's whole-sequence semantics).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np

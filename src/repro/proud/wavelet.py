@@ -27,7 +27,7 @@ import numpy as np
 
 from ..core.errors import InvalidParameterError
 from ..core.uncertain import UncertainTimeSeries
-from ..stats.wavelets import haar_synopsis, haar_transform
+from ..stats.wavelets import haar_synopsis
 from .distance import DistanceDistribution
 
 

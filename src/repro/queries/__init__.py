@@ -30,6 +30,12 @@ from .knn import (
     knn_table,
     knn_technique_query,
 )
+from .parallel import (
+    BACKENDS,
+    ShardedExecutor,
+    ShardPlan,
+    plan_blocks,
+)
 from .range_query import (
     probabilistic_range_query,
     range_query,
@@ -65,6 +71,10 @@ __all__ = [
     "DEFAULT_MAX_COLLECTIONS",
     "SimilaritySession",
     "QuerySet",
+    "ShardedExecutor",
+    "ShardPlan",
+    "plan_blocks",
+    "BACKENDS",
     "MatrixResult",
     "KnnResult",
     "RangeResult",

@@ -123,21 +123,40 @@ class CollectionMaterialization:
             for item, snapshot in zip(self.collection, self._items)
         )
 
+    def _mapped(self, attribute: str) -> np.ndarray:
+        """A memory-mapped matrix provided by the collection, if any.
+
+        :class:`~repro.core.mmapio.MappedCollection` exposes its on-disk
+        matrices as ``mapped_values`` / ``mapped_variances`` /
+        ``mapped_samples``; adopting them warms this cache zero-copy —
+        the kernels then stream pages straight off the map instead of
+        re-stacking per-series rows into fresh RAM.
+        """
+        return getattr(self.collection, attribute, None)
+
     def values_matrix(self) -> np.ndarray:
         """``(N, n)`` matrix of point estimates (observations / values /
         per-timestamp sample means, by series kind)."""
         if self._values is None:
-            self._values = _stack([
-                _point_estimate(item) for item in self._items
-            ])
+            mapped = self._mapped("mapped_values")
+            if mapped is not None:
+                self._values = mapped
+            else:
+                self._values = _stack([
+                    _point_estimate(item) for item in self._items
+                ])
         return self._values
 
     def variances_matrix(self) -> np.ndarray:
         """``(N, n)`` matrix of reported per-timestamp error variances."""
         if self._variances is None:
-            self._variances = _stack([
-                item.error_model.variances() for item in self._items
-            ])
+            mapped = self._mapped("mapped_variances")
+            if mapped is not None:
+                self._variances = mapped
+            else:
+                self._variances = _stack([
+                    item.error_model.variances() for item in self._items
+                ])
         return self._variances
 
     def filtered_matrix(self, filtered: FilteredEuclidean) -> np.ndarray:
@@ -192,9 +211,13 @@ class CollectionMaterialization:
         """
         matrix = self._sample_columns.get(column)
         if matrix is None:
-            matrix = _stack([
-                item.samples[:, column] for item in self._items
-            ])
+            mapped = self._mapped("mapped_samples")
+            if mapped is not None:
+                matrix = mapped[:, :, column]
+            else:
+                matrix = _stack([
+                    item.samples[:, column] for item in self._items
+                ])
             self._sample_columns[column] = matrix
         return matrix
 
@@ -202,13 +225,17 @@ class CollectionMaterialization:
         """Stacked minimal bounding intervals: ``(low, high)``, each
         ``(N, n)`` (MUNICH's summarization structures, Section 2.1)."""
         if self._bounds is None:
-            lows: List[np.ndarray] = []
-            highs: List[np.ndarray] = []
-            for item in self._items:
-                low, high = item.bounding_intervals()
-                lows.append(low)
-                highs.append(high)
-            self._bounds = (_stack(lows), _stack(highs))
+            mapped = self._mapped("mapped_samples")
+            if mapped is not None:
+                self._bounds = (mapped.min(axis=2), mapped.max(axis=2))
+            else:
+                lows: List[np.ndarray] = []
+                highs: List[np.ndarray] = []
+                for item in self._items:
+                    low, high = item.bounding_intervals()
+                    lows.append(low)
+                    highs.append(high)
+                self._bounds = (_stack(lows), _stack(highs))
         return self._bounds
 
 

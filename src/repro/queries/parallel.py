@@ -1,0 +1,576 @@
+"""Sharded parallel execution of all-pairs similarity workloads.
+
+The full evaluation protocol is an ``(M, N)`` matrix workload, and a
+:class:`~repro.queries.session.QuerySet` already names the exact block a
+worker would own.  :class:`ShardedExecutor` takes that literally: it
+splits the grid into row/column block shards, evaluates each shard with
+the technique's own matrix kernel — in a ``multiprocessing`` pool or
+serially — and reassembles the full result:
+
+* **matrix** kernels return the block and the parent writes it into the
+  ``(M, N)`` output at its ``[r0:r1, c0:c1]`` coordinates;
+* **kNN** queries never materialize the full matrix: each column shard
+  returns only its local top-``k`` candidates per row (global indices +
+  scores) and the parent runs a global **stable-by-index merge** — ties
+  broken by ascending candidate index, exactly
+  :func:`repro.queries.knn.knn_table`'s rule, so sharded rankings match
+  the single-process path bit for bit.
+
+Backends
+--------
+
+``backend="process"`` runs shards on a ``multiprocessing`` pool.  One
+pool is (re)built per ``(technique, queries, collection)`` binding and
+reused across consecutive kernels on the same binding — the harness'
+calibration + probability pair, for instance.  Workers receive the
+technique and data once, through the pool initializer: under the default
+``fork`` start method nothing is pickled at all, and under ``spawn`` a
+:class:`~repro.core.mmapio.MappedCollection` travels as its manifest
+path, so workers re-open the value matrices **zero-copy** off the map
+and their per-process materialization caches warm from it.
+
+``backend="serial"`` evaluates the same shard plan in-process — it is
+the fallback for ``n_workers=1`` and for custom techniques that don't
+pickle (auto-detected when ``backend`` is left ``None``), and it is what
+makes shard-boundary behaviour testable without a pool.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import InvalidParameterError
+from .engine import QueryEngine
+from .knn import knn_indices
+from .techniques import Technique, _epsilon_vector
+
+#: Recognized executor backends (``None`` = auto-detect).
+BACKENDS = ("serial", "process")
+
+#: Matrix kernel kinds the executor dispatches.
+_MATRIX_KINDS = ("distance", "probability", "calibration")
+
+
+def plan_blocks(total: int, block: int) -> List[Tuple[int, int]]:
+    """Split ``[0, total)`` into consecutive ``(start, stop)`` blocks.
+
+    The last block is short when ``total`` is not divisible by ``block``;
+    ``total == 0`` yields no blocks (the empty-query-set degenerate case).
+    """
+    if block < 1:
+        raise InvalidParameterError(f"block size must be >= 1, got {block}")
+    return [
+        (start, min(start + block, total))
+        for start in range(0, total, block)
+    ]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The row/column decomposition of one ``(M, N)`` workload."""
+
+    row_blocks: Tuple[Tuple[int, int], ...]
+    col_blocks: Tuple[Tuple[int, int], ...]
+
+    @property
+    def n_shards(self) -> int:
+        """Total number of ``(row, col)`` shard tasks."""
+        return len(self.row_blocks) * len(self.col_blocks)
+
+    def shards(self):
+        """Iterate ``(r0, r1, c0, c1)`` shard coordinates, row-major."""
+        for r0, r1 in self.row_blocks:
+            for c0, c1 in self.col_blocks:
+                yield r0, r1, c0, c1
+
+
+# ---------------------------------------------------------------------------
+# Shard evaluation (shared by the serial backend and pool workers)
+# ---------------------------------------------------------------------------
+
+
+def _slice_items(sequence: Sequence, start: int, stop: int):
+    """A ``[start, stop)`` sub-collection: mapped shard view or list slice."""
+    shard = getattr(sequence, "shard", None)
+    if shard is not None:
+        return shard(start, stop)
+    if isinstance(sequence, (list, tuple)):
+        return sequence[start:stop]
+    return [sequence[index] for index in range(start, stop)]
+
+
+class _ShardComputer:
+    """Evaluates shard tasks for one ``(technique, queries, collection)``.
+
+    Lives once per worker process (module global, installed by the pool
+    initializer) and once per serial run.  Sub-collection slices are
+    cached by range so the technique's engine reuses one materialization
+    per shard across every task that touches it, and a private
+    :class:`QueryEngine` is attached around each kernel so shard
+    materializations never evict entries of the caller's engine.
+    """
+
+    def __init__(self, technique: Technique, queries, collection) -> None:
+        self.technique = technique
+        self.queries = collection if queries is None else queries
+        self.collection = collection
+        self._row_slices: Dict[Tuple[int, int], Sequence] = {}
+        self._col_slices: Dict[Tuple[int, int], Sequence] = {}
+        self._engine = QueryEngine(max_collections=64)
+
+    def _rows(self, r0: int, r1: int) -> Sequence:
+        block = self._row_slices.get((r0, r1))
+        if block is None:
+            block = _slice_items(self.queries, r0, r1)
+            self._row_slices[(r0, r1)] = block
+        return block
+
+    def _cols(self, c0: int, c1: int) -> Sequence:
+        block = self._col_slices.get((c0, c1))
+        if block is None:
+            block = _slice_items(self.collection, c0, c1)
+            self._col_slices[(c0, c1)] = block
+        return block
+
+    def matrix_block(
+        self,
+        kind: str,
+        r0: int,
+        r1: int,
+        c0: int,
+        c1: int,
+        epsilon_block: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """One shard of the ``(M, N)`` matrix, shape ``(r1-r0, c1-c0)``."""
+        rows = self._rows(r0, r1)
+        cols = self._cols(c0, c1)
+        technique = self.technique
+        previous = technique._engine
+        technique._engine = self._engine
+        try:
+            if kind == "distance":
+                return np.asarray(technique.distance_matrix(rows, cols))
+            if kind == "calibration":
+                return np.asarray(technique.calibration_matrix(rows, cols))
+            return np.asarray(
+                technique.probability_matrix(rows, cols, epsilon_block)
+            )
+        finally:
+            technique._engine = previous
+
+    def knn_block(
+        self,
+        r0: int,
+        r1: int,
+        c0: int,
+        c1: int,
+        k: int,
+        exclude_block: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row local top-``k`` of one column shard.
+
+        Returns ``(indices, scores)`` of shape ``(r1-r0, k')`` where
+        ``k' = min(k, eligible columns)``; indices are **global** column
+        positions, rows short of ``k'`` candidates are padded with
+        ``-1`` / ``+inf`` (only possible when the shard is narrower than
+        ``k`` after excluding a self-match).
+        """
+        block = self.matrix_block("distance", r0, r1, c0, c1, None)
+        width = c1 - c0
+        limit = min(k, width)
+        indices = np.full((block.shape[0], limit), -1, dtype=np.intp)
+        scores = np.full((block.shape[0], limit), np.inf)
+        for offset in range(block.shape[0]):
+            skipped = None
+            if exclude_block is not None:
+                own = int(exclude_block[offset])
+                if c0 <= own < c1:
+                    skipped = own - c0
+            take = min(limit, width - (1 if skipped is not None else 0))
+            if take < 1:
+                continue
+            local = knn_indices(block[offset], take, exclude=skipped)
+            indices[offset, :take] = np.asarray(local, dtype=np.intp) + c0
+            scores[offset, :take] = block[offset, local]
+        return indices, scores
+
+
+# -- pool worker plumbing ----------------------------------------------------
+
+_WORKER: Optional[_ShardComputer] = None
+
+
+def _worker_init(technique: Technique, queries, collection) -> None:
+    """Pool initializer: bind this process' shard computer."""
+    global _WORKER
+    _WORKER = _ShardComputer(technique, queries, collection)
+
+
+def _worker_matrix(task) -> Tuple[int, int, np.ndarray]:
+    kind, r0, r1, c0, c1, epsilon_block = task
+    return r0, c0, _WORKER.matrix_block(kind, r0, r1, c0, c1, epsilon_block)
+
+
+def _worker_knn(task) -> Tuple[int, np.ndarray, np.ndarray]:
+    r0, r1, c0, c1, k, exclude_block = task
+    indices, scores = _WORKER.knn_block(r0, r1, c0, c1, k, exclude_block)
+    return r0, indices, scores
+
+
+def _merge_knn_rows(
+    n_queries: int,
+    k: int,
+    shards: Sequence[Tuple[int, np.ndarray, np.ndarray]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Global stable-by-index merge of per-shard top-``k`` candidates.
+
+    Candidates from every column shard are pooled per query row and
+    ordered by ``(score, global index)`` — the same tie-breaking rule as
+    :func:`repro.queries.knn.knn_indices`' stable argsort, so the merged
+    ranking is identical to a single-process top-``k`` of the full row.
+    """
+    index_pool: List[List[np.ndarray]] = [[] for _ in range(n_queries)]
+    score_pool: List[List[np.ndarray]] = [[] for _ in range(n_queries)]
+    for r0, indices, scores in shards:
+        for offset in range(indices.shape[0]):
+            index_pool[r0 + offset].append(indices[offset])
+            score_pool[r0 + offset].append(scores[offset])
+    merged_indices = np.empty((n_queries, k), dtype=np.intp)
+    merged_scores = np.empty((n_queries, k))
+    for row in range(n_queries):
+        candidates = np.concatenate(index_pool[row])
+        scores = np.concatenate(score_pool[row])
+        real = candidates >= 0  # drop narrow-shard padding
+        candidates = candidates[real]
+        scores = scores[real]
+        if candidates.size < k:
+            raise InvalidParameterError(
+                f"k={k} exceeds the {candidates.size} eligible candidates "
+                f"of query row {row}"
+            )
+        order = np.lexsort((candidates, scores))[:k]
+        merged_indices[row] = candidates[order]
+        merged_scores[row] = scores[order]
+    return merged_indices, merged_scores
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+def _is_picklable(value) -> bool:
+    try:
+        pickle.dumps(value)
+    except Exception:
+        return False
+    return True
+
+
+class ShardedExecutor:
+    """Shard an ``(M, N)`` workload across a worker pool and reassemble.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes; ``None`` means ``os.cpu_count()``.  ``1``
+        selects the serial backend.
+    backend:
+        ``"process"``, ``"serial"``, or ``None`` to auto-select:
+        process when ``n_workers > 1`` and the technique/collection
+        pickle, serial otherwise (custom in-memory techniques keep
+        working, just without parallelism).
+    row_block / col_block:
+        Shard heights/widths.  Defaults split query rows roughly two
+        blocks per worker and keep columns whole (row sharding
+        parallelizes matrix kernels without shrinking the GEMMs); kNN
+        additionally shards columns so the full matrix is never
+        materialized.  Tests and out-of-core runs pin both explicitly.
+    mp_context:
+        ``multiprocessing`` start method (default: the platform default,
+        ``fork`` on Linux — zero-copy worker startup).
+    """
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        row_block: Optional[int] = None,
+        col_block: Optional[int] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if backend is not None and backend not in BACKENDS:
+            raise InvalidParameterError(
+                f"backend must be one of {BACKENDS} or None, got {backend!r}"
+            )
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        if n_workers < 1:
+            raise InvalidParameterError(
+                f"n_workers must be >= 1, got {n_workers}"
+            )
+        if row_block is not None and row_block < 1:
+            raise InvalidParameterError(
+                f"row_block must be >= 1, got {row_block}"
+            )
+        if col_block is not None and col_block < 1:
+            raise InvalidParameterError(
+                f"col_block must be >= 1, got {col_block}"
+            )
+        self.n_workers = int(n_workers)
+        self.backend = backend
+        self.row_block = row_block
+        self.col_block = col_block
+        self.mp_context = mp_context
+        self._pool = None
+        # Strong reference to the (technique, queries, collection) the
+        # pool workers were initialized with: identity comparison stays
+        # sound (no id recycling) for as long as the pool is alive.
+        self._pool_binding = None
+        self._serial_binding = None
+        self._serial_computer: Optional[_ShardComputer] = None
+        self._backend_binding = None
+        self._resolved_backend: Optional[str] = None
+
+    # -- planning ------------------------------------------------------------
+
+    def plan(
+        self, n_queries: int, n_candidates: int, for_knn: bool = False
+    ) -> ShardPlan:
+        """The shard decomposition for an ``(M, N)`` workload."""
+        row_block = self.row_block
+        if row_block is None:
+            # ~2 row blocks per worker: parallel slack without shrinking
+            # each kernel call below NumPy-efficient sizes.
+            row_block = max(1, math.ceil(n_queries / (2 * self.n_workers)))
+        col_block = self.col_block
+        if col_block is None:
+            if for_knn and self.n_workers > 1:
+                # Column shards bound the kNN working set: each shard
+                # returns k candidates per row instead of its full block.
+                col_block = max(1, math.ceil(n_candidates / self.n_workers))
+            else:
+                col_block = max(1, n_candidates)
+        return ShardPlan(
+            tuple(plan_blocks(n_queries, row_block)),
+            tuple(plan_blocks(n_candidates, col_block)),
+        )
+
+    def _resolve_backend(self, technique: Technique, queries, collection):
+        if self.backend == "serial" or self.n_workers == 1:
+            return "serial"
+        if self.backend == "process":
+            return "process"
+        # The auto-detect probe serializes the whole binding once, which
+        # is not free for large in-memory collections — cache the verdict
+        # per binding (strong refs keep identity comparison sound).
+        if self._same_binding(
+            self._backend_binding, technique, queries, collection
+        ):
+            return self._resolved_backend
+        resolved = (
+            "process"
+            if _is_picklable((technique, queries, collection))
+            else "serial"
+        )
+        self._backend_binding = (technique, queries, collection)
+        self._resolved_backend = resolved
+        return resolved
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    @staticmethod
+    def _same_binding(binding, technique, queries, collection) -> bool:
+        return binding is not None and (
+            binding[0] is technique
+            and binding[1] is queries
+            and binding[2] is collection
+        )
+
+    def _pool_for(self, technique: Technique, queries, collection):
+        """A pool whose workers hold this exact binding (reused if so)."""
+        if self._pool is not None and self._same_binding(
+            self._pool_binding, technique, queries, collection
+        ):
+            return self._pool
+        self.close()
+        context = multiprocessing.get_context(self.mp_context)
+        self._pool = context.Pool(
+            processes=self.n_workers,
+            initializer=_worker_init,
+            initargs=(technique, queries, collection),
+        )
+        self._pool_binding = (technique, queries, collection)
+        return self._pool
+
+    def _computer_for(
+        self, technique: Technique, queries, collection
+    ) -> _ShardComputer:
+        """The serial-backend shard computer (cached per binding)."""
+        if self._serial_computer is not None and self._same_binding(
+            self._serial_binding, technique, queries, collection
+        ):
+            return self._serial_computer
+        self._serial_computer = _ShardComputer(technique, queries, collection)
+        self._serial_binding = (technique, queries, collection)
+        return self._serial_computer
+
+    def close(self) -> None:
+        """Shut down the worker pool and drop cached bindings (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._pool_binding = None
+        self._serial_binding = None
+        self._serial_computer = None
+        self._backend_binding = None
+        self._resolved_backend = None
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- kernels -------------------------------------------------------------
+
+    def matrix(
+        self,
+        technique: Technique,
+        kind: str,
+        queries: Sequence,
+        collection: Sequence,
+        epsilon=None,
+    ) -> np.ndarray:
+        """The full ``(M, N)`` matrix, assembled from shard blocks.
+
+        ``kind`` is ``"distance"``, ``"probability"`` or
+        ``"calibration"``; ``epsilon`` (scalar or per-query vector) is
+        required for probability kind and forbidden otherwise.
+        """
+        if kind not in _MATRIX_KINDS:
+            raise InvalidParameterError(
+                f"kind must be one of {_MATRIX_KINDS}, got {kind!r}"
+            )
+        n_queries = len(queries)
+        n_candidates = len(collection)
+        if kind == "probability":
+            eps = _epsilon_vector(epsilon, n_queries)
+        elif epsilon is not None:
+            raise InvalidParameterError(
+                f"{kind} matrices take no epsilon"
+            )
+        else:
+            eps = None
+        out = np.empty((n_queries, n_candidates))
+        if n_queries == 0:
+            return out
+        plan = self.plan(n_queries, n_candidates)
+        tasks = [
+            (
+                kind,
+                r0,
+                r1,
+                c0,
+                c1,
+                None if eps is None else eps[r0:r1],
+            )
+            for r0, r1, c0, c1 in plan.shards()
+        ]
+        backend = self._resolve_backend(technique, queries, collection)
+        if backend == "serial":
+            computer = self._computer_for(technique, queries, collection)
+            blocks = [
+                (task[1], task[3], computer.matrix_block(*task))
+                for task in tasks
+            ]
+        else:
+            pool = self._pool_for(technique, queries, collection)
+            blocks = pool.map(_worker_matrix, tasks)
+        for r0, c0, block in blocks:
+            out[r0:r0 + block.shape[0], c0:c0 + block.shape[1]] = block
+        return out
+
+    def knn(
+        self,
+        technique: Technique,
+        queries: Sequence,
+        collection: Sequence,
+        k: int,
+        exclude: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Row-wise top-``k`` without materializing the full matrix.
+
+        Returns ``(indices, scores)``, both ``(M, k)``; ``exclude``
+        optionally holds one collection position to skip per query row
+        (``-1`` for none) — the self-match of all-pairs workloads.
+        Rankings match :func:`repro.queries.knn.knn_table` exactly.
+        """
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        n_queries = len(queries)
+        n_candidates = len(collection)
+        if exclude is not None:
+            exclude = np.asarray(exclude, dtype=np.intp)
+            if exclude.shape != (n_queries,):
+                raise InvalidParameterError(
+                    f"exclude must hold one index per query row, got shape "
+                    f"{exclude.shape} for {n_queries} rows"
+                )
+        excluding = exclude is not None and bool(np.any(exclude >= 0))
+        if k > n_candidates - (1 if excluding else 0):
+            raise InvalidParameterError(
+                f"k={k} must be at most the number of eligible candidates "
+                f"({n_candidates - (1 if excluding else 0)})"
+            )
+        if n_queries == 0:
+            return (
+                np.empty((0, k), dtype=np.intp),
+                np.empty((0, k)),
+            )
+        plan = self.plan(n_queries, n_candidates, for_knn=True)
+        tasks = [
+            (
+                r0,
+                r1,
+                c0,
+                c1,
+                k,
+                None if exclude is None else exclude[r0:r1],
+            )
+            for r0, r1, c0, c1 in plan.shards()
+        ]
+        backend = self._resolve_backend(technique, queries, collection)
+        if backend == "serial":
+            computer = self._computer_for(technique, queries, collection)
+            shards = []
+            for r0, r1, c0, c1, k_arg, exclude_block in tasks:
+                indices, scores = computer.knn_block(
+                    r0, r1, c0, c1, k_arg, exclude_block
+                )
+                shards.append((r0, indices, scores))
+        else:
+            pool = self._pool_for(technique, queries, collection)
+            shards = pool.map(_worker_knn, tasks)
+        return _merge_knn_rows(n_queries, k, shards)
+
+    def __repr__(self) -> str:
+        backend = self.backend if self.backend is not None else "auto"
+        return (
+            f"ShardedExecutor(n_workers={self.n_workers}, "
+            f"backend={backend!r})"
+        )

@@ -18,7 +18,6 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..core.collection import Collection
 from ..core.errors import InvalidParameterError
 from ..distances.base import Distance, distance_profile
 from .techniques import Technique

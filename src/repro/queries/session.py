@@ -46,6 +46,7 @@ import numpy as np
 from ..core.errors import InvalidParameterError, UnsupportedQueryError
 from .engine import SHARED_ENGINE, QueryEngine
 from .knn import knn_table
+from .parallel import ShardedExecutor
 from .techniques import Technique, _epsilon_vector
 
 
@@ -277,11 +278,7 @@ class QuerySet:
                     f"{technique.name} is a distance technique; "
                     f"profile_matrix() takes no epsilon"
                 )
-            values, elapsed = self._run(
-                lambda t: t.distance_matrix(
-                    self._queries, self._session.collection
-                )
-            )
+            values, elapsed = self._run_matrix("distance")
             return self._matrix_result("distance", values, elapsed)
         if epsilon is None:
             raise InvalidParameterError(
@@ -289,32 +286,49 @@ class QuerySet:
                 f"requires epsilon (scalar or one per query)"
             )
         eps = _epsilon_vector(epsilon, len(self._queries))
-        values, elapsed = self._run(
-            lambda t: t.probability_matrix(
-                self._queries, self._session.collection, eps
-            )
-        )
+        values, elapsed = self._run_matrix("probability", eps)
         return self._matrix_result("probability", values, elapsed, eps)
 
     def calibration_matrix(self) -> MatrixResult:
         """The ``(M, N)`` ε-calibration matrix (10th-NN thresholds live on
         its rows: entry ``[i, anchor]`` is query ``i``'s ε)."""
-        values, elapsed = self._run(
-            lambda t: t.calibration_matrix(
-                self._queries, self._session.collection
-            )
-        )
+        values, elapsed = self._run_matrix("calibration")
         return self._matrix_result("calibration", values, elapsed)
 
     def knn(self, k: int) -> KnnResult:
-        """Row-wise k-nearest neighbors (distance techniques only)."""
+        """Row-wise k-nearest neighbors (distance techniques only).
+
+        On a parallel session the rankings are computed shard-wise — each
+        column shard contributes its local top-``k`` and the executor
+        merges them stable-by-index — so the full matrix is never
+        materialized; results are identical to the single-process path.
+        """
         technique = self._require_technique()
         if technique.kind != "distance":
             raise UnsupportedQueryError(
                 f"top-k requires a distance technique; {technique.name} is "
                 f"probabilistic and its ranking depends on epsilon"
             )
-        return self.profile_matrix().top_k(k)
+        executor = self._session.executor
+        if executor is None:
+            return self.profile_matrix().top_k(k)
+        with self._session.bound(technique):
+            started = time.perf_counter()
+            indices, scores = executor.knn(
+                technique,
+                self._queries,
+                self._session.collection,
+                k,
+                exclude=self._positions,
+            )
+            elapsed = time.perf_counter() - started
+        return KnnResult(
+            technique_name=technique.name,
+            indices=indices,
+            scores=scores,
+            query_positions=self._positions.copy(),
+            elapsed_seconds=elapsed,
+        )
 
     def range(self, epsilon) -> RangeResult:
         """Per-query range results ``distance <= ε`` (Equation 1 batch)."""
@@ -377,6 +391,36 @@ class QuerySet:
             elapsed = time.perf_counter() - started
         return np.asarray(values, dtype=np.float64), elapsed
 
+    def _run_matrix(self, kind: str, epsilon=None):
+        """One timed ``(M, N)`` kernel — sharded when the session is
+        parallel, the technique's own all-pairs kernel otherwise."""
+        executor = self._session.executor
+        if executor is not None:
+            technique = self._require_technique()
+            with self._session.bound(technique):
+                started = time.perf_counter()
+                values = executor.matrix(
+                    technique,
+                    kind,
+                    self._queries,
+                    self._session.collection,
+                    epsilon,
+                )
+                elapsed = time.perf_counter() - started
+            return np.asarray(values, dtype=np.float64), elapsed
+        collection = self._session.collection
+
+        def kernel(technique: Technique):
+            if kind == "distance":
+                return technique.distance_matrix(self._queries, collection)
+            if kind == "calibration":
+                return technique.calibration_matrix(self._queries, collection)
+            return technique.probability_matrix(
+                self._queries, collection, epsilon
+            )
+
+        return self._run(kernel)
+
     def _matrix_result(
         self,
         kind: str,
@@ -414,12 +458,34 @@ class SimilaritySession:
         defaults to the process-shared engine (techniques compared side by
         side reuse one values matrix).  Pass a private engine to isolate
         the session's caches.
+    n_workers:
+        Worker processes for the session's kernels.  The default ``1``
+        keeps every kernel in-process (the technique's own all-pairs
+        call).  ``> 1`` (or ``None`` for all cores) shards the ``(M, N)``
+        grid across a :class:`~repro.queries.parallel.ShardedExecutor`
+        worker pool; results are identical to within 1e-9.
+    backend:
+        ``"process"`` / ``"serial"`` / ``None`` (auto) — forwarded to the
+        executor.  Setting it (even to ``"serial"``) routes kernels
+        through the sharded path with ``n_workers`` workers.
+    row_block / col_block:
+        Optional shard sizes forwarded to the executor (defaults scale
+        with ``n_workers``).
+
+    Parallel sessions own a worker pool: call :meth:`close` (or use the
+    session as a context manager) to release it deterministically.
     """
 
-    __slots__ = ("_collection", "_engine")
+    __slots__ = ("_collection", "_engine", "_executor", "_parallel")
 
     def __init__(
-        self, collection: Sequence, engine: Optional[QueryEngine] = None
+        self,
+        collection: Sequence,
+        engine: Optional[QueryEngine] = None,
+        n_workers: Optional[int] = 1,
+        backend: Optional[str] = None,
+        row_block: Optional[int] = None,
+        col_block: Optional[int] = None,
     ) -> None:
         if len(collection) == 0:
             raise InvalidParameterError(
@@ -427,6 +493,18 @@ class SimilaritySession:
             )
         self._collection = collection
         self._engine = engine if engine is not None else SHARED_ENGINE
+        self._parallel = backend is not None or n_workers is None or (
+            n_workers > 1
+        )
+        if self._parallel:
+            self._executor = ShardedExecutor(
+                n_workers=n_workers,
+                backend=backend,
+                row_block=row_block,
+                col_block=col_block,
+            )
+        else:
+            self._executor = None
         self._engine.materialize(collection)
 
     @property
@@ -438,6 +516,22 @@ class SimilaritySession:
     def engine(self) -> QueryEngine:
         """The engine holding this session's materializations."""
         return self._engine
+
+    @property
+    def executor(self):
+        """The session's :class:`ShardedExecutor` (``None`` single-process)."""
+        return self._executor
+
+    def close(self) -> None:
+        """Release the executor's worker pool (no-op single-process)."""
+        if self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "SimilaritySession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __len__(self) -> int:
         return len(self._collection)

@@ -7,6 +7,22 @@ import os
 import pytest
 
 from repro.cli import _COMMANDS, build_parser, main, run_command
+from repro.core import InvalidParameterError
+from repro.evaluation import (
+    get_default_scoring,
+    get_default_workers,
+    set_default_scoring,
+    set_default_workers,
+)
+
+
+@pytest.fixture
+def restore_harness_defaults():
+    """Snapshot and restore the process-wide scoring/workers defaults."""
+    scoring, workers = get_default_scoring(), get_default_workers()
+    yield
+    set_default_scoring(scoring)
+    set_default_workers(workers)
 
 
 class TestParser:
@@ -23,6 +39,15 @@ class TestParser:
     def test_all_figures_have_commands(self):
         expected = {f"fig{n:02d}" for n in range(4, 18)} | {"uniformity"}
         assert set(_COMMANDS) == expected
+
+    def test_workers_and_scoring_default_to_none(self):
+        args = build_parser().parse_args(["fig05"])
+        assert args.workers is None
+        assert args.scoring is None
+
+    def test_workers_parses_int(self):
+        args = build_parser().parse_args(["fig05", "--workers", "4"])
+        assert args.workers == 4
 
 
 class TestExecution:
@@ -54,6 +79,25 @@ class TestExecution:
         text = run_command("uniformity", "tiny", seed=3)
         assert "uniformity" in text
         assert "seed=3" in text
+
+    def test_workers_passthrough_sets_harness_default(
+        self, restore_harness_defaults, capsys
+    ):
+        assert main(["uniformity", "--scale", "tiny", "--workers", "2"]) == 0
+        assert get_default_workers() == 2
+
+    def test_scoring_passthrough_sets_harness_default(
+        self, restore_harness_defaults, capsys
+    ):
+        assert (
+            main(["uniformity", "--scale", "tiny", "--scoring", "profile"])
+            == 0
+        )
+        assert get_default_scoring() == "profile"
+
+    def test_invalid_workers_rejected(self, restore_harness_defaults):
+        with pytest.raises(InvalidParameterError):
+            main(["uniformity", "--scale", "tiny", "--workers", "0"])
 
     def test_seed_changes_nothing_for_fixed_seed(self):
         a = run_command("uniformity", "tiny", seed=5)

@@ -12,7 +12,6 @@ from repro.core import (
     ErrorModel,
     InvalidParameterError,
     LengthMismatchError,
-    TimeSeries,
     UncertainTimeSeries,
     make_rng,
 )

@@ -8,7 +8,6 @@ import pytest
 from repro.core import (
     ErrorModel,
     LengthMismatchError,
-    TimeSeries,
     UncertainTimeSeries,
     make_rng,
 )
@@ -17,7 +16,6 @@ from repro.distributions import (
     ExponentialError,
     NormalError,
     UniformError,
-    with_tails,
 )
 from repro.dust import (
     Dust,
@@ -28,7 +26,6 @@ from repro.dust import (
     phi_numeric,
     phi_support_radius,
 )
-from repro.perturbation import perturb
 
 
 def _uncertain(values, distribution):

@@ -3,12 +3,10 @@ ablations)."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments import (
     Scale,
-    TINY,
     dust_table_ablation,
     format_ablation,
     format_dtw_study,

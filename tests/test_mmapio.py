@@ -1,0 +1,271 @@
+"""Tests for memory-mapped collection storage (repro.core.mmapio)."""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Collection,
+    InvalidParameterError,
+    MappedCollection,
+    MappedCollectionError,
+    TimeSeries,
+    load_collection,
+    save_collection,
+    spawn,
+)
+from repro.core.mmapio import MANIFEST_NAME
+from repro.datasets import generate_dataset
+from repro.distributions import UniformError, with_tails
+from repro.perturbation import ConstantScenario, MixedFamilyScenario
+from repro.queries import (
+    DustTechnique,
+    EuclideanTechnique,
+    MunichTechnique,
+    QueryEngine,
+)
+from repro.munich import Munich
+
+
+@pytest.fixture(scope="module")
+def exact():
+    return generate_dataset("GunPoint", seed=17, n_series=10, length=14)
+
+
+@pytest.fixture(scope="module")
+def pdf(exact):
+    scenario = ConstantScenario("normal", 0.4)
+    return [
+        scenario.apply(series, spawn(17, "pdf", index))
+        for index, series in enumerate(exact)
+    ]
+
+
+@pytest.fixture(scope="module")
+def multisample(exact):
+    scenario = ConstantScenario("normal", 0.4)
+    return [
+        scenario.apply_multisample(series, 3, spawn(17, "ms", index))
+        for index, series in enumerate(exact)
+    ]
+
+
+class TestPdfRoundtrip:
+    def test_values_and_metadata(self, pdf, tmp_path):
+        manifest = save_collection(pdf, str(tmp_path))
+        assert os.path.basename(manifest) == MANIFEST_NAME
+        loaded = load_collection(str(tmp_path))
+        assert isinstance(loaded, MappedCollection)
+        assert loaded.kind == "pdf"
+        assert len(loaded) == len(pdf)
+        assert np.array_equal(
+            loaded.values_matrix(),
+            np.vstack([series.observations for series in pdf]),
+        )
+        for original, reloaded in zip(pdf, loaded):
+            assert reloaded.label == original.label
+            assert reloaded.name == original.name
+            assert reloaded.error_model == original.error_model
+
+    def test_rows_are_zero_copy_views(self, pdf, tmp_path):
+        save_collection(pdf, str(tmp_path))
+        loaded = load_collection(str(tmp_path))
+        for row, series in enumerate(loaded):
+            assert np.shares_memory(
+                series.observations, loaded.mapped_values
+            )
+            assert not series.observations.flags.writeable
+        assert isinstance(loaded.mapped_values, np.memmap)
+
+    def test_distance_parity(self, pdf, tmp_path):
+        save_collection(pdf, str(tmp_path))
+        loaded = load_collection(str(tmp_path))
+        for technique in (EuclideanTechnique(), DustTechnique()):
+            direct = technique.distance_matrix(pdf, pdf)
+            mapped = technique.distance_matrix(loaded, loaded)
+            assert np.max(np.abs(direct - mapped)) <= 1e-9
+
+    def test_engine_warms_from_map(self, pdf, tmp_path):
+        save_collection(pdf, str(tmp_path))
+        loaded = load_collection(str(tmp_path))
+        engine = QueryEngine()
+        materialized = engine.materialize(loaded)
+        # The materialization adopts the mapped matrices: zero re-stacking.
+        assert materialized.values_matrix() is loaded.mapped_values
+        assert materialized.variances_matrix() is loaded.mapped_variances
+
+    def test_eager_mode(self, pdf, tmp_path):
+        save_collection(pdf, str(tmp_path))
+        loaded = load_collection(str(tmp_path), mmap_mode=None)
+        assert not isinstance(loaded.mapped_values, np.memmap)
+        assert np.array_equal(
+            loaded.values_matrix(),
+            np.vstack([series.observations for series in pdf]),
+        )
+
+
+class TestHeterogeneousErrorModels:
+    def test_mixed_family_roundtrip(self, exact, tmp_path):
+        scenario = MixedFamilyScenario()
+        mixed = [
+            scenario.apply(series, spawn(17, "mixed", index))
+            for index, series in enumerate(exact)
+        ]
+        save_collection(mixed, str(tmp_path))
+        loaded = load_collection(str(tmp_path))
+        for original, reloaded in zip(mixed, loaded):
+            assert reloaded.error_model == original.error_model
+        technique = DustTechnique()
+        direct = technique.distance_matrix(mixed, mixed)
+        mapped = technique.distance_matrix(loaded, loaded)
+        assert np.max(np.abs(direct - mapped)) <= 1e-9
+
+    def test_mixture_distribution_spec(self, exact, tmp_path):
+        from repro.core import ErrorModel, UncertainTimeSeries
+
+        mixture = with_tails(UniformError(0.5))
+        series = [
+            UncertainTimeSeries(
+                item.values, ErrorModel.constant(mixture, len(item))
+            )
+            for item in exact
+        ]
+        save_collection(series, str(tmp_path))
+        loaded = load_collection(str(tmp_path))
+        for original, reloaded in zip(series, loaded):
+            assert reloaded.error_model == original.error_model
+
+
+class TestMultisampleRoundtrip:
+    def test_samples_and_bounds(self, multisample, tmp_path):
+        save_collection(multisample, str(tmp_path))
+        loaded = load_collection(str(tmp_path))
+        assert loaded.kind == "multisample"
+        for original, reloaded in zip(multisample, loaded):
+            assert np.array_equal(reloaded.samples, original.samples)
+            assert np.shares_memory(
+                reloaded.samples, loaded.mapped_samples
+            )
+            low_a, high_a = original.bounding_intervals()
+            low_b, high_b = reloaded.bounding_intervals()
+            assert np.array_equal(low_a, low_b)
+            assert np.array_equal(high_a, high_b)
+
+    def test_munich_parity(self, multisample, tmp_path):
+        save_collection(multisample, str(tmp_path))
+        loaded = load_collection(str(tmp_path))
+        technique = MunichTechnique(Munich(tau=0.5, n_bins=64))
+        direct = technique.probability_matrix(
+            multisample, multisample, 2.5
+        )
+        mapped = technique.probability_matrix(loaded, loaded, 2.5)
+        assert np.max(np.abs(direct - mapped)) <= 1e-9
+
+    def test_engine_bounds_from_map(self, multisample, tmp_path):
+        save_collection(multisample, str(tmp_path))
+        loaded = load_collection(str(tmp_path))
+        engine = QueryEngine()
+        materialized = engine.materialize(loaded)
+        low, high = materialized.bounding_matrices()
+        assert np.array_equal(low, loaded.mapped_samples.min(axis=2))
+        column = materialized.sample_column_matrix(0)
+        assert np.shares_memory(column, loaded.mapped_samples)
+
+
+class TestExactRoundtrip:
+    def test_timeseries_collection(self, exact, tmp_path):
+        save_collection(exact, str(tmp_path))
+        loaded = load_collection(str(tmp_path))
+        assert loaded.kind == "exact"
+        for original, reloaded in zip(exact, loaded):
+            assert isinstance(reloaded, TimeSeries)
+            assert np.array_equal(reloaded.values, original.values)
+            assert reloaded.label == original.label
+        assert loaded.name == exact.name
+
+
+class TestSharding:
+    def test_shard_views(self, pdf, tmp_path):
+        save_collection(pdf, str(tmp_path))
+        loaded = load_collection(str(tmp_path))
+        shard = loaded.shard(3, 8)
+        assert len(shard) == 5
+        assert shard.shard_range == (3, 8)
+        assert np.shares_memory(shard.mapped_values, loaded.mapped_values)
+        assert shard[0] is loaded[3]  # items shared, not rebuilt
+        nested = shard.shard(1, 3)
+        assert nested.shard_range == (4, 6)
+
+    def test_shard_bad_range(self, pdf, tmp_path):
+        save_collection(pdf, str(tmp_path))
+        loaded = load_collection(str(tmp_path))
+        with pytest.raises(InvalidParameterError):
+            loaded.shard(5, 5)
+        with pytest.raises(InvalidParameterError):
+            loaded.shard(-1, 3)
+        with pytest.raises(InvalidParameterError):
+            loaded.shard(0, len(loaded) + 1)
+
+    def test_pickle_travels_as_manifest_path(self, pdf, tmp_path):
+        save_collection(pdf, str(tmp_path))
+        loaded = load_collection(str(tmp_path))
+        shard = loaded.shard(2, 9)
+        payload = pickle.dumps(shard)
+        # The payload carries the manifest path, not the data: far
+        # smaller than the series it references.
+        assert len(payload) < loaded.mapped_values.nbytes
+        reloaded = pickle.loads(payload)
+        assert reloaded.shard_range == (2, 9)
+        assert np.array_equal(
+            reloaded.values_matrix(), shard.values_matrix()
+        )
+
+
+class TestErrors:
+    def test_empty_collection(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            save_collection([], str(tmp_path))
+
+    def test_mixed_kinds(self, exact, pdf, tmp_path):
+        with pytest.raises(MappedCollectionError):
+            save_collection([exact[0], pdf[0]], str(tmp_path))
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(MappedCollectionError):
+            load_collection(str(tmp_path / "nowhere"))
+
+    def test_bad_version(self, pdf, tmp_path):
+        manifest_path = save_collection(pdf, str(tmp_path))
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        manifest["version"] = 999
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(MappedCollectionError):
+            load_collection(str(tmp_path))
+
+    def test_unknown_family(self, pdf, tmp_path):
+        manifest_path = save_collection(pdf, str(tmp_path))
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        manifest["distributions"] = [{"family": "cauchy", "std": 1.0}]
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(MappedCollectionError):
+            load_collection(str(tmp_path))
+
+    def test_manifest_file_path_accepted(self, pdf, tmp_path):
+        manifest_path = save_collection(pdf, str(tmp_path))
+        loaded = load_collection(manifest_path)
+        assert len(loaded) == len(pdf)
+
+    def test_collection_wrapper_roundtrip(self, pdf, tmp_path):
+        collection = Collection(pdf, name="wrapped")
+        save_collection(collection, str(tmp_path))
+        loaded = load_collection(str(tmp_path))
+        assert loaded.name == "wrapped"

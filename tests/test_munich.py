@@ -21,7 +21,6 @@ from repro.munich import (
     distance_bounds,
     interval_gap_and_span,
     iter_materializations,
-    naive_dtw_probability,
     naive_probability,
     per_timestamp_squared_differences,
     sampled_probability,

@@ -12,14 +12,13 @@ from repro.core import (
     TimeSeries,
     make_rng,
 )
-from repro.distributions import NormalError, UniformError
+from repro.distributions import NormalError
 from repro.perturbation import (
     MIXED_FRACTION_HIGH,
     MIXED_PROUD_STD,
     MIXED_STD_HIGH,
     MIXED_STD_LOW,
     ConstantScenario,
-    MisreportedScenario,
     MixedFamilyScenario,
     MixedStdScenario,
     paper_misreported_scenario,

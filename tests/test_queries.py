@@ -6,18 +6,16 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    Collection,
     ErrorModel,
     InvalidParameterError,
     TimeSeries,
-    UncertainTimeSeries,
     UnsupportedQueryError,
     make_rng,
 )
 from repro.distances import euclidean
 from repro.distributions import NormalError
 from repro.munich import Munich
-from repro.perturbation import ConstantScenario, perturb, perturb_multisample
+from repro.perturbation import ConstantScenario, perturb_multisample
 from repro.queries import (
     DustTechnique,
     EuclideanTechnique,

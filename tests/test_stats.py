@@ -15,7 +15,6 @@ from hypothesis.extra import numpy as hnp
 
 from repro.core import InvalidParameterError, make_rng
 from repro.stats import (
-    HaarSynopsis,
     chi2_sf,
     chi_square_uniformity_test,
     haar_synopsis,
