@@ -22,13 +22,16 @@ always fatal.
 
 The baselines live in ``benchmarks/baselines/`` and were generated with
 the same deterministic seeds the benchmarks hard-code, so a rerun on
-comparable hardware reproduces them.
+comparable hardware reproduces them.  A missing fresh or baseline file
+is a hard error (exit 2) — a benchmark must never silently drop out of
+the gate.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, List, Tuple
 
@@ -155,6 +158,19 @@ def main(argv=None) -> int:
         help="compare absolute timings without the machine-scale estimate",
     )
     args = parser.parse_args(argv)
+
+    # A missing file must fail loudly: silently skipping a benchmark
+    # because its baseline was never committed (or a fresh run never
+    # produced output) would let regressions ride green CI.
+    for role, path in (("fresh", args.fresh), ("baseline", args.baseline)):
+        if not os.path.isfile(path):
+            print(
+                f"PERF GATE ERROR: {role} benchmark file not found: {path}\n"
+                f"  (for baselines: run the benchmark with --quick and "
+                f"commit the JSON under benchmarks/baselines/)",
+                file=sys.stderr,
+            )
+            return 2
 
     with open(args.fresh, "r", encoding="utf-8") as handle:
         fresh = json.load(handle)

@@ -45,6 +45,8 @@ from .datasets import (
 from .distances import (
     FilteredEuclidean,
     dtw_distance,
+    dtw_distance_matrix,
+    dtw_distance_stack,
     euclidean,
     lp_distance,
     uema_distance,
@@ -76,11 +78,13 @@ from .perturbation import (
 )
 from .proud import Proud
 from .queries import (
+    DustDtwTechnique,
     DustTechnique,
     EuclideanTechnique,
     FilteredTechnique,
     KnnResult,
     MatrixResult,
+    MunichDtwTechnique,
     MunichTechnique,
     ProudTechnique,
     QueryEngine,
@@ -109,12 +113,14 @@ __all__ = [
     "perturb", "perturb_multisample", "ConstantScenario", "MixedStdScenario",
     "MixedFamilyScenario", "MisreportedScenario",
     # distances
-    "euclidean", "lp_distance", "dtw_distance", "FilteredEuclidean",
+    "euclidean", "lp_distance", "dtw_distance", "dtw_distance_stack",
+    "dtw_distance_matrix", "FilteredEuclidean",
     "uma_distance", "uema_distance",
     # techniques
     "Munich", "Proud", "Dust", "DustTable", "DustTableCache",
     "Technique", "EuclideanTechnique", "DustTechnique", "FilteredTechnique",
-    "ProudTechnique", "MunichTechnique",
+    "ProudTechnique", "MunichTechnique", "DustDtwTechnique",
+    "MunichDtwTechnique",
     # queries
     "QueryEngine", "SimilaritySession", "QuerySet", "MatrixResult",
     "KnnResult", "RangeResult", "ShardedExecutor",

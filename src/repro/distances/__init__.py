@@ -17,6 +17,16 @@ from .dtw import (
     lb_keogh,
     lb_kim,
 )
+from .dtw_batch import (
+    banded_dtw_from_costs,
+    dtw_distance_matrix,
+    dtw_distance_paired,
+    dtw_distance_stack,
+    dtw_hits_paired,
+    keogh_envelope_stack,
+    lb_keogh_stack,
+    lb_kim_paired,
+)
 from .filtered import (
     PAPER_DECAY,
     PAPER_WINDOW,
@@ -52,9 +62,17 @@ __all__ = [
     "euclidean_matrix",
     "dtw_distance",
     "dtw_path",
+    "dtw_distance_stack",
+    "dtw_distance_matrix",
+    "dtw_distance_paired",
+    "dtw_hits_paired",
+    "banded_dtw_from_costs",
     "lb_kim",
     "lb_keogh",
     "keogh_envelope",
+    "lb_kim_paired",
+    "lb_keogh_stack",
+    "keogh_envelope_stack",
     "moving_average",
     "exponential_moving_average",
     "uma",

@@ -25,11 +25,12 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..core.rng import spawn
-from ..distances.dtw import dtw_distance
-from ..dust.distance import Dust
+from ..distances.dtw_batch import dtw_distance_matrix, dtw_distance_stack
+from ..distances.lp import euclidean_profile
 from ..evaluation.metrics import score_result_set
 from ..perturbation.scenarios import ConstantScenario
 from ..queries.knn import knn_indices
+from ..queries.techniques import DustDtwTechnique, DustTechnique
 from .config import EXPERIMENT_SEED, Scale, get_scale
 from .report import format_series_table
 from .runner import dataset_for_scale
@@ -53,14 +54,11 @@ def run_dtw_study(
     window = max(1, int(BAND_FRACTION * exact.series_length))
     exact_values = exact.values_matrix()
 
-    # DTW ground truth: k nearest neighbors under banded DTW on exact data.
+    # DTW ground truth: k nearest neighbors under banded DTW on exact
+    # data, one anti-diagonal wavefront kernel per query row instead of a
+    # per-pair Python DP over the whole upper triangle.
     n = len(exact)
-    dtw_matrix = np.zeros((n, n))
-    for i in range(n):
-        for j in range(i + 1, n):
-            dtw_matrix[i, j] = dtw_matrix[j, i] = dtw_distance(
-                exact_values[i], exact_values[j], window=window
-            )
+    dtw_matrix = dtw_distance_matrix(exact_values, exact_values, window=window)
     np.fill_diagonal(dtw_matrix, np.inf)
     ground_truths = [
         frozenset(knn_indices(dtw_matrix[i], STUDY_K)) for i in range(n)
@@ -75,29 +73,36 @@ def run_dtw_study(
             scenario.apply(series, spawn(seed, "dtw", sigma, index))
             for index, series in enumerate(exact)
         ]
-        dust = Dust()
+        perturbed_values = np.vstack(
+            [series.observations for series in perturbed]
+        )
+        dust = DustTechnique()
+        dust_dtw = DustDtwTechnique(window=window)
 
+        # Each measure scores one query against every candidate in a
+        # single batch profile (GEMM / wavefront DTW / table kernels).
         measures = {
-            "Euclidean": lambda a, b: float(
-                np.linalg.norm(a.observations - b.observations)
+            "Euclidean": lambda q: euclidean_profile(
+                perturbed[q].observations, perturbed_values
             ),
-            "DTW": lambda a, b: dtw_distance(
-                a.observations, b.observations, window=window
+            "DTW": lambda q: dtw_distance_stack(
+                perturbed[q].observations, perturbed_values, window=window
             ),
-            "DUST": lambda a, b: dust.distance(a, b),
-            "DUST-DTW": lambda a, b: dust.dtw_distance(a, b, window=window),
+            "DUST": lambda q: dust.distance_profile(perturbed[q], perturbed),
+            "DUST-DTW": lambda q: dust_dtw.distance_profile(
+                perturbed[q], perturbed
+            ),
         }
         row: Dict[str, float] = {}
         for name, measure in measures.items():
             f1_values = []
             for query_index in range(n_queries):
-                query = perturbed[query_index]
-                epsilon = measure(query, perturbed[anchors[query_index]])
+                profile = measure(query_index)
+                epsilon = profile[anchors[query_index]]
                 selected = [
                     j
-                    for j in range(n)
+                    for j in np.flatnonzero(profile <= epsilon)
                     if j != query_index
-                    and measure(query, perturbed[j]) <= epsilon
                 ]
                 f1_values.append(
                     score_result_set(

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+from .batch import convolved_probability_batch, stack_candidate_samples
 from .bounds import DistanceBounds, distance_bounds, interval_gap_and_span
 from .exact import (
     DEFAULT_BINS,
     convolved_probability,
+    draw_materialization_pairs,
     per_timestamp_squared_differences,
     sampled_probability,
 )
@@ -23,7 +25,10 @@ __all__ = [
     "naive_dtw_probability",
     "iter_materializations",
     "convolved_probability",
+    "convolved_probability_batch",
+    "stack_candidate_samples",
     "sampled_probability",
+    "draw_materialization_pairs",
     "per_timestamp_squared_differences",
     "distance_bounds",
     "DistanceBounds",

@@ -135,6 +135,37 @@ def _convolve_with_overflow(
     return out
 
 
+def draw_materialization_pairs(
+    x: MultisampleUncertainTimeSeries,
+    y: MultisampleUncertainTimeSeries,
+    n_samples: int,
+    rng: SeedLike = None,
+) -> tuple:
+    """``n_samples`` uniform materialization pairs: ``(x_values, y_values)``.
+
+    Each is an ``(n_samples, n)`` stack of one sample choice per timestamp
+    — Equation 4's counting measure.  This is the single source of draws
+    for every Monte Carlo evaluator (:func:`sampled_probability` and the
+    batched MUNICH-DTW kernel), so a seeded ``rng`` yields identical
+    materializations regardless of which evaluator consumes them.
+    """
+    if n_samples < 1:
+        raise InvalidParameterError(f"n_samples must be >= 1, got {n_samples}")
+    if len(x) != len(y):
+        raise InvalidParameterError(
+            f"series lengths differ: {len(x)} != {len(y)}"
+        )
+    generator = make_rng(rng)
+    n = len(x)
+    x_choices = generator.integers(0, x.samples_per_timestamp, size=(n_samples, n))
+    y_choices = generator.integers(0, y.samples_per_timestamp, size=(n_samples, n))
+    rows = np.arange(n)
+    return (
+        x.samples[rows[None, :], x_choices],
+        y.samples[rows[None, :], y_choices],
+    )
+
+
 def sampled_probability(
     x: MultisampleUncertainTimeSeries,
     y: MultisampleUncertainTimeSeries,
@@ -152,19 +183,7 @@ def sampled_probability(
     """
     if epsilon < 0.0:
         raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
-    if n_samples < 1:
-        raise InvalidParameterError(f"n_samples must be >= 1, got {n_samples}")
-    if len(x) != len(y):
-        raise InvalidParameterError(
-            f"series lengths differ: {len(x)} != {len(y)}"
-        )
-    generator = make_rng(rng)
-    n = len(x)
-    x_choices = generator.integers(0, x.samples_per_timestamp, size=(n_samples, n))
-    y_choices = generator.integers(0, y.samples_per_timestamp, size=(n_samples, n))
-    rows = np.arange(n)
-    x_values = x.samples[rows[None, :], x_choices]
-    y_values = y.samples[rows[None, :], y_choices]
+    x_values, y_values = draw_materialization_pairs(x, y, n_samples, rng)
     if distance is None:
         squared = ((x_values - y_values) ** 2).sum(axis=1)
         return float(np.mean(squared <= epsilon * epsilon))

@@ -49,9 +49,11 @@ from .session import (
     SimilaritySession,
 )
 from .techniques import (
+    DustDtwTechnique,
     DustTechnique,
     EuclideanTechnique,
     FilteredTechnique,
+    MunichDtwTechnique,
     MunichTechnique,
     ProudTechnique,
     Technique,
@@ -81,9 +83,11 @@ __all__ = [
     "Technique",
     "EuclideanTechnique",
     "DustTechnique",
+    "DustDtwTechnique",
     "FilteredTechnique",
     "ProudTechnique",
     "MunichTechnique",
+    "MunichDtwTechnique",
     "range_query",
     "probabilistic_range_query",
     "result_set_from_scores",

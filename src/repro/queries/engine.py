@@ -31,7 +31,7 @@ per-pair methods, so third-party techniques keep working unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -88,6 +88,8 @@ class CollectionMaterialization:
         "_model_codes",
         "_sample_columns",
         "_bounds",
+        "_samples_tensor",
+        "_envelopes",
     )
 
     def __init__(self, collection: Sequence) -> None:
@@ -104,6 +106,8 @@ class CollectionMaterialization:
         self._model_codes: Tuple[np.ndarray, Tuple[ErrorDistribution, ...]] = None
         self._sample_columns: Dict[int, np.ndarray] = {}
         self._bounds: Tuple[np.ndarray, np.ndarray] = None
+        self._samples_tensor: np.ndarray = None
+        self._envelopes: Dict[Optional[int], Tuple[np.ndarray, np.ndarray]] = {}
 
     def __len__(self) -> int:
         return len(self.collection)
@@ -220,6 +224,52 @@ class CollectionMaterialization:
                 ])
             self._sample_columns[column] = matrix
         return matrix
+
+    def samples_tensor(self) -> Optional[np.ndarray]:
+        """``(N, n, s)`` stacked multisample draws, or ``None`` when the
+        collection's per-timestamp sample counts are ragged.
+
+        The batched MUNICH convolution slices undecided candidates out of
+        this tensor in one shot; ragged collections fall back to the
+        per-pair evaluator.
+        """
+        if self._samples_tensor is None:
+            mapped = self._mapped("mapped_samples")
+            if mapped is not None:
+                self._samples_tensor = mapped
+            else:
+                shapes = {item.samples.shape for item in self._items}
+                if len(shapes) != 1:
+                    self._samples_tensor = False
+                else:
+                    self._samples_tensor = np.stack(
+                        [item.samples for item in self._items]
+                    )
+        return None if self._samples_tensor is False else self._samples_tensor
+
+    def dtw_envelopes(
+        self, window: Optional[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Band-inflated LB_Keogh envelopes of the bounding intervals.
+
+        ``(lower, upper)``, each ``(N, n)``: the rolling min of the
+        per-timestamp interval lows / rolling max of the highs over the
+        Sakoe–Chiba half-width (``None`` = full length).  Every
+        materialization of series ``j`` lies inside its envelope row, so
+        one cached stack bounds the banded DTW of *every* sample draw —
+        MUNICH-DTW's collection-level pruning stage.
+        """
+        cached = self._envelopes.get(window)
+        if cached is None:
+            from ..distances.dtw_batch import keogh_envelope_stack
+
+            low, high = self.bounding_matrices()
+            effective = low.shape[1] if window is None else window
+            lower, _ = keogh_envelope_stack(low, effective)
+            _, upper = keogh_envelope_stack(high, effective)
+            cached = (lower, upper)
+            self._envelopes[window] = cached
+        return cached
 
     def bounding_matrices(self) -> Tuple[np.ndarray, np.ndarray]:
         """Stacked minimal bounding intervals: ``(low, high)``, each

@@ -72,6 +72,12 @@ from ..core.uncertain import (
     MultisampleUncertainTimeSeries,
     UncertainTimeSeries,
 )
+from ..distances.dtw_batch import (
+    PRUNE_SLACK,
+    banded_dtw_from_costs,
+    dtw_hits_paired,
+    stack_blocks,
+)
 from ..distances.filtered import FilteredEuclidean
 from ..distances.lp import (
     euclidean,
@@ -82,7 +88,9 @@ from ..distances.lp import (
 from ..distributions import make_distribution
 from ..dust.distance import Dust
 from ..dust.tables import DustTableCache
+from ..munich.batch import convolved_probability_batch
 from ..munich.bounds import interval_gap_and_span
+from ..munich.exact import draw_materialization_pairs
 from ..munich.query import Munich
 from ..proud.query import Proud
 from ..stats.normal import std_normal_cdf
@@ -732,7 +740,43 @@ class ProudTechnique(Technique):
         return euclidean_matrix(query_matrix, matrix)
 
 
-class MunichTechnique(Technique):
+class _MultisampleCalibration:
+    """ε_eucl calibration for multisample (MUNICH-family) techniques.
+
+    The paper's ε_eucl is "the Euclidean distance on the observations".
+    A multisample series' observation is one sample draw per timestamp
+    (column 0 — any fixed column is a single observation); using the
+    sample *means* instead would understate the noise inflation that the
+    materialization distances carry, systematically deflating match
+    probabilities.
+    """
+
+    def calibration_distance(
+        self,
+        query: MultisampleUncertainTimeSeries,
+        candidate: MultisampleUncertainTimeSeries,
+    ) -> float:
+        return euclidean(query.samples[:, 0], candidate.samples[:, 0])
+
+    def calibration_profile(
+        self, query: MultisampleUncertainTimeSeries, collection: Sequence
+    ) -> np.ndarray:
+        """Vectorized ε_eucl over the cached column-0 sample matrix."""
+        matrix = self.engine.materialize(collection).sample_column_matrix(0)
+        return euclidean_profile(query.samples[:, 0], matrix)
+
+    def calibration_matrix(
+        self, queries: Sequence, collection: Sequence
+    ) -> np.ndarray:
+        """All-pairs ε_eucl in one GEMM over the column-0 sample matrices."""
+        if len(queries) == 0:
+            return np.empty((0, len(collection)))
+        matrix = self.engine.materialize(collection).sample_column_matrix(0)
+        query_matrix = self.engine.materialize(queries).sample_column_matrix(0)
+        return euclidean_matrix(query_matrix, matrix)
+
+
+class MunichTechnique(_MultisampleCalibration, Technique):
     """MUNICH under the harness protocol (multi-sample input)."""
 
     name = "MUNICH"
@@ -746,6 +790,39 @@ class MunichTechnique(Technique):
     def munich(self) -> Munich:
         """The underlying :class:`~repro.munich.Munich` engine."""
         return self._munich
+
+    def _evaluate_undecided(
+        self,
+        query: MultisampleUncertainTimeSeries,
+        collection: Sequence,
+        epsilon: float,
+        out: np.ndarray,
+        undecided: np.ndarray,
+    ) -> None:
+        """Probability evaluation for the bound-undecided candidates.
+
+        Convolution mode runs the whole undecided set through the
+        stacked batch evaluator on the collection's materialized sample
+        tensor (shared bin grid per query); the Monte Carlo and naive
+        evaluators — and ragged-sample collections the tensor cannot
+        represent — keep the per-pair path.
+        """
+        if undecided.size == 0:
+            return
+        if self._munich.method == "convolution":
+            tensor = self.engine.materialize(collection).samples_tensor()
+            if tensor is not None:
+                out[undecided] = convolved_probability_batch(
+                    query,
+                    tensor[undecided],
+                    epsilon,
+                    n_bins=self._munich.n_bins,
+                )
+                return
+        for index in undecided:
+            out[index] = self._munich.probability(
+                query, collection[index], epsilon
+            )
 
     def probability(
         self,
@@ -766,9 +843,9 @@ class MunichTechnique(Technique):
         The minimal-bounding-interval bounds (Section 2.1) are computed
         for *all* candidates in one shot from the cached interval stacks;
         only the undecided middle — candidates whose bounds straddle ε —
-        pays the per-pair probability evaluation.  With bounds disabled
-        every candidate is "undecided" and the behaviour matches the
-        per-pair path exactly.
+        pays the probability evaluation, batched over the whole set in
+        convolution mode.  With bounds disabled every candidate is
+        "undecided" and the behaviour matches the per-pair path exactly.
         """
         if epsilon < 0.0:
             raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
@@ -786,10 +863,9 @@ class MunichTechnique(Technique):
             undecided = np.flatnonzero((lower <= epsilon) & (upper > epsilon))
         else:
             undecided = np.arange(n_series)
-        for index in undecided:
-            probabilities[index] = self._munich.probability(
-                query, collection[index], epsilon
-            )
+        self._evaluate_undecided(
+            query, collection, epsilon, probabilities, undecided
+        )
         return probabilities
 
     def probability_matrix(
@@ -799,9 +875,10 @@ class MunichTechnique(Technique):
 
         The minimal-bounding-interval lower/upper distance bounds are
         evaluated for every pair in one broadcast per query block; only
-        pairs whose bounds straddle their query's ε pay the per-pair
-        probability convolution.  ``epsilon`` may be a scalar or one
-        threshold per query.
+        pairs whose bounds straddle their query's ε pay the probability
+        convolution, batched per query row over the stacked undecided
+        candidates.  ``epsilon`` may be a scalar or one threshold per
+        query.
         """
         n_queries = len(queries)
         eps = _epsilon_vector(epsilon, n_queries)
@@ -833,43 +910,206 @@ class MunichTechnique(Technique):
             block = out[start:stop]
             block[lower > block_eps] = 0.0
             block[upper <= block_eps] = 1.0
-            for offset, candidate in np.argwhere(
-                (lower <= block_eps) & (upper > block_eps)
-            ):
+            straddling = (lower <= block_eps) & (upper > block_eps)
+            for offset in np.flatnonzero(straddling.any(axis=1)):
                 query_index = start + int(offset)
-                block[offset, candidate] = self._munich.probability(
+                self._evaluate_undecided(
                     queries[query_index],
-                    collection[int(candidate)],
+                    collection,
                     float(eps[query_index]),
+                    block[offset],
+                    np.flatnonzero(straddling[offset]),
                 )
         return out
 
-    def calibration_distance(
+
+class DustDtwTechnique(Technique):
+    """DUST-DTW: banded DTW with ``dust²`` as the point cost (Section 3.2).
+
+    The per-pair anchor is :meth:`~repro.dust.Dust.dtw_distance`; the
+    batch kernels lift it onto the anti-diagonal wavefront DP of
+    :mod:`repro.distances.dtw_batch`, grouping candidates by their error
+    distribution so a homogeneous collection is one stacked cost-tensor
+    pass per block.  Results are bit-identical to the per-pair program.
+    """
+
+    name = "DUST-DTW"
+    kind = "distance"
+
+    def __init__(
+        self,
+        window: Optional[int] = None,
+        cache: Optional[DustTableCache] = None,
+        tail_workaround: bool = True,
+    ) -> None:
+        if window is not None and window < 0:
+            raise InvalidParameterError(f"window must be >= 0, got {window}")
+        self.window = window
+        self._dust = Dust(cache=cache, tail_workaround=tail_workaround)
+
+    @property
+    def dust(self) -> Dust:
+        """The underlying :class:`~repro.dust.Dust` engine (shared tables)."""
+        return self._dust
+
+    def distance(
+        self, query: UncertainTimeSeries, candidate: UncertainTimeSeries
+    ) -> float:
+        return self._dust.dtw_distance(query, candidate, window=self.window)
+
+    def distance_profile(
+        self, query: UncertainTimeSeries, collection: Sequence
+    ) -> np.ndarray:
+        """Stacked wavefront DTW over grouped ``dust²`` cost tensors.
+
+        Candidates sharing an error distribution (read off the cached
+        code matrix's first timestamp, the same distribution the per-pair
+        path keys its table on) advance through one DP together; blocks
+        bound the ``(B, n, m)`` cost tensors.
+        """
+        materialized = self.engine.materialize(collection)
+        values = materialized.values_matrix()
+        codes, distincts = materialized.model_codes()
+        out = np.empty(len(collection))
+        query_distribution = query.error_model[0]
+        first_codes = codes[:, 0]
+        for code in np.unique(first_codes):
+            table = self._dust.cache.get(
+                query_distribution, distincts[int(code)]
+            )
+            rows = np.flatnonzero(first_codes == code)
+            out[rows] = _dust_dtw_stack(
+                query.observations, values[rows], table, self.window
+            )
+        return out
+
+
+def _dust_dtw_stack(
+    query_values: np.ndarray,
+    candidate_values: np.ndarray,
+    table,
+    window: Optional[int],
+) -> np.ndarray:
+    """Banded DTW of one query against a value stack under one DUST table."""
+    n = query_values.size
+    n_pairs, m = candidate_values.shape
+    out = np.empty(n_pairs)
+    for start, stop in stack_blocks(n_pairs, n, m):
+        differences = np.abs(
+            query_values[None, :, None]
+            - candidate_values[start:stop, None, :]
+        )
+        out[start:stop] = banded_dtw_from_costs(
+            table.dust_squared(differences), window
+        )
+    return out
+
+
+class MunichDtwTechnique(_MultisampleCalibration, Technique):
+    """MUNICH over banded DTW (multi-sample input, Monte Carlo counting).
+
+    DTW distances do not factorize per timestamp, so
+    :meth:`~repro.munich.Munich.dtw_probability` counts matching
+    materialization pairs by Monte Carlo — per pair, one full Python DP
+    per drawn sample.  The batch path draws the *same* seeded
+    materializations and pushes the whole draw stack through the pruning
+    cascade + wavefront DP of :func:`~repro.distances.dtw_batch.dtw_hits_paired`,
+    with two collection-level stages reusing cached engine stacks:
+
+    * a band-inflated bounding-interval envelope lower bound — candidates
+      no materialization can reach are 0.0 without sampling;
+    * the diagonal-path interval span upper bound — candidates every
+      materialization matches are 1.0 without sampling.
+
+    Both stages and the per-sample cascade are slack-guarded, so a seeded
+    technique returns exactly the per-pair probabilities.
+    """
+
+    name = "MUNICH-DTW"
+    kind = "probabilistic"
+    input_kind = "multisample"
+
+    def __init__(
+        self,
+        window: Optional[int] = None,
+        munich: Optional[Munich] = None,
+        use_bounds: bool = True,
+    ) -> None:
+        if window is not None and window < 0:
+            raise InvalidParameterError(f"window must be >= 0, got {window}")
+        self.window = window
+        self._munich = (
+            munich
+            if munich is not None
+            else Munich(tau=0.5, method="montecarlo", rng=0)
+        )
+        self.use_bounds = use_bounds
+
+    @property
+    def munich(self) -> Munich:
+        """The underlying :class:`~repro.munich.Munich` engine."""
+        return self._munich
+
+    def probability(
         self,
         query: MultisampleUncertainTimeSeries,
         candidate: MultisampleUncertainTimeSeries,
+        epsilon: float,
     ) -> float:
-        # The paper's ε_eucl is "the Euclidean distance on the observations".
-        # A multisample series' observation is one sample draw per timestamp
-        # (column 0 — any fixed column is a single observation); using the
-        # sample *means* instead would understate the noise inflation that
-        # MUNICH's materialization distances carry, systematically deflating
-        # its match probabilities.
-        return euclidean(query.samples[:, 0], candidate.samples[:, 0])
+        return self._munich.dtw_probability(
+            query, candidate, epsilon, window=self.window
+        )
 
-    def calibration_profile(
-        self, query: MultisampleUncertainTimeSeries, collection: Sequence
+    def probability_profile(
+        self,
+        query: MultisampleUncertainTimeSeries,
+        collection: Sequence,
+        epsilon: float,
     ) -> np.ndarray:
-        """Vectorized ε_eucl over the cached column-0 sample matrix."""
-        matrix = self.engine.materialize(collection).sample_column_matrix(0)
-        return euclidean_profile(query.samples[:, 0], matrix)
-
-    def calibration_matrix(
-        self, queries: Sequence, collection: Sequence
-    ) -> np.ndarray:
-        """All-pairs ε_eucl in one GEMM over the column-0 sample matrices."""
-        if len(queries) == 0:
-            return np.empty((0, len(collection)))
-        matrix = self.engine.materialize(collection).sample_column_matrix(0)
-        query_matrix = self.engine.materialize(queries).sample_column_matrix(0)
-        return euclidean_matrix(query_matrix, matrix)
+        if epsilon < 0.0:
+            raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
+        if self._munich.method == "naive":
+            # Exhaustive enumeration has no batch form; keep the per-pair
+            # path (tiny inputs only by construction).
+            return super().probability_profile(query, collection, epsilon)
+        n_series = len(collection)
+        probabilities = np.empty(n_series)
+        materialized = self.engine.materialize(collection)
+        envelopes = materialized.dtw_envelopes(self.window)
+        if self.use_bounds:
+            query_low, query_high = query.bounding_intervals()
+            env_lower, env_upper = envelopes
+            gap = np.maximum(
+                query_low[None, :] - env_upper, env_lower - query_high[None, :]
+            )
+            np.maximum(gap, 0.0, out=gap)
+            lower = np.sqrt((gap * gap).sum(axis=1))
+            low, high = materialized.bounding_matrices()
+            _, span = interval_gap_and_span(
+                low, high, query_low[None, :], query_high[None, :]
+            )
+            upper = np.sqrt((span * span).sum(axis=1))
+            guard_hi = epsilon * (1.0 + PRUNE_SLACK)
+            guard_lo = epsilon * (1.0 - PRUNE_SLACK)
+            probabilities[lower > guard_hi] = 0.0
+            probabilities[upper <= guard_lo] = 1.0
+            undecided = np.flatnonzero(
+                (lower <= guard_hi) & (upper > guard_lo)
+            )
+        else:
+            undecided = np.arange(n_series)
+        env_lower, env_upper = envelopes
+        for index in undecided:
+            candidate = collection[index]
+            x_values, y_values = draw_materialization_pairs(
+                query, candidate, self._munich.n_samples, self._munich.rng
+            )
+            hits = dtw_hits_paired(
+                x_values,
+                y_values,
+                epsilon,
+                window=self.window,
+                envelope=(env_lower[index], env_upper[index]),
+            )
+            probabilities[index] = float(np.mean(hits))
+        return probabilities

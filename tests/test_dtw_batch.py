@@ -1,0 +1,475 @@
+"""Tests for the batched banded DTW kernels (repro.distances.dtw_batch).
+
+The acceptance bar for the kernel layer is *bit-identity* with the
+per-pair dynamic program — the wavefront evaluates the same cells with
+the same operand order — and 1e-9 parity everywhere a technique stacks
+the kernels (profiles, matrices, sharded execution).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ErrorModel,
+    InvalidParameterError,
+    MultisampleUncertainTimeSeries,
+    UncertainTimeSeries,
+    spawn,
+)
+from repro.datasets import generate_dataset
+from repro.distances import (
+    banded_dtw_from_costs,
+    dtw_distance,
+    dtw_distance_matrix,
+    dtw_distance_paired,
+    dtw_distance_stack,
+    dtw_hits_paired,
+    keogh_envelope,
+    keogh_envelope_stack,
+    lb_keogh,
+    lb_keogh_stack,
+    lb_kim,
+    lb_kim_paired,
+)
+from repro.distributions import NormalError, UniformError
+from repro.dust import Dust
+from repro.munich import Munich
+from repro.perturbation import ConstantScenario
+from repro.queries import (
+    DustDtwTechnique,
+    MunichDtwTechnique,
+    ShardedExecutor,
+    SimilaritySession,
+)
+
+PARITY_TOL = 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Kernel-level properties: batch ≡ per-pair over randomized shapes
+# ---------------------------------------------------------------------------
+
+
+class TestWavefrontKernel:
+    def test_stack_matches_per_pair_randomized(self):
+        """Property: random lengths/windows/stacks are bit-identical."""
+        rng = np.random.default_rng(101)
+        for _ in range(40):
+            n = int(rng.integers(1, 28))
+            m = int(rng.integers(1, 28))
+            window = (
+                None if rng.random() < 0.3 else int(rng.integers(0, 12))
+            )
+            stack = rng.normal(size=(int(rng.integers(1, 8)), m))
+            query = rng.normal(size=n)
+            batch = dtw_distance_stack(query, stack, window=window)
+            reference = np.array(
+                [dtw_distance(query, row, window=window) for row in stack]
+            )
+            assert np.array_equal(batch, reference)
+
+    def test_paired_matches_per_pair_randomized(self):
+        rng = np.random.default_rng(202)
+        for _ in range(20):
+            pairs = int(rng.integers(1, 10))
+            n = int(rng.integers(1, 24))
+            window = None if rng.random() < 0.3 else int(rng.integers(0, 9))
+            x_stack = rng.normal(size=(pairs, n))
+            y_stack = rng.normal(size=(pairs, n))
+            batch = dtw_distance_paired(x_stack, y_stack, window=window)
+            reference = np.array([
+                dtw_distance(a, b, window=window)
+                for a, b in zip(x_stack, y_stack)
+            ])
+            assert np.array_equal(batch, reference)
+
+    def test_matrix_matches_per_pair(self):
+        rng = np.random.default_rng(303)
+        queries = rng.normal(size=(5, 15))
+        candidates = rng.normal(size=(7, 15))
+        matrix = dtw_distance_matrix(queries, candidates, window=3)
+        for i, query in enumerate(queries):
+            for j, candidate in enumerate(candidates):
+                assert matrix[i, j] == dtw_distance(query, candidate, window=3)
+
+    def test_zero_window_equals_euclidean(self):
+        rng = np.random.default_rng(4)
+        query = rng.normal(size=20)
+        stack = rng.normal(size=(6, 20))
+        batch = dtw_distance_stack(query, stack, window=0)
+        euclid = np.sqrt(((stack - query) ** 2).sum(axis=1))
+        np.testing.assert_allclose(batch, euclid, atol=1e-12)
+
+    def test_identical_rows_are_zero(self):
+        query = np.linspace(-1.0, 1.0, 30)
+        stack = np.vstack([query, query])
+        assert np.all(dtw_distance_stack(query, stack) == 0.0)
+
+    def test_cost_tensor_shape_validation(self):
+        with pytest.raises(InvalidParameterError):
+            banded_dtw_from_costs(np.zeros((3, 4)))
+        with pytest.raises(InvalidParameterError):
+            banded_dtw_from_costs(np.zeros((3, 0, 4)))
+
+    def test_empty_stack(self):
+        assert banded_dtw_from_costs(np.zeros((0, 3, 3))).shape == (0,)
+
+    def test_non_1d_query_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            dtw_distance_stack(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_unpaired_stacks_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            dtw_distance_paired(np.zeros((2, 3)), np.zeros((3, 3)))
+
+
+class TestBoundStacks:
+    def test_lb_kim_paired_matches(self):
+        rng = np.random.default_rng(5)
+        x_stack = rng.normal(size=(9, 14))
+        y_stack = rng.normal(size=(9, 14))
+        reference = np.array(
+            [lb_kim(a, b) for a, b in zip(x_stack, y_stack)]
+        )
+        assert np.array_equal(lb_kim_paired(x_stack, y_stack), reference)
+
+    def test_envelope_stack_matches_per_series(self):
+        rng = np.random.default_rng(6)
+        stack = rng.normal(size=(5, 17))
+        for window in (0, 1, 4, 16, 40):
+            lower, upper = keogh_envelope_stack(stack, window)
+            for row, series in enumerate(stack):
+                low_ref, up_ref = keogh_envelope(series, window)
+                assert np.array_equal(lower[row], low_ref)
+                assert np.array_equal(upper[row], up_ref)
+
+    def test_envelope_negative_window_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            keogh_envelope_stack(np.zeros((2, 5)), -1)
+
+    def test_lb_keogh_stack_matches(self):
+        rng = np.random.default_rng(7)
+        x_stack = rng.normal(size=(8, 21))
+        y = rng.normal(size=21)
+        lower, upper = keogh_envelope_stack(y[None, :], 3)
+        batch = lb_keogh_stack(x_stack, lower, upper)
+        reference = np.array([lb_keogh(x, y, 3) for x in x_stack])
+        np.testing.assert_allclose(batch, reference, atol=1e-12)
+
+    def test_bounds_bracket_dtw(self):
+        """LB_Kim and LB_Keogh never exceed the banded DTW distance."""
+        rng = np.random.default_rng(8)
+        x_stack = rng.normal(size=(20, 16))
+        y = rng.normal(size=16)
+        y_stack = np.broadcast_to(y, x_stack.shape)
+        for window in (1, 4):
+            distances = dtw_distance_paired(x_stack, y_stack, window=window)
+            kim = lb_kim_paired(x_stack, y_stack)
+            lower, upper = keogh_envelope_stack(y[None, :], window)
+            keogh = lb_keogh_stack(x_stack, lower, upper)
+            assert np.all(kim <= distances + 1e-12)
+            assert np.all(keogh <= distances + 1e-12)
+
+
+class TestPrunedHits:
+    def test_hits_match_exact_dtw(self):
+        rng = np.random.default_rng(9)
+        x_stack = rng.normal(size=(40, 18))
+        y_stack = x_stack + 0.4 * rng.normal(size=x_stack.shape)
+        for window in (None, 2, 6):
+            distances = dtw_distance_paired(x_stack, y_stack, window=window)
+            for epsilon in (
+                0.0,
+                float(np.min(distances)),
+                float(np.median(distances)),
+                float(np.max(distances)),
+            ):
+                hits = dtw_hits_paired(
+                    x_stack, y_stack, epsilon, window=window
+                )
+                assert np.array_equal(hits, distances <= epsilon)
+
+    def test_hits_with_shared_envelope(self):
+        """A bounding-interval envelope prunes without changing verdicts."""
+        rng = np.random.default_rng(10)
+        window = 3
+        base = rng.normal(size=22)
+        y_stack = base + 0.2 * rng.normal(size=(30, 22))
+        x_stack = rng.normal(size=(30, 22))
+        interval_low = y_stack.min(axis=0)
+        interval_high = y_stack.max(axis=0)
+        lower, _ = keogh_envelope_stack(interval_low[None, :], window)
+        _, upper = keogh_envelope_stack(interval_high[None, :], window)
+        distances = dtw_distance_paired(x_stack, y_stack, window=window)
+        epsilon = float(np.median(distances))
+        hits = dtw_hits_paired(
+            x_stack,
+            y_stack,
+            epsilon,
+            window=window,
+            envelope=(lower, upper),
+        )
+        assert np.array_equal(hits, distances <= epsilon)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            dtw_hits_paired(np.zeros((1, 3)), np.zeros((1, 3)), -1.0)
+
+
+# ---------------------------------------------------------------------------
+# Technique-level parity: DUST-DTW and MUNICH-DTW batch kernels
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def workload():
+    exact = generate_dataset("CBF", seed=77, n_series=14, length=24)
+    scenario = ConstantScenario("normal", 0.4)
+    pdf = [
+        scenario.apply(series, spawn(77, "pdf", index))
+        for index, series in enumerate(exact)
+    ]
+    multisample = [
+        scenario.apply_multisample(series, 3, spawn(77, "ms", index))
+        for index, series in enumerate(exact)
+    ]
+    return pdf, multisample
+
+
+class TestDustDtwTechnique:
+    def test_profile_matches_per_pair(self, workload):
+        pdf, _ = workload
+        technique = DustDtwTechnique(window=2)
+        profile = technique.distance_profile(pdf[0], pdf)
+        reference = np.array(
+            [technique.distance(pdf[0], candidate) for candidate in pdf]
+        )
+        assert np.array_equal(profile, reference)
+
+    def test_profile_matches_dust_engine(self, workload):
+        pdf, _ = workload
+        technique = DustDtwTechnique(window=3)
+        dust = Dust(cache=technique.dust.cache)
+        profile = technique.distance_profile(pdf[1], pdf)
+        reference = np.array([
+            dust.dtw_distance(pdf[1], candidate, window=3)
+            for candidate in pdf
+        ])
+        assert np.array_equal(profile, reference)
+
+    def test_matrix_matches_stacked_profiles(self, workload):
+        pdf, _ = workload
+        technique = DustDtwTechnique(window=2)
+        matrix = technique.distance_matrix(pdf[:5], pdf)
+        for row, query in enumerate(pdf[:5]):
+            np.testing.assert_array_equal(
+                matrix[row], technique.distance_profile(query, pdf)
+            )
+
+    def test_mixed_error_models_grouped(self, workload):
+        """Candidates with different reported models use their own table."""
+        pdf, _ = workload
+        mixed = list(pdf)
+        swapped = UncertainTimeSeries(
+            pdf[2].observations,
+            ErrorModel.constant(UniformError(0.8), len(pdf[2])),
+        )
+        mixed[2] = swapped
+        technique = DustDtwTechnique(window=2)
+        profile = technique.distance_profile(mixed[0], mixed)
+        reference = np.array(
+            [technique.distance(mixed[0], candidate) for candidate in mixed]
+        )
+        assert np.array_equal(profile, reference)
+
+    def test_unconstrained_window(self, workload):
+        pdf, _ = workload
+        technique = DustDtwTechnique()
+        profile = technique.distance_profile(pdf[0], pdf[:6])
+        reference = np.array(
+            [technique.distance(pdf[0], c) for c in pdf[:6]]
+        )
+        assert np.array_equal(profile, reference)
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DustDtwTechnique(window=-1)
+
+    def test_session_knn(self, workload):
+        pdf, _ = workload
+        technique = DustDtwTechnique(window=2)
+        session = SimilaritySession(pdf)
+        result = session.queries().using(technique).knn(3)
+        matrix = technique.distance_matrix(pdf, pdf)
+        np.fill_diagonal(matrix, np.inf)
+        expected = np.argsort(matrix, axis=1, kind="stable")[:, :3]
+        assert np.array_equal(result.indices, expected)
+
+
+class TestMunichDtwTechnique:
+    def test_profile_matches_per_pair(self, workload):
+        _, multisample = workload
+        technique = MunichDtwTechnique(
+            window=2,
+            munich=Munich(tau=0.5, method="montecarlo", n_samples=40, rng=9),
+        )
+        epsilon = 3.5
+        profile = technique.probability_profile(
+            multisample[0], multisample, epsilon
+        )
+        reference = np.array([
+            technique.probability(multisample[0], candidate, epsilon)
+            for candidate in multisample
+        ])
+        assert np.array_equal(profile, reference)
+
+    def test_profile_matches_munich_engine(self, workload):
+        _, multisample = workload
+        munich = Munich(tau=0.5, method="montecarlo", n_samples=30, rng=4)
+        technique = MunichDtwTechnique(window=3, munich=munich)
+        epsilon = 2.0
+        profile = technique.probability_profile(
+            multisample[1], multisample, epsilon
+        )
+        reference = np.array([
+            munich.dtw_probability(
+                multisample[1], candidate, epsilon, window=3
+            )
+            for candidate in multisample
+        ])
+        assert np.array_equal(profile, reference)
+
+    def test_bounds_off_matches(self, workload):
+        _, multisample = workload
+        munich = Munich(tau=0.5, method="montecarlo", n_samples=30, rng=4)
+        bounded = MunichDtwTechnique(window=2, munich=munich)
+        unbounded = MunichDtwTechnique(
+            window=2, munich=munich, use_bounds=False
+        )
+        for epsilon in (0.5, 2.0, 8.0):
+            np.testing.assert_array_equal(
+                bounded.probability_profile(
+                    multisample[2], multisample, epsilon
+                ),
+                unbounded.probability_profile(
+                    multisample[2], multisample, epsilon
+                ),
+            )
+
+    def test_extreme_epsilons_decided_by_bounds(self, workload):
+        _, multisample = workload
+        technique = MunichDtwTechnique(
+            window=2,
+            munich=Munich(tau=0.5, method="montecarlo", n_samples=20, rng=1),
+        )
+        tiny = technique.probability_profile(multisample[0], multisample, 1e-9)
+        assert np.all(tiny[1:] == 0.0)
+        huge = technique.probability_profile(multisample[0], multisample, 1e6)
+        assert np.all(huge == 1.0)
+
+    def test_matrix_per_query_epsilons(self, workload):
+        _, multisample = workload
+        technique = MunichDtwTechnique(
+            window=2,
+            munich=Munich(tau=0.5, method="montecarlo", n_samples=25, rng=2),
+        )
+        epsilons = np.linspace(1.0, 4.0, 4)
+        matrix = technique.probability_matrix(
+            multisample[:4], multisample, epsilons
+        )
+        for row in range(4):
+            np.testing.assert_array_equal(
+                matrix[row],
+                technique.probability_profile(
+                    multisample[row], multisample, float(epsilons[row])
+                ),
+            )
+
+    def test_naive_method_falls_back(self):
+        rng = np.random.default_rng(11)
+        series = [
+            MultisampleUncertainTimeSeries(rng.normal(size=(4, 2)))
+            for _ in range(5)
+        ]
+        technique = MunichDtwTechnique(
+            window=1, munich=Munich(tau=0.5, method="naive")
+        )
+        profile = technique.probability_profile(series[0], series, 1.5)
+        reference = np.array(
+            [technique.probability(series[0], c, 1.5) for c in series]
+        )
+        np.testing.assert_allclose(profile, reference, atol=PARITY_TOL)
+
+    def test_calibration_is_column0_euclidean(self, workload):
+        _, multisample = workload
+        technique = MunichDtwTechnique(window=2)
+        profile = technique.calibration_profile(multisample[0], multisample)
+        reference = np.array([
+            np.linalg.norm(
+                multisample[0].samples[:, 0] - candidate.samples[:, 0]
+            )
+            for candidate in multisample
+        ])
+        np.testing.assert_allclose(profile, reference, atol=PARITY_TOL)
+
+    def test_negative_epsilon_rejected(self, workload):
+        _, multisample = workload
+        technique = MunichDtwTechnique(window=2)
+        with pytest.raises(InvalidParameterError):
+            technique.probability_profile(multisample[0], multisample, -1.0)
+
+
+# ---------------------------------------------------------------------------
+# Shard-boundary parity under ShardedExecutor
+# ---------------------------------------------------------------------------
+
+
+class TestShardParity:
+    def test_dust_dtw_sharded_matrix(self, workload):
+        pdf, _ = workload
+        technique = DustDtwTechnique(window=2)
+        full = technique.distance_matrix(pdf, pdf)
+        with ShardedExecutor(n_workers=1, row_block=5, col_block=4) as serial:
+            sharded = serial.matrix(technique, "distance", pdf, pdf)
+        assert np.max(np.abs(sharded - full)) <= PARITY_TOL
+
+    def test_munich_dtw_sharded_matrix(self, workload):
+        _, multisample = workload
+        technique = MunichDtwTechnique(
+            window=2,
+            munich=Munich(tau=0.5, method="montecarlo", n_samples=25, rng=3),
+        )
+        epsilons = np.full(len(multisample), 2.5)
+        full = technique.probability_matrix(
+            multisample, multisample, epsilons
+        )
+        with ShardedExecutor(n_workers=1, row_block=4, col_block=5) as serial:
+            sharded = serial.matrix(
+                technique, "probability", multisample, multisample, epsilons
+            )
+        assert np.max(np.abs(sharded - full)) <= PARITY_TOL
+
+    def test_dust_dtw_process_pool(self, workload):
+        pdf, _ = workload
+        technique = DustDtwTechnique(window=2)
+        full = technique.distance_matrix(pdf[:6], pdf)
+        with ShardedExecutor(n_workers=2, backend="process") as pool:
+            sharded = pool.matrix(technique, "distance", pdf[:6], pdf)
+        assert np.max(np.abs(sharded - full)) <= PARITY_TOL
+
+    def test_dust_dtw_sharded_knn(self, workload):
+        pdf, _ = workload
+        technique = DustDtwTechnique(window=2)
+        session = SimilaritySession(pdf)
+        expected = session.queries().using(technique).knn(4).indices
+        with ShardedExecutor(n_workers=1, row_block=5, col_block=3) as serial:
+            indices, _ = serial.knn(
+                technique,
+                pdf,
+                pdf,
+                4,
+                exclude=np.arange(len(pdf), dtype=np.intp),
+            )
+        assert np.array_equal(indices, expected)

@@ -1,0 +1,242 @@
+"""Tests for the batched MUNICH convolution (repro.munich.batch).
+
+Property: for every randomized configuration — lengths, sample counts,
+bin counts, thresholds from degenerate to saturating — the stacked batch
+evaluator equals :func:`repro.munich.exact.convolved_probability` per
+candidate to far better than the 1e-9 batch-kernel tolerance, and the
+technique/profile/matrix/shard layers above it inherit that parity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InvalidParameterError, MultisampleUncertainTimeSeries, spawn
+from repro.datasets import generate_dataset
+from repro.munich import (
+    Munich,
+    convolved_probability,
+    convolved_probability_batch,
+    stack_candidate_samples,
+)
+from repro.perturbation import ConstantScenario
+from repro.queries import MunichTechnique, ShardedExecutor
+
+PARITY_TOL = 1e-9
+
+
+def _random_workload(rng, n_candidates=None):
+    length = int(rng.integers(1, 28))
+    s_query = int(rng.integers(1, 6))
+    s_candidate = int(rng.integers(1, 6))
+    count = (
+        int(rng.integers(1, 10)) if n_candidates is None else n_candidates
+    )
+    query = MultisampleUncertainTimeSeries(
+        rng.normal(size=(length, s_query))
+    )
+    candidates = [
+        MultisampleUncertainTimeSeries(
+            rng.normal(size=(length, s_candidate)) + 0.5 * rng.normal()
+        )
+        for _ in range(count)
+    ]
+    return query, candidates
+
+
+class TestBatchedConvolution:
+    def test_randomized_parity(self):
+        """Property: batch ≡ per-pair over random shapes, bins, and ε."""
+        rng = np.random.default_rng(41)
+        worst = 0.0
+        for _ in range(30):
+            query, candidates = _random_workload(rng)
+            stacked = stack_candidate_samples(candidates)
+            n_bins = int(rng.choice([2, 5, 64, 512, 4096]))
+            scale = np.sqrt(len(query)) * (0.2 + 2.0 * rng.random())
+            for epsilon in (0.0, 0.3 * scale, scale, 4.0 * scale):
+                reference = np.array([
+                    convolved_probability(
+                        query, candidate, epsilon, n_bins=n_bins
+                    )
+                    for candidate in candidates
+                ])
+                batch = convolved_probability_batch(
+                    query, stacked, epsilon, n_bins=n_bins
+                )
+                worst = max(worst, float(np.max(np.abs(batch - reference))))
+        assert worst <= 1e-12
+
+    def test_zero_epsilon_counts_exact_zeros(self):
+        samples = np.ones((6, 3))
+        query = MultisampleUncertainTimeSeries(samples)
+        same = MultisampleUncertainTimeSeries(np.ones((6, 2)))
+        other = MultisampleUncertainTimeSeries(np.ones((6, 2)) + 1.0)
+        stacked = stack_candidate_samples([same, other])
+        probabilities = convolved_probability_batch(query, stacked, 0.0)
+        assert probabilities[0] == 1.0
+        assert probabilities[1] == 0.0
+
+    def test_saturating_epsilon_is_one(self):
+        rng = np.random.default_rng(5)
+        query, candidates = _random_workload(rng, n_candidates=4)
+        stacked = stack_candidate_samples(candidates)
+        probabilities = convolved_probability_batch(query, stacked, 1e9)
+        assert np.all(probabilities == 1.0)
+
+    def test_blocked_rows_match_single_block(self, monkeypatch):
+        """Row blocking (memory bound) must not change any probability."""
+        import repro.munich.batch as batch_module
+
+        rng = np.random.default_rng(6)
+        query, candidates = _random_workload(rng, n_candidates=9)
+        stacked = stack_candidate_samples(candidates)
+        epsilon = float(np.sqrt(len(query)))
+        whole = convolved_probability_batch(query, stacked, epsilon, 128)
+        monkeypatch.setattr(batch_module, "BATCH_BLOCK_ELEMENTS", 1)
+        blocked = convolved_probability_batch(query, stacked, epsilon, 128)
+        # Blocking regroups the span-sorted timestamp schedule, so the
+        # float ordering (not the math) may differ across block sizes.
+        np.testing.assert_allclose(whole, blocked, atol=1e-12)
+
+    def test_chunked_dp_matches_per_pair(self, monkeypatch):
+        """Tiny DP chunks (forced splits) keep per-pair parity."""
+        import repro.munich.batch as batch_module
+
+        monkeypatch.setattr(batch_module, "DP_CHUNK_ELEMENTS", 8)
+        rng = np.random.default_rng(7)
+        query, candidates = _random_workload(rng, n_candidates=8)
+        stacked = stack_candidate_samples(candidates)
+        epsilon = float(np.sqrt(len(query)))
+        reference = np.array([
+            convolved_probability(query, candidate, epsilon, n_bins=64)
+            for candidate in candidates
+        ])
+        batch = convolved_probability_batch(query, stacked, epsilon, 64)
+        np.testing.assert_allclose(batch, reference, atol=1e-12)
+
+    def test_validation(self):
+        query = MultisampleUncertainTimeSeries(np.zeros((4, 2)))
+        stacked = np.zeros((1, 4, 2))
+        with pytest.raises(InvalidParameterError):
+            convolved_probability_batch(query, stacked, -1.0)
+        with pytest.raises(InvalidParameterError):
+            convolved_probability_batch(query, stacked, 1.0, n_bins=1)
+        with pytest.raises(InvalidParameterError):
+            convolved_probability_batch(query, np.zeros((4, 2)), 1.0)
+        with pytest.raises(InvalidParameterError):
+            convolved_probability_batch(query, np.zeros((1, 5, 2)), 1.0)
+
+    def test_ragged_stacking_rejected(self):
+        ragged = [
+            MultisampleUncertainTimeSeries(np.zeros((4, 2))),
+            MultisampleUncertainTimeSeries(np.zeros((4, 3))),
+        ]
+        with pytest.raises(InvalidParameterError):
+            stack_candidate_samples(ragged)
+
+
+# ---------------------------------------------------------------------------
+# Technique-level parity (profile / matrix / shards / ragged fallback)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def multisample():
+    exact = generate_dataset("GunPoint", seed=55, n_series=16, length=20)
+    scenario = ConstantScenario("normal", 0.5)
+    return [
+        scenario.apply_multisample(series, 3, spawn(55, "ms", index))
+        for index, series in enumerate(exact)
+    ]
+
+
+class TestMunichTechniqueBatch:
+    @pytest.mark.parametrize("use_bounds", [True, False])
+    def test_profile_matches_per_pair(self, multisample, use_bounds):
+        munich = Munich(tau=0.5, n_bins=256, use_bounds=use_bounds)
+        technique = MunichTechnique(munich)
+        for epsilon in (0.5, 2.5, 6.0):
+            profile = technique.probability_profile(
+                multisample[0], multisample, epsilon
+            )
+            reference = np.array([
+                munich.probability(multisample[0], candidate, epsilon)
+                for candidate in multisample
+            ])
+            assert np.max(np.abs(profile - reference)) <= PARITY_TOL
+
+    def test_matrix_matches_per_pair(self, multisample):
+        munich = Munich(tau=0.5, n_bins=256)
+        technique = MunichTechnique(munich)
+        epsilons = np.linspace(1.0, 5.0, 6)
+        matrix = technique.probability_matrix(
+            multisample[:6], multisample, epsilons
+        )
+        reference = np.array([
+            [
+                munich.probability(query, candidate, float(epsilon))
+                for candidate in multisample
+            ]
+            for query, epsilon in zip(multisample[:6], epsilons)
+        ])
+        assert np.max(np.abs(matrix - reference)) <= PARITY_TOL
+
+    def test_montecarlo_method_keeps_per_pair_path(self, multisample):
+        munich = Munich(tau=0.5, method="montecarlo", n_samples=50, rng=3)
+        technique = MunichTechnique(munich)
+        profile = technique.probability_profile(
+            multisample[0], multisample, 2.5
+        )
+        reference = np.array([
+            munich.probability(multisample[0], candidate, 2.5)
+            for candidate in multisample
+        ])
+        np.testing.assert_allclose(profile, reference, atol=PARITY_TOL)
+
+    def test_ragged_sample_counts_fall_back(self, multisample):
+        """Mixed samples-per-timestamp collections use the per-pair path."""
+        rng = np.random.default_rng(8)
+        ragged = list(multisample[:5])
+        ragged.append(
+            MultisampleUncertainTimeSeries(
+                rng.normal(size=(len(multisample[0]), 5))
+            )
+        )
+        munich = Munich(tau=0.5, n_bins=128)
+        technique = MunichTechnique(munich)
+        profile = technique.probability_profile(multisample[0], ragged, 2.5)
+        reference = np.array([
+            munich.probability(multisample[0], candidate, 2.5)
+            for candidate in ragged
+        ])
+        assert np.max(np.abs(profile - reference)) <= PARITY_TOL
+
+    def test_sharded_matrix_parity(self, multisample):
+        technique = MunichTechnique(Munich(tau=0.5, n_bins=256))
+        epsilons = np.full(len(multisample), 2.5)
+        full = technique.probability_matrix(
+            multisample, multisample, epsilons
+        )
+        with ShardedExecutor(n_workers=1, row_block=5, col_block=7) as serial:
+            sharded = serial.matrix(
+                technique, "probability", multisample, multisample, epsilons
+            )
+        assert np.max(np.abs(sharded - full)) <= PARITY_TOL
+
+    def test_process_pool_parity(self, multisample):
+        technique = MunichTechnique(Munich(tau=0.5, n_bins=128))
+        epsilons = np.full(6, 2.5)
+        full = technique.probability_matrix(
+            multisample[:6], multisample, epsilons
+        )
+        with ShardedExecutor(n_workers=2, backend="process") as pool:
+            sharded = pool.matrix(
+                technique,
+                "probability",
+                multisample[:6],
+                multisample,
+                epsilons,
+            )
+        assert np.max(np.abs(sharded - full)) <= PARITY_TOL
