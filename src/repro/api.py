@@ -87,11 +87,14 @@ from .queries import (
     MunichDtwTechnique,
     MunichTechnique,
     ProudTechnique,
+    PruningStats,
     QueryEngine,
+    QueryPlan,
     QuerySet,
     RangeResult,
     ShardedExecutor,
     SimilaritySession,
+    StageStats,
     Technique,
     knn_query,
     knn_table,
@@ -124,6 +127,7 @@ __all__ = [
     # queries
     "QueryEngine", "SimilaritySession", "QuerySet", "MatrixResult",
     "KnnResult", "RangeResult", "ShardedExecutor",
+    "QueryPlan", "PruningStats", "StageStats",
     "range_query", "probabilistic_range_query", "knn_query", "knn_table",
     "knn_technique_query",
     # datasets

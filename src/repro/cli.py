@@ -150,6 +150,13 @@ def build_parser() -> argparse.ArgumentParser:
         "N>1 shards the all-pairs kernels across a process pool)",
     )
     parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="after each figure, print the query planner's pruning "
+        "statistics (candidates decided per stage, refinements run, "
+        "Monte Carlo samples evaluated, per-stage wall time)",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help="also write the rendered tables to this file",
@@ -157,8 +164,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _render_stats_log() -> str:
+    """Drain the harness stats log into one merged-per-technique block."""
+    from dataclasses import replace
+
+    from .evaluation.harness import drain_stats_log
+
+    grouped: Dict[str, list] = {}
+    order = []
+    for name, stats in drain_stats_log():
+        if name not in grouped:
+            order.append(name)
+        grouped.setdefault(name, []).append(stats)
+    if not order:
+        return "[no pruning stats recorded — matrix scoring only]"
+    lines = ["pruning statistics (merged over this command's plans):"]
+    for name in order:
+        records = grouped[name]
+        combined = records[0]
+        for extra in records[1:]:
+            combined = combined.merged(extra)
+        combined = replace(
+            combined,
+            cells=sum(record.total_cells for record in records),
+        )
+        lines.append(combined.summary())
+    return "\n".join(lines)
+
+
 def run_command(
-    name: str, scale_name: Optional[str], seed: int
+    name: str, scale_name: Optional[str], seed: int, stats: bool = False
 ) -> str:
     """Run one figure command and return its rendered table."""
     runner, renderer = _COMMANDS[name]
@@ -167,10 +202,13 @@ def run_command(
     results = runner(scale=scale, seed=seed)
     elapsed = time.perf_counter() - started
     table = renderer(results)
-    return (
+    rendered = (
         f"{table}\n[{name}: scale={scale.name}, seed={seed}, "
         f"{elapsed:.1f}s]"
     )
+    if stats:
+        rendered = f"{rendered}\n\n{_render_stats_log()}"
+    return rendered
 
 
 def main(argv=None) -> int:
@@ -188,6 +226,11 @@ def main(argv=None) -> int:
 
         set_default_workers(args.workers)
 
+    if args.stats:
+        from .evaluation.harness import enable_stats_log
+
+        enable_stats_log()
+
     if args.figure == "list":
         print("available figures:")
         for name in _COMMANDS:
@@ -204,7 +247,10 @@ def main(argv=None) -> int:
         parser.error(f"unknown figure {args.figure!r}; choose from: {known}")
         return 2  # unreachable; parser.error raises SystemExit
 
-    sections = [run_command(name, args.scale, args.seed) for name in names]
+    sections = [
+        run_command(name, args.scale, args.seed, stats=args.stats)
+        for name in names
+    ]
     output = "\n\n".join(sections)
     print(output)
     if args.out:

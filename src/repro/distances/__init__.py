@@ -18,6 +18,7 @@ from .dtw import (
     lb_kim,
 )
 from .dtw_batch import (
+    ROLLING_MIN_LENGTH,
     banded_dtw_from_costs,
     dtw_distance_matrix,
     dtw_distance_paired,
@@ -26,6 +27,9 @@ from .dtw_batch import (
     keogh_envelope_stack,
     lb_keogh_stack,
     lb_kim_paired,
+    rolling_dtw_from_cost_fn,
+    rolling_dtw_paired,
+    rolling_dtw_stack,
 )
 from .filtered import (
     PAPER_DECAY,
@@ -67,6 +71,10 @@ __all__ = [
     "dtw_distance_paired",
     "dtw_hits_paired",
     "banded_dtw_from_costs",
+    "rolling_dtw_from_cost_fn",
+    "rolling_dtw_paired",
+    "rolling_dtw_stack",
+    "ROLLING_MIN_LENGTH",
     "lb_kim",
     "lb_keogh",
     "keogh_envelope",

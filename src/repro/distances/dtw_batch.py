@@ -42,6 +42,16 @@ from .dtw import _band_limits
 #: amortizing the wavefront's per-diagonal NumPy calls across many pairs.
 DTW_BLOCK_ELEMENTS = 1 << 20
 
+#: Series length at which cost-tensor consumers (DUST-DTW's grouped
+#: ``dust²`` stacks) switch to the rolling three-diagonal state with
+#: per-diagonal cost callbacks: beyond ~512 timestamps the
+#: ``(B, n, m)`` cost tensor spills L2 even at ``B = 1``, outweighing
+#: the benefit of one bulk table application.  The plain
+#: squared-difference kernels (``dtw_distance_paired`` /
+#: ``dtw_distance_stack``) run on the rolling state unconditionally —
+#: it measured faster at every stack shape.
+ROLLING_MIN_LENGTH = 512
+
 #: Relative slack on bound-based verdicts: a bound only decides a row when
 #: it clears the threshold by more than this margin, so batched float
 #: reorderings (GEMM-style sums vs ``np.dot``) cannot flip a decision the
@@ -110,15 +120,122 @@ def stack_blocks(n_pairs: int, n: int, m: int):
         yield start, min(start + block, n_pairs)
 
 
-def dtw_distance_stack(
+def _use_rolling(n: int, m: int) -> bool:
+    """Whether per-diagonal cost callbacks beat a bulk cost tensor.
+
+    Consulted by cost-tensor consumers (DUST-DTW); the plain
+    squared-difference kernels always roll.
+    """
+    return max(n, m) >= ROLLING_MIN_LENGTH
+
+
+def rolling_stack_blocks(n_pairs: int, n: int, m: int):
+    """Candidate blocks for the rolling kernel.
+
+    The rolling state is ``O(B · n)`` — independent of ``m`` — so the
+    budget is charged per pair as three state rows of width ``n + 1``
+    plus one per-diagonal cost row (at most ``min(n, m) + 1`` wide),
+    not per full cost tensor; long series get *wider* blocks than
+    :func:`stack_blocks` would allow.
+    """
+    per_pair = 3 * (n + 1) + min(n, m) + 1
+    block = max(1, DTW_BLOCK_ELEMENTS // per_pair)
+    for start in range(0, n_pairs, block):
+        yield start, min(start + block, n_pairs)
+
+
+def rolling_dtw_from_cost_fn(
+    n_pairs: int,
+    n: int,
+    m: int,
+    cost_fn,
+    window: Optional[int] = None,
+) -> np.ndarray:
+    """Banded DTW with a rolling three-diagonal state.
+
+    A wavefront cell on anti-diagonal ``d`` reads only diagonals
+    ``d-1`` and ``d-2``, so the full ``(B, n+1, m+1)`` accumulator of
+    :func:`banded_dtw_from_costs` collapses to three ``(B, n+1)`` rows
+    reused cyclically — ``O(B·n)`` memory however long the series.
+    Point costs are produced per diagonal by
+    ``cost_fn(rows, cols) -> (B, len(rows))`` (0-based series indices),
+    so the ``(B, n, m)`` cost tensor is never materialized either.
+    Cell arithmetic and min-nesting match the full-state kernel
+    operation for operation: distances are bit-identical to it (and
+    therefore to the per-pair program).
+    """
+    if n == 0 or m == 0:
+        raise InvalidParameterError("DTW requires non-empty series")
+    if n_pairs == 0:
+        return np.empty(0)
+    starts, stops = _band_limits(n, m, window)
+    state = np.full((3, n_pairs, n + 1), np.inf)
+    state[0, :, 0] = 0.0  # diagonal 0: the (0, 0) origin cell
+    all_rows = np.arange(n + 1)
+    for diagonal in range(2, n + m + 1):
+        prev2 = state[(diagonal - 2) % 3]
+        prev1 = state[(diagonal - 1) % 3]
+        current = state[diagonal % 3]
+        current[:] = np.inf
+        rows = all_rows[max(1, diagonal - m): min(n, diagonal - 1) + 1]
+        cols = diagonal - rows
+        in_band = (cols - 1 >= starts[rows - 1]) & (cols - 1 < stops[rows - 1])
+        if not np.all(in_band):
+            rows = rows[in_band]
+            cols = cols[in_band]
+            if rows.size == 0:
+                continue
+        best = np.minimum(
+            prev2[:, rows - 1],
+            np.minimum(prev1[:, rows - 1], prev1[:, rows]),
+        )
+        current[:, rows] = cost_fn(rows - 1, cols - 1) + best
+    totals = state[(n + m) % 3][:, n]
+    if np.any(np.isinf(totals)):
+        raise InvalidParameterError(
+            f"no warping path exists within window={window} "
+            f"for lengths {n} and {m}"
+        )
+    return np.sqrt(totals)
+
+
+def rolling_dtw_paired(
+    x_stack: np.ndarray, y_stack: np.ndarray, window: Optional[int] = None
+) -> np.ndarray:
+    """Row-wise DTW of two aligned stacks via the rolling-diagonal state.
+
+    What :func:`dtw_distance_paired` runs on (unconditionally — the
+    rolling state measured faster at every stack shape): peak memory is
+    ``O(B·n)`` instead of ``O(B·n·m)``, results are bit-identical to
+    the full-state wavefront.
+    """
+    x_stack = np.atleast_2d(np.asarray(x_stack, dtype=np.float64))
+    y_stack = np.atleast_2d(np.asarray(y_stack, dtype=np.float64))
+    if x_stack.shape[0] != y_stack.shape[0]:
+        raise InvalidParameterError(
+            f"stacks must pair up: {x_stack.shape[0]} != {y_stack.shape[0]}"
+        )
+    n_pairs, n = x_stack.shape
+    m = y_stack.shape[1]
+    out = np.empty(n_pairs)
+    for start, stop in rolling_stack_blocks(n_pairs, n, m):
+        x_block = x_stack[start:stop]
+        y_block = y_stack[start:stop]
+
+        def cost_fn(rows, cols, x_block=x_block, y_block=y_block):
+            residual = x_block[:, rows] - y_block[:, cols]
+            return residual * residual
+
+        out[start:stop] = rolling_dtw_from_cost_fn(
+            stop - start, n, m, cost_fn, window
+        )
+    return out
+
+
+def rolling_dtw_stack(
     x: np.ndarray, candidates: np.ndarray, window: Optional[int] = None
 ) -> np.ndarray:
-    """Banded DTW from one query to every row of a ``(B, m)`` stack.
-
-    The batch counterpart of :func:`~repro.distances.dtw.dtw_distance`
-    with the default squared-difference point cost; candidate blocks
-    bound peak memory regardless of ``B``.
-    """
+    """One query against a candidate stack via the rolling-diagonal state."""
     x = np.asarray(x, dtype=np.float64)
     candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
     if x.ndim != 1:
@@ -126,13 +243,41 @@ def dtw_distance_stack(
             f"query must be one-dimensional, got shape {x.shape}"
         )
     n_pairs, m = candidates.shape
+    n = x.size
     out = np.empty(n_pairs)
-    for start, stop in stack_blocks(n_pairs, x.size, m):
+    for start, stop in rolling_stack_blocks(n_pairs, n, m):
         block = candidates[start:stop]
-        costs = x[None, :, None] - block[:, None, :]
-        np.multiply(costs, costs, out=costs)
-        out[start:stop] = banded_dtw_from_costs(costs, window)
+
+        def cost_fn(rows, cols, block=block):
+            residual = x[rows][None, :] - block[:, cols]
+            return residual * residual
+
+        out[start:stop] = rolling_dtw_from_cost_fn(
+            stop - start, n, m, cost_fn, window
+        )
     return out
+
+
+def dtw_distance_stack(
+    x: np.ndarray, candidates: np.ndarray, window: Optional[int] = None
+) -> np.ndarray:
+    """Banded DTW from one query to every row of a ``(B, m)`` stack.
+
+    The batch counterpart of :func:`~repro.distances.dtw.dtw_distance`
+    with the default squared-difference point cost.  Runs on the
+    rolling three-diagonal state (:func:`rolling_dtw_stack`), which is
+    bit-identical to the full-state wavefront, ``O(B·n)`` in memory,
+    and measured faster at every stack shape — the full
+    ``(B, n+1, m+1)`` accumulator survives only as the cost-tensor
+    reference (:func:`banded_dtw_from_costs`).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+    if x.ndim != 1:
+        raise InvalidParameterError(
+            f"query must be one-dimensional, got shape {x.shape}"
+        )
+    return rolling_dtw_stack(x, candidates, window=window)
 
 
 def dtw_distance_matrix(
@@ -161,22 +306,11 @@ def dtw_distance_paired(
 
     The sample-axis kernel of MUNICH-DTW: each Monte Carlo draw is one
     ``(x, y)`` materialization pair, and the whole draw stack advances
-    through the DP together.
+    through the DP together — on the rolling three-diagonal state
+    (:func:`rolling_dtw_paired`), bit-identical to the full-state
+    wavefront and measured faster at every stack shape.
     """
-    x_stack = np.atleast_2d(np.asarray(x_stack, dtype=np.float64))
-    y_stack = np.atleast_2d(np.asarray(y_stack, dtype=np.float64))
-    if x_stack.shape[0] != y_stack.shape[0]:
-        raise InvalidParameterError(
-            f"stacks must pair up: {x_stack.shape[0]} != {y_stack.shape[0]}"
-        )
-    n_pairs, n = x_stack.shape
-    m = y_stack.shape[1]
-    out = np.empty(n_pairs)
-    for start, stop in stack_blocks(n_pairs, n, m):
-        costs = x_stack[start:stop, :, None] - y_stack[start:stop, None, :]
-        np.multiply(costs, costs, out=costs)
-        out[start:stop] = banded_dtw_from_costs(costs, window)
-    return out
+    return rolling_dtw_paired(x_stack, y_stack, window=window)
 
 
 # ---------------------------------------------------------------------------
@@ -266,7 +400,10 @@ def dtw_hits_paired(
     1. **LB_Kim** — constant-time lower bound; a clear exceedance is a
        certain miss.
     2. **LB_Keogh** (when ``envelope`` is given) — overshoot of each
-       ``x`` row against a shared ``(lower, upper)`` candidate envelope.
+       ``x`` row against a ``(lower, upper)`` candidate envelope: one
+       shared envelope, or stacks with one envelope row per pair (how
+       the planner's refine stage batches many candidates' draw stacks
+       through a single call).
     3. **Diagonal upper bound** — for equal lengths the band always
        contains the diagonal, so the Euclidean distance bounds DTW from
        above: a clear clearance is a certain hit.
@@ -275,28 +412,52 @@ def dtw_hits_paired(
 
     Every bound verdict is guarded by :data:`PRUNE_SLACK`, so the result
     equals evaluating the exact DTW on every row.
+
+    ``epsilon`` is a scalar, or an ``(n_pairs,)`` vector with one
+    threshold per row — how the planner's refine stage pushes cells of
+    *different* queries (each with its own calibrated ε) through a
+    single stacked call.  Per-row verdicts are independent either way.
     """
-    if epsilon < 0.0:
-        raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
     x_stack = np.atleast_2d(np.asarray(x_stack, dtype=np.float64))
     y_stack = np.atleast_2d(np.asarray(y_stack, dtype=np.float64))
     n_pairs, n = x_stack.shape
     m = y_stack.shape[1]
+    eps = np.asarray(epsilon, dtype=np.float64)
+    if eps.ndim not in (0, 1) or (eps.ndim == 1 and eps.shape != (n_pairs,)):
+        raise InvalidParameterError(
+            f"epsilon must be a scalar or one threshold per row, got "
+            f"shape {eps.shape} for {n_pairs} rows"
+        )
+    if np.any(eps < 0.0):
+        raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
+
+    def _per_row(values, rows):
+        return values[rows] if values.ndim else values
+
     hits = np.zeros(n_pairs, dtype=bool)
-    guard_hi = epsilon * (1.0 + PRUNE_SLACK)
-    guard_lo = epsilon * (1.0 - PRUNE_SLACK)
+    guard_hi = eps * (1.0 + PRUNE_SLACK)
+    guard_lo = eps * (1.0 - PRUNE_SLACK)
 
     undecided = lb_kim_paired(x_stack, y_stack) <= guard_hi
     if envelope is not None and np.any(undecided):
         lower, upper = envelope
+        lower = np.asarray(lower, dtype=np.float64)
+        upper = np.asarray(upper, dtype=np.float64)
         alive = np.flatnonzero(undecided)
-        keogh = lb_keogh_stack(x_stack[alive], lower, upper)
-        undecided[alive[keogh > guard_hi]] = False
+        if lower.ndim == 2 and lower.shape[0] == n_pairs:
+            # Per-row envelope stacks: keep each alive row paired with
+            # its own candidate envelope.
+            keogh = lb_keogh_stack(
+                x_stack[alive], lower[alive], upper[alive]
+            )
+        else:
+            keogh = lb_keogh_stack(x_stack[alive], lower, upper)
+        undecided[alive[keogh > _per_row(guard_hi, alive)]] = False
     if n == m and np.any(undecided):
         alive = np.flatnonzero(undecided)
         residual = x_stack[alive] - y_stack[alive]
         euclid = np.sqrt(np.einsum("ij,ij->i", residual, residual))
-        sure = euclid <= guard_lo
+        sure = euclid <= _per_row(guard_lo, alive)
         hits[alive[sure]] = True
         undecided[alive[sure]] = False
     if np.any(undecided):
@@ -304,5 +465,5 @@ def dtw_hits_paired(
         distances = dtw_distance_paired(
             x_stack[alive], y_stack[alive], window=window
         )
-        hits[alive] = distances <= epsilon
+        hits[alive] = distances <= _per_row(eps, alive)
     return hits

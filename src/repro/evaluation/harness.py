@@ -46,6 +46,7 @@ from ..core.errors import InvalidParameterError
 from ..core.rng import SeedLike, spawn
 from ..core.series import TimeSeries
 from ..perturbation.scenarios import PerturbationScenario
+from ..queries.planner import PruningStats
 from ..queries.session import SimilaritySession
 from ..queries.techniques import Technique
 from ..queries.thresholds import (
@@ -67,6 +68,32 @@ SCORING_MODES = ("matrix", "profile")
 
 _default_scoring = "matrix"
 _default_workers = 1
+_stats_log: Optional[List] = None
+
+
+def enable_stats_log() -> None:
+    """Start collecting per-technique :class:`PruningStats` records.
+
+    The matrix scoring path appends ``(technique_name, stats)`` pairs
+    for every plan it executes; :func:`drain_stats_log` retrieves and
+    clears them.  This is what backs the CLI's ``--stats`` flag.
+    """
+    global _stats_log
+    _stats_log = []
+
+
+def drain_stats_log() -> List:
+    """Collected ``(technique_name, PruningStats)`` pairs (and reset)."""
+    global _stats_log
+    drained = _stats_log or []
+    if _stats_log is not None:
+        _stats_log = []
+    return drained
+
+
+def _log_stats(name: str, stats: Optional[PruningStats]) -> None:
+    if _stats_log is not None and stats is not None:
+        _stats_log.append((name, stats))
 
 
 def set_default_scoring(mode: str) -> None:
@@ -122,11 +149,18 @@ class QueryOutcome:
 
 @dataclass
 class TechniqueOutcome:
-    """All queries' scores for one technique on one dataset/scenario."""
+    """All queries' scores for one technique on one dataset/scenario.
+
+    ``pruning_stats`` carries the scoring plan's filter-and-refine
+    accounting (matrix scoring path only): candidates decided per
+    stage, refinements run, Monte Carlo samples evaluated, and
+    per-stage wall time.
+    """
 
     technique_name: str
     queries: List[QueryOutcome] = field(default_factory=list)
     tau: Optional[float] = None
+    pruning_stats: Optional[PruningStats] = None
 
     def f1(self) -> MeanWithCI:
         """Mean F1 with a 95% confidence band."""
@@ -365,7 +399,11 @@ def _score_matrix_session(
         result = query_set.profile_matrix()
         matrix = result.values
         epsilons = matrix[np.arange(n_queries), anchors]
-        outcome = TechniqueOutcome(technique_name=technique.name)
+        outcome = TechniqueOutcome(
+            technique_name=technique.name,
+            pruning_stats=result.pruning_stats,
+        )
+        _log_stats(technique.name, result.pruning_stats)
         for position, query_index in enumerate(query_indices):
             calibration = calibrations[query_index]
             candidates = _candidate_indices(n_series, query_index)
@@ -404,7 +442,12 @@ def _score_matrix_session(
         ).best_tau
 
     scores = results_at_tau(probabilities, candidate_lists, ground_truths, tau)
-    outcome = TechniqueOutcome(technique_name=technique.name, tau=tau)
+    outcome = TechniqueOutcome(
+        technique_name=technique.name,
+        tau=tau,
+        pruning_stats=result.pruning_stats,
+    )
+    _log_stats(technique.name, result.pruning_stats)
     for position, query_index in enumerate(query_indices):
         outcome.queries.append(
             QueryOutcome(

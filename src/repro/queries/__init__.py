@@ -36,6 +36,18 @@ from .parallel import (
     ShardPlan,
     plan_blocks,
 )
+from .planner import (
+    ADAPTIVE_MC_FIRST_FRACTION,
+    AdaptiveMCStage,
+    BoundStage,
+    PlanStage,
+    PruningStats,
+    QueryPlan,
+    RefineStage,
+    StageStats,
+    adaptive_mc_schedule,
+    sequential_mc_decision,
+)
 from .range_query import (
     probabilistic_range_query,
     range_query,
@@ -80,6 +92,16 @@ __all__ = [
     "MatrixResult",
     "KnnResult",
     "RangeResult",
+    "QueryPlan",
+    "PlanStage",
+    "BoundStage",
+    "RefineStage",
+    "AdaptiveMCStage",
+    "PruningStats",
+    "StageStats",
+    "ADAPTIVE_MC_FIRST_FRACTION",
+    "adaptive_mc_schedule",
+    "sequential_mc_decision",
     "Technique",
     "EuclideanTechnique",
     "DustTechnique",

@@ -49,6 +49,7 @@ import numpy as np
 from ..core.errors import InvalidParameterError
 from .engine import QueryEngine
 from .knn import knn_indices
+from .planner import PruningStats
 from .techniques import Technique, _epsilon_vector
 
 #: Recognized executor backends (``None`` = auto-detect).
@@ -147,21 +148,25 @@ class _ShardComputer:
         c0: int,
         c1: int,
         epsilon_block: Optional[np.ndarray],
-    ) -> np.ndarray:
-        """One shard of the ``(M, N)`` matrix, shape ``(r1-r0, c1-c0)``."""
+        tau: Optional[float] = None,
+    ) -> Tuple[np.ndarray, PruningStats]:
+        """One shard of the ``(M, N)`` matrix, shape ``(r1-r0, c1-c0)``.
+
+        Executes the technique's query plan over the shard and returns
+        the block together with the shard's
+        :class:`~repro.queries.planner.PruningStats`; the caller merges
+        shard stats into one workload-level record.
+        """
         rows = self._rows(r0, r1)
         cols = self._cols(c0, c1)
         technique = self.technique
         previous = technique._engine
         technique._engine = self._engine
         try:
-            if kind == "distance":
-                return np.asarray(technique.distance_matrix(rows, cols))
-            if kind == "calibration":
-                return np.asarray(technique.calibration_matrix(rows, cols))
-            return np.asarray(
-                technique.probability_matrix(rows, cols, epsilon_block)
+            block, stats = technique.matrix_with_stats(
+                kind, rows, cols, epsilon=epsilon_block, tau=tau
             )
+            return np.asarray(block), stats
         finally:
             technique._engine = previous
 
@@ -173,16 +178,16 @@ class _ShardComputer:
         c1: int,
         k: int,
         exclude_block: Optional[np.ndarray],
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    ) -> Tuple[np.ndarray, np.ndarray, PruningStats]:
         """Per-row local top-``k`` of one column shard.
 
-        Returns ``(indices, scores)`` of shape ``(r1-r0, k')`` where
-        ``k' = min(k, eligible columns)``; indices are **global** column
-        positions, rows short of ``k'`` candidates are padded with
-        ``-1`` / ``+inf`` (only possible when the shard is narrower than
-        ``k`` after excluding a self-match).
+        Returns ``(indices, scores, stats)`` with shapes ``(r1-r0, k')``
+        where ``k' = min(k, eligible columns)``; indices are **global**
+        column positions, rows short of ``k'`` candidates are padded
+        with ``-1`` / ``+inf`` (only possible when the shard is narrower
+        than ``k`` after excluding a self-match).
         """
-        block = self.matrix_block("distance", r0, r1, c0, c1, None)
+        block, stats = self.matrix_block("distance", r0, r1, c0, c1, None)
         width = c1 - c0
         limit = min(k, width)
         indices = np.full((block.shape[0], limit), -1, dtype=np.intp)
@@ -199,7 +204,7 @@ class _ShardComputer:
             local = knn_indices(block[offset], take, exclude=skipped)
             indices[offset, :take] = np.asarray(local, dtype=np.intp) + c0
             scores[offset, :take] = block[offset, local]
-        return indices, scores
+        return indices, scores, stats
 
 
 # -- pool worker plumbing ----------------------------------------------------
@@ -213,15 +218,20 @@ def _worker_init(technique: Technique, queries, collection) -> None:
     _WORKER = _ShardComputer(technique, queries, collection)
 
 
-def _worker_matrix(task) -> Tuple[int, int, np.ndarray]:
-    kind, r0, r1, c0, c1, epsilon_block = task
-    return r0, c0, _WORKER.matrix_block(kind, r0, r1, c0, c1, epsilon_block)
+def _worker_matrix(task) -> Tuple[int, int, np.ndarray, PruningStats]:
+    kind, r0, r1, c0, c1, epsilon_block, tau = task
+    block, stats = _WORKER.matrix_block(
+        kind, r0, r1, c0, c1, epsilon_block, tau
+    )
+    return r0, c0, block, stats
 
 
-def _worker_knn(task) -> Tuple[int, np.ndarray, np.ndarray]:
+def _worker_knn(task) -> Tuple[int, np.ndarray, np.ndarray, PruningStats]:
     r0, r1, c0, c1, k, exclude_block = task
-    indices, scores = _WORKER.knn_block(r0, r1, c0, c1, k, exclude_block)
-    return r0, indices, scores
+    indices, scores, stats = _WORKER.knn_block(
+        r0, r1, c0, c1, k, exclude_block
+    )
+    return r0, indices, scores, stats
 
 
 def _merge_knn_rows(
@@ -341,15 +351,36 @@ class ShardedExecutor:
 
     # -- planning ------------------------------------------------------------
 
+    @staticmethod
+    def _blocks_per_worker(cpus: int) -> int:
+        """Row blocks per worker, scaled by the machine's CPU count.
+
+        On one core this is exactly the PR 3 heuristic (2 blocks per
+        worker — parallel slack without shrinking each kernel call
+        below NumPy-efficient sizes); on real multi-core hardware the
+        shards get progressively finer (+1 per doubling, capped at 8)
+        so stragglers rebalance across the pool instead of serializing
+        its tail.
+        """
+        if cpus <= 1:
+            return 2
+        return min(8, 2 + (cpus - 1).bit_length())
+
     def plan(
         self, n_queries: int, n_candidates: int, for_knn: bool = False
     ) -> ShardPlan:
-        """The shard decomposition for an ``(M, N)`` workload."""
+        """The shard decomposition for an ``(M, N)`` workload.
+
+        Default block sizes are CPU-count-aware (see
+        :meth:`_blocks_per_worker`); the chosen plan is logged into the
+        workload's :class:`~repro.queries.planner.PruningStats` by
+        :meth:`matrix_with_stats` / :meth:`knn_with_stats`.
+        """
+        cpus = os.cpu_count() or 1
         row_block = self.row_block
         if row_block is None:
-            # ~2 row blocks per worker: parallel slack without shrinking
-            # each kernel call below NumPy-efficient sizes.
-            row_block = max(1, math.ceil(n_queries / (2 * self.n_workers)))
+            slack = self._blocks_per_worker(cpus) * self.n_workers
+            row_block = max(1, math.ceil(n_queries / slack))
         col_block = self.col_block
         if col_block is None:
             if for_knn and self.n_workers > 1:
@@ -362,6 +393,19 @@ class ShardedExecutor:
             tuple(plan_blocks(n_queries, row_block)),
             tuple(plan_blocks(n_candidates, col_block)),
         )
+
+    def _plan_log(self, plan: ShardPlan, backend: str) -> Dict:
+        """The executor-plan record logged into merged ``PruningStats``."""
+        row_sizes = [stop - start for start, stop in plan.row_blocks]
+        col_sizes = [stop - start for start, stop in plan.col_blocks]
+        return {
+            "n_workers": self.n_workers,
+            "backend": backend,
+            "cpu_count": os.cpu_count() or 1,
+            "row_block": max(row_sizes) if row_sizes else 0,
+            "col_block": max(col_sizes) if col_sizes else 0,
+            "n_shards": plan.n_shards,
+        }
 
     def _resolve_backend(self, technique: Technique, queries, collection):
         if self.backend == "serial" or self.n_workers == 1:
@@ -462,6 +506,27 @@ class ShardedExecutor:
         ``"calibration"``; ``epsilon`` (scalar or per-query vector) is
         required for probability kind and forbidden otherwise.
         """
+        return self.matrix_with_stats(
+            technique, kind, queries, collection, epsilon
+        )[0]
+
+    def matrix_with_stats(
+        self,
+        technique: Technique,
+        kind: str,
+        queries: Sequence,
+        collection: Sequence,
+        epsilon=None,
+        tau: Optional[float] = None,
+    ) -> Tuple[np.ndarray, Optional[PruningStats]]:
+        """:meth:`matrix` plus the merged per-shard ``PruningStats``.
+
+        Every shard executes the technique's query plan; their stats
+        are merged stage-by-stage and the executor's chosen shard plan
+        (block sizes, worker count, CPU count) is logged alongside.
+        ``tau`` forwards a decision threshold so adaptive Monte Carlo
+        stages can stop early inside each shard.
+        """
         if kind not in _MATRIX_KINDS:
             raise InvalidParameterError(
                 f"kind must be one of {_MATRIX_KINDS}, got {kind!r}"
@@ -478,7 +543,7 @@ class ShardedExecutor:
             eps = None
         out = np.empty((n_queries, n_candidates))
         if n_queries == 0:
-            return out
+            return out, None
         plan = self.plan(n_queries, n_candidates)
         tasks = [
             (
@@ -488,22 +553,29 @@ class ShardedExecutor:
                 c0,
                 c1,
                 None if eps is None else eps[r0:r1],
+                tau,
             )
             for r0, r1, c0, c1 in plan.shards()
         ]
         backend = self._resolve_backend(technique, queries, collection)
         if backend == "serial":
             computer = self._computer_for(technique, queries, collection)
-            blocks = [
-                (task[1], task[3], computer.matrix_block(*task))
-                for task in tasks
-            ]
+            blocks = []
+            for task in tasks:
+                block, stats = computer.matrix_block(*task)
+                blocks.append((task[1], task[3], block, stats))
         else:
             pool = self._pool_for(technique, queries, collection)
             blocks = pool.map(_worker_matrix, tasks)
-        for r0, c0, block in blocks:
+        for r0, c0, block, _ in blocks:
             out[r0:r0 + block.shape[0], c0:c0 + block.shape[1]] = block
-        return out
+        merged = PruningStats.merge_shards(
+            [stats for _, _, _, stats in blocks],
+            n_queries,
+            n_candidates,
+            executor=self._plan_log(plan, backend),
+        )
+        return out, merged
 
     def knn(
         self,
@@ -520,6 +592,20 @@ class ShardedExecutor:
         (``-1`` for none) — the self-match of all-pairs workloads.
         Rankings match :func:`repro.queries.knn.knn_table` exactly.
         """
+        indices, scores, _ = self.knn_with_stats(
+            technique, queries, collection, k, exclude=exclude
+        )
+        return indices, scores
+
+    def knn_with_stats(
+        self,
+        technique: Technique,
+        queries: Sequence,
+        collection: Sequence,
+        k: int,
+        exclude: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[PruningStats]]:
+        """:meth:`knn` plus the merged per-shard ``PruningStats``."""
         if k < 1:
             raise InvalidParameterError(f"k must be >= 1, got {k}")
         n_queries = len(queries)
@@ -541,6 +627,7 @@ class ShardedExecutor:
             return (
                 np.empty((0, k), dtype=np.intp),
                 np.empty((0, k)),
+                None,
             )
         plan = self.plan(n_queries, n_candidates, for_knn=True)
         tasks = [
@@ -559,14 +646,23 @@ class ShardedExecutor:
             computer = self._computer_for(technique, queries, collection)
             shards = []
             for r0, r1, c0, c1, k_arg, exclude_block in tasks:
-                indices, scores = computer.knn_block(
+                indices, scores, stats = computer.knn_block(
                     r0, r1, c0, c1, k_arg, exclude_block
                 )
-                shards.append((r0, indices, scores))
+                shards.append((r0, indices, scores, stats))
         else:
             pool = self._pool_for(technique, queries, collection)
             shards = pool.map(_worker_knn, tasks)
-        return _merge_knn_rows(n_queries, k, shards)
+        merged_stats = PruningStats.merge_shards(
+            [stats for _, _, _, stats in shards],
+            n_queries,
+            n_candidates,
+            executor=self._plan_log(plan, backend),
+        )
+        indices, scores = _merge_knn_rows(
+            n_queries, k, [shard[:3] for shard in shards]
+        )
+        return indices, scores, merged_stats
 
     def __repr__(self) -> str:
         backend = self.backend if self.backend is not None else "auto"

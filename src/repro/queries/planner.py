@@ -1,0 +1,491 @@
+"""Unified filter-and-refine query planner.
+
+Every expensive query path in the repo has the same shape: decide most
+candidates from cheap bounds, refine the undecided remainder with an
+exact kernel, and — for Monte Carlo techniques — stop sampling as soon
+as the hit fraction is decided.  Before this module each technique
+re-implemented that cascade by hand (MUNICH's bounding filter, the
+MUNICH-DTW envelope bounds, the DTW pruning cascade's callers); the
+planner extracts it into one composable pipeline:
+
+* :class:`BoundStage` evaluates lower/upper bound stacks (from the
+  engine-cached materializations) for every pair at once and decides the
+  cells whose bounds clear the threshold;
+* :class:`RefineStage` runs the technique's exact kernel on the
+  surviving candidate mask;
+* :class:`AdaptiveMCStage` replaces a fixed-sample-size Monte Carlo
+  refinement with escalating rounds and a *sound* sequential stopping
+  rule against ``ε``/``τ`` — see :func:`sequential_mc_decision`.
+
+A :class:`QueryPlan` is an ordered tuple of stages;
+:meth:`QueryPlan.execute` runs them over one ``(M, N)`` workload and
+returns the score matrix together with :class:`PruningStats` — how many
+candidates each stage decided, how many exact refinements ran, how many
+Monte Carlo samples were evaluated, and per-stage wall time.  Techniques
+build their plans in :meth:`~repro.queries.techniques.Technique.build_plan`;
+the default plan is a single :class:`RefineStage`, which is exactly the
+pre-planner behaviour — custom :class:`Technique` subclasses keep
+working unchanged.
+
+The adaptive stopping rule
+--------------------------
+
+A fixed-``s`` Monte Carlo refinement draws ``s`` materialization pairs
+and reports the hit fraction ``H/s``; the decision query compares it to
+``τ``.  After evaluating only the first ``m`` draws with ``h`` hits, the
+final count is bracketed by ``h <= H <= h + (s - m)``, so
+
+* ``h / s >= τ``  ⇒  the pair is a **hit** no matter how the remaining
+  draws land;
+* ``(h + s - m) / s < τ``  ⇒  a **miss**, likewise unconditionally.
+
+Both checks use the same float divisions the fixed path uses, and
+``H/s`` is monotone in ``H``, so an early verdict can *never* disagree
+with the fixed-``s`` verdict on the same seeded draws — the rule prunes
+work, not correctness.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import InvalidParameterError
+
+#: Kinds of score matrices a plan can produce.
+PLAN_KINDS = ("distance", "probability", "calibration")
+
+#: First adaptive round evaluates this fraction of the draw budget;
+#: every later round doubles the cumulative target.  Geometric
+#: escalation bounds the kernel-call overhead at ``log2(1/fraction)+1``
+#: rounds while guaranteeing at most 2× the draws an ideal stopping
+#: point would have evaluated.
+ADAPTIVE_MC_FIRST_FRACTION = 1.0 / 16.0
+
+
+def adaptive_mc_schedule(
+    n_samples: int, first_fraction: float = ADAPTIVE_MC_FIRST_FRACTION
+) -> List[int]:
+    """Cumulative evaluation targets for the escalating sample rounds.
+
+    Returns a strictly increasing list ending at ``n_samples``: the
+    first target is ``ceil(n_samples · first_fraction)`` and each
+    subsequent round doubles it, so a verdict reachable after ``t``
+    draws costs at most ``2t`` — with only ``O(log)`` stacked kernel
+    calls of overhead.
+    """
+    if n_samples < 1:
+        raise InvalidParameterError(
+            f"n_samples must be >= 1, got {n_samples}"
+        )
+    if not 0.0 < first_fraction <= 1.0:
+        raise InvalidParameterError(
+            f"first_fraction must be in (0, 1], got {first_fraction}"
+        )
+    targets: List[int] = []
+    target = max(1, math.ceil(n_samples * first_fraction))
+    while target < n_samples:
+        targets.append(target)
+        target = min(n_samples, target * 2)
+    targets.append(n_samples)
+    return targets
+
+
+def sequential_mc_decision(
+    hits: int, evaluated: int, n_samples: int, tau: float
+) -> Optional[Tuple[bool, float]]:
+    """Sound early verdict for a Monte Carlo decision query.
+
+    ``hits`` of the first ``evaluated`` (of ``n_samples``) seeded draws
+    landed within ε.  Returns ``(is_hit, value)`` when the final
+    fixed-``s`` verdict is already determined, ``None`` while it is
+    still open; ``value`` is the tightest bound on the final hit
+    fraction that is guaranteed to sit on the verdict's side of ``τ``
+    (and is exactly ``hits / n_samples`` once everything is evaluated).
+    """
+    guaranteed = hits / n_samples
+    if guaranteed >= tau:
+        return True, guaranteed
+    possible = (hits + (n_samples - evaluated)) / n_samples
+    if possible < tau:
+        return False, possible
+    return None
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """One plan stage's contribution to a workload.
+
+    ``entered`` counts the undecided cells the stage received,
+    ``decided`` how many it settled, ``refined`` how many exact kernel
+    evaluations ran, and ``samples_drawn`` how many Monte Carlo draws
+    were actually *evaluated* (the expensive part — the integer draws
+    themselves are free and always taken upfront for seed parity).
+    """
+
+    stage: str
+    entered: int = 0
+    decided: int = 0
+    refined: int = 0
+    samples_drawn: int = 0
+    seconds: float = 0.0
+
+    def merged(self, other: "StageStats") -> "StageStats":
+        """Element-wise sum with another shard's stats for this stage."""
+        return StageStats(
+            stage=self.stage,
+            entered=self.entered + other.entered,
+            decided=self.decided + other.decided,
+            refined=self.refined + other.refined,
+            samples_drawn=self.samples_drawn + other.samples_drawn,
+            seconds=self.seconds + other.seconds,
+        )
+
+
+@dataclass(frozen=True)
+class PruningStats:
+    """Filter-and-refine effectiveness of one executed plan.
+
+    ``stages`` preserves execution order; on a sharded run the per-shard
+    stats are merged stage-by-stage and the executor's chosen shard plan
+    is logged in ``executor``.
+    """
+
+    technique_name: str
+    kind: str
+    n_queries: int
+    n_candidates: int
+    stages: Tuple[StageStats, ...] = ()
+    executor: Optional[Dict] = None
+    #: Explicit cell count for records aggregated across *different*
+    #: workloads (the CLI's per-command roll-up), where ``M × N`` of any
+    #: single workload no longer describes the total.
+    cells: Optional[int] = None
+
+    @property
+    def total_cells(self) -> int:
+        """Workload size (``M × N``, unless explicitly overridden)."""
+        if self.cells is not None:
+            return self.cells
+        return self.n_queries * self.n_candidates
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time summed over every stage."""
+        return float(sum(entry.seconds for entry in self.stages))
+
+    @property
+    def samples_drawn(self) -> int:
+        """Monte Carlo draws evaluated across all stages."""
+        return int(sum(entry.samples_drawn for entry in self.stages))
+
+    def decided_by(self, stage: str) -> int:
+        """Cells decided by the named stage (0 when absent)."""
+        return sum(
+            entry.decided for entry in self.stages if entry.stage == stage
+        )
+
+    def stage(self, name: str) -> Optional[StageStats]:
+        """The (merged) stats entry for one stage name, if present."""
+        for entry in self.stages:
+            if entry.stage == name:
+                return entry
+        return None
+
+    def merged(self, other: "PruningStats") -> "PruningStats":
+        """Combine with another shard of the same plan.
+
+        Stages are summed by name in this record's order; stages only
+        the other shard ran (a technique may plan differently per
+        shard in degenerate cases) are appended.
+        """
+        pending: Dict[str, List[StageStats]] = {}
+        for entry in other.stages:
+            pending.setdefault(entry.stage, []).append(entry)
+        merged: List[StageStats] = []
+        for entry in self.stages:
+            for extra in pending.pop(entry.stage, []):
+                entry = entry.merged(extra)
+            merged.append(entry)
+        for extras in pending.values():
+            merged.extend(extras)
+        return PruningStats(
+            technique_name=self.technique_name,
+            kind=self.kind,
+            n_queries=self.n_queries,
+            n_candidates=self.n_candidates,
+            stages=tuple(merged),
+            executor=self.executor if self.executor else other.executor,
+        )
+
+    @staticmethod
+    def merge_shards(
+        shards: Sequence["PruningStats"],
+        n_queries: int,
+        n_candidates: int,
+        executor: Optional[Dict] = None,
+    ) -> Optional["PruningStats"]:
+        """Merge per-shard stats into one workload-level record."""
+        shards = [s for s in shards if s is not None]
+        if not shards:
+            return None
+        merged = shards[0]
+        for shard in shards[1:]:
+            merged = merged.merged(shard)
+        return replace(
+            merged,
+            n_queries=n_queries,
+            n_candidates=n_candidates,
+            executor=executor,
+        )
+
+    def summary(self) -> str:
+        """One human-readable line per stage (the CLI's ``--stats`` view)."""
+        total = max(self.total_cells, 1)
+        if self.cells is not None:
+            shape = f"{self.cells} cells"
+        else:
+            shape = f"{self.n_queries}x{self.n_candidates}"
+        lines = [f"{self.technique_name} ({self.kind}, {shape}):"]
+        for entry in self.stages:
+            line = (
+                f"  {entry.stage:12s} decided {entry.decided}/{total} "
+                f"({100.0 * entry.decided / total:5.1f}%) "
+                f"in {entry.seconds * 1e3:8.2f} ms"
+            )
+            if entry.refined:
+                line += f", {entry.refined} refined"
+            if entry.samples_drawn:
+                line += f", {entry.samples_drawn} MC samples"
+            lines.append(line)
+        if self.executor:
+            pairs = ", ".join(
+                f"{key}={value}" for key, value in self.executor.items()
+            )
+            lines.append(f"  executor     {pairs}")
+        return "\n".join(lines)
+
+
+@dataclass
+class PlanContext:
+    """Mutable state one plan execution threads through its stages."""
+
+    technique: "object"
+    kind: str
+    queries: Sequence
+    collection: Sequence
+    epsilons: Optional[np.ndarray]
+    tau: Optional[float]
+    values: np.ndarray
+    undecided: np.ndarray
+    stage_stats: List[StageStats] = field(default_factory=list)
+
+    @property
+    def n_undecided(self) -> int:
+        """Cells still awaiting a verdict."""
+        return int(np.count_nonzero(self.undecided))
+
+
+class PlanStage(abc.ABC):
+    """One step of a filter-and-refine cascade.
+
+    A stage reads the context's ``undecided`` mask, writes verdicts into
+    ``values`` for the cells it settles, clears those cells from the
+    mask, and returns ``(refined, samples_drawn)`` accounting.  Stage
+    timing and decided-cell counting are handled by
+    :meth:`QueryPlan.execute`.
+    """
+
+    name: str = "stage"
+
+    @abc.abstractmethod
+    def run(self, context: PlanContext) -> Tuple[int, int]:
+        """Execute the stage; returns ``(refined, samples_drawn)``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class BoundStage(PlanStage):
+    """Decide cells whose lower/upper distance bounds clear ε.
+
+    The technique supplies ``matrix_bounds(queries, collection)`` —
+    ``(lower, upper)`` stacks valid for *every* materialization of each
+    pair, computed from engine-cached stacks (bounding intervals,
+    band-inflated envelopes).  Cells with ``lower > ε`` are certain
+    misses (probability 0), cells with ``upper <= ε`` certain hits
+    (probability 1); ``slack`` guards the comparisons for techniques
+    whose batched bound sums may reorder floats (MUNICH-DTW uses
+    :data:`~repro.distances.dtw_batch.PRUNE_SLACK`).
+    """
+
+    name = "bounds"
+
+    def __init__(self, slack: float = 0.0) -> None:
+        if slack < 0.0:
+            raise InvalidParameterError(f"slack must be >= 0, got {slack}")
+        self.slack = slack
+
+    def run(self, context: PlanContext) -> Tuple[int, int]:
+        if context.kind != "probability" or context.epsilons is None:
+            raise InvalidParameterError(
+                "BoundStage requires a probability workload with epsilons"
+            )
+        lower, upper = context.technique.matrix_bounds(
+            context.queries, context.collection
+        )
+        guard_hi = (context.epsilons * (1.0 + self.slack))[:, None]
+        guard_lo = (context.epsilons * (1.0 - self.slack))[:, None]
+        misses = context.undecided & (lower > guard_hi)
+        hits = context.undecided & (upper <= guard_lo)
+        context.values[misses] = 0.0
+        context.values[hits] = 1.0
+        context.undecided &= ~(misses | hits)
+        return 0, 0
+
+    def __repr__(self) -> str:
+        return f"BoundStage(slack={self.slack:g})"
+
+
+class RefineStage(PlanStage):
+    """Run the technique's exact kernel on the surviving mask.
+
+    Delegates to
+    :meth:`~repro.queries.techniques.Technique.refine_matrix`, which
+    must fill every still-undecided cell; a refine stage therefore
+    always terminates the plan's undecided set.
+    """
+
+    name = "refine"
+    #: Whether the context's τ is forwarded to the refine kernel
+    #: (enables the adaptive stopping rule in the subclass).
+    forward_tau = False
+
+    def run(self, context: PlanContext) -> Tuple[int, int]:
+        tau = context.tau if self.forward_tau else None
+        refined, samples = context.technique.refine_matrix(
+            context.kind,
+            context.queries,
+            context.collection,
+            context.epsilons,
+            context.values,
+            context.undecided,
+            tau=tau,
+        )
+        context.undecided[:] = False
+        return int(refined), int(samples)
+
+
+class AdaptiveMCStage(RefineStage):
+    """Monte Carlo refinement with the sequential stopping rule.
+
+    Identical to :class:`RefineStage` except that the decision
+    threshold ``τ`` is forwarded to the technique's refine kernel, which
+    evaluates the seeded draw stack in escalating rounds
+    (:func:`adaptive_mc_schedule`) and stops as soon as
+    :func:`sequential_mc_decision` settles the cell.  Reported values
+    are guaranteed to sit on the same side of ``τ`` as the fixed-sample
+    path's, so decision queries (``prob_range``) are unchanged — only
+    cheaper.
+    """
+
+    name = "adaptive-mc"
+    forward_tau = True
+
+
+class QueryPlan:
+    """An ordered filter-and-refine cascade over one ``(M, N)`` workload."""
+
+    __slots__ = ("stages",)
+
+    def __init__(self, stages: Sequence[PlanStage]) -> None:
+        if not stages:
+            raise InvalidParameterError("a query plan needs >= 1 stage")
+        self.stages = tuple(stages)
+
+    def execute(
+        self,
+        technique,
+        kind: str,
+        queries: Sequence,
+        collection: Sequence,
+        epsilon=None,
+        tau: Optional[float] = None,
+    ) -> Tuple[np.ndarray, PruningStats]:
+        """Run the cascade; returns ``(values, stats)``.
+
+        ``epsilon`` (scalar or per-query vector) is required for
+        probability workloads and forbidden otherwise; ``tau`` is the
+        optional decision threshold adaptive stages stop against.
+        """
+        from .techniques import _epsilon_vector
+
+        if kind not in PLAN_KINDS:
+            raise InvalidParameterError(
+                f"kind must be one of {PLAN_KINDS}, got {kind!r}"
+            )
+        n_queries = len(queries)
+        n_candidates = len(collection)
+        if kind == "probability":
+            epsilons = _epsilon_vector(epsilon, n_queries)
+        elif epsilon is not None:
+            raise InvalidParameterError(f"{kind} plans take no epsilon")
+        else:
+            epsilons = None
+        values = np.empty((n_queries, n_candidates))
+        if n_queries == 0:
+            return values, PruningStats(
+                technique_name=technique.name,
+                kind=kind,
+                n_queries=0,
+                n_candidates=n_candidates,
+                stages=tuple(
+                    StageStats(stage=stage.name) for stage in self.stages
+                ),
+            )
+        context = PlanContext(
+            technique=technique,
+            kind=kind,
+            queries=queries,
+            collection=collection,
+            epsilons=epsilons,
+            tau=tau,
+            values=values,
+            undecided=np.ones((n_queries, n_candidates), dtype=bool),
+        )
+        for stage in self.stages:
+            entered = context.n_undecided
+            started = time.perf_counter()
+            refined, samples = stage.run(context)
+            elapsed = time.perf_counter() - started
+            context.stage_stats.append(
+                StageStats(
+                    stage=stage.name,
+                    entered=entered,
+                    decided=entered - context.n_undecided,
+                    refined=refined,
+                    samples_drawn=samples,
+                    seconds=elapsed,
+                )
+            )
+        if context.n_undecided:
+            raise InvalidParameterError(
+                f"plan {self!r} left {context.n_undecided} cells undecided; "
+                f"every plan must end in a refine stage"
+            )
+        return values, PruningStats(
+            technique_name=technique.name,
+            kind=kind,
+            n_queries=n_queries,
+            n_candidates=n_candidates,
+            stages=tuple(context.stage_stats),
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(stage) for stage in self.stages)
+        return f"QueryPlan([{inner}])"

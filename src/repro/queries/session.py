@@ -47,6 +47,7 @@ from ..core.errors import InvalidParameterError, UnsupportedQueryError
 from .engine import SHARED_ENGINE, QueryEngine
 from .knn import knn_table
 from .parallel import ShardedExecutor
+from .planner import PruningStats
 from .techniques import Technique, _epsilon_vector
 
 
@@ -58,6 +59,11 @@ class MatrixResult:
     ``values[i, j]`` scores query ``i`` against collection series ``j``.
     ``query_positions[i]`` is query ``i``'s index in the collection, or
     ``-1`` when the query is not a member (no self-match to exclude).
+    ``pruning_stats`` carries the executed query plan's filter-and-refine
+    accounting — candidates decided per stage, refinements run, Monte
+    Carlo samples evaluated, per-stage wall time (so bound-evaluation
+    time is visible, not folded into an opaque total), and, on a
+    parallel session, the executor's chosen shard plan.
     """
 
     technique_name: str
@@ -66,6 +72,7 @@ class MatrixResult:
     query_positions: np.ndarray
     elapsed_seconds: float
     epsilons: Optional[np.ndarray] = None
+    pruning_stats: Optional[PruningStats] = None
 
     @property
     def n_queries(self) -> int:
@@ -104,6 +111,7 @@ class MatrixResult:
             scores=np.take_along_axis(self.values, indices, axis=1),
             query_positions=self.query_positions,
             elapsed_seconds=self.elapsed_seconds,
+            pruning_stats=self.pruning_stats,
         )
 
     def result_sets(self, threshold) -> List[np.ndarray]:
@@ -145,6 +153,7 @@ class KnnResult:
     scores: np.ndarray
     query_positions: np.ndarray
     elapsed_seconds: float
+    pruning_stats: Optional[PruningStats] = None
 
     @property
     def n_queries(self) -> int:
@@ -183,6 +192,7 @@ class RangeResult:
     tau: Optional[float]
     query_positions: np.ndarray
     elapsed_seconds: float
+    pruning_stats: Optional[PruningStats] = None
 
     @property
     def n_queries(self) -> int:
@@ -278,22 +288,22 @@ class QuerySet:
                     f"{technique.name} is a distance technique; "
                     f"profile_matrix() takes no epsilon"
                 )
-            values, elapsed = self._run_matrix("distance")
-            return self._matrix_result("distance", values, elapsed)
+            values, elapsed, stats = self._run_matrix("distance")
+            return self._matrix_result("distance", values, elapsed, stats)
         if epsilon is None:
             raise InvalidParameterError(
                 f"{technique.name} is probabilistic; profile_matrix() "
                 f"requires epsilon (scalar or one per query)"
             )
         eps = _epsilon_vector(epsilon, len(self._queries))
-        values, elapsed = self._run_matrix("probability", eps)
-        return self._matrix_result("probability", values, elapsed, eps)
+        values, elapsed, stats = self._run_matrix("probability", eps)
+        return self._matrix_result("probability", values, elapsed, stats, eps)
 
     def calibration_matrix(self) -> MatrixResult:
         """The ``(M, N)`` ε-calibration matrix (10th-NN thresholds live on
         its rows: entry ``[i, anchor]`` is query ``i``'s ε)."""
-        values, elapsed = self._run_matrix("calibration")
-        return self._matrix_result("calibration", values, elapsed)
+        values, elapsed, stats = self._run_matrix("calibration")
+        return self._matrix_result("calibration", values, elapsed, stats)
 
     def knn(self, k: int) -> KnnResult:
         """Row-wise k-nearest neighbors (distance techniques only).
@@ -314,7 +324,7 @@ class QuerySet:
             return self.profile_matrix().top_k(k)
         with self._session.bound(technique):
             started = time.perf_counter()
-            indices, scores = executor.knn(
+            indices, scores, stats = executor.knn_with_stats(
                 technique,
                 self._queries,
                 self._session.collection,
@@ -328,6 +338,7 @@ class QuerySet:
             scores=scores,
             query_positions=self._positions.copy(),
             elapsed_seconds=elapsed,
+            pruning_stats=stats,
         )
 
     def range(self, epsilon) -> RangeResult:
@@ -348,11 +359,20 @@ class QuerySet:
             tau=None,
             query_positions=self._positions.copy(),
             elapsed_seconds=result.elapsed_seconds,
+            pruning_stats=result.pruning_stats,
         )
 
     def prob_range(self, epsilon, tau: float) -> RangeResult:
         """Per-query probabilistic range results ``Pr(distance <= ε) >= τ``
-        (Equation 2 batch; probabilistic techniques only)."""
+        (Equation 2 batch; probabilistic techniques only).
+
+        Because ``τ`` is known here, the technique's query plan runs in
+        *decision* mode: Monte Carlo techniques (MUNICH / MUNICH-DTW
+        with ``method="montecarlo"``) refine through the adaptive
+        sample-size stage, which stops drawing as soon as the hit
+        fraction is decided against ``τ``.  The resulting match sets
+        are guaranteed identical to the fixed-sample path's.
+        """
         technique = self._require_technique()
         if technique.kind != "probabilistic":
             raise UnsupportedQueryError(
@@ -363,7 +383,13 @@ class QuerySet:
             raise InvalidParameterError(
                 f"tau must be within [0, 1], got {tau}"
             )
-        result = self.profile_matrix(epsilon=epsilon)
+        eps = _epsilon_vector(epsilon, len(self._queries))
+        values, elapsed, stats = self._run_matrix(
+            "probability", eps, tau=float(tau)
+        )
+        result = self._matrix_result(
+            "probability", values, elapsed, stats, eps
+        )
         return RangeResult(
             technique_name=technique.name,
             kind="probabilistic",
@@ -372,6 +398,7 @@ class QuerySet:
             tau=float(tau),
             query_positions=self._positions.copy(),
             elapsed_seconds=result.elapsed_seconds,
+            pruning_stats=result.pruning_stats,
         )
 
     # -- plumbing ----------------------------------------------------------
@@ -383,49 +410,44 @@ class QuerySet:
             )
         return self._technique
 
-    def _run(self, kernel):
+    def _run_matrix(self, kind: str, epsilon=None, tau=None):
+        """One timed ``(M, N)`` plan execution — sharded when the
+        session is parallel, the technique's own plan otherwise.
+
+        Returns ``(values, elapsed, pruning_stats)``; ``tau`` forwards
+        the decision threshold so adaptive Monte Carlo stages can stop
+        early.
+        """
         technique = self._require_technique()
+        executor = self._session.executor
         with self._session.bound(technique):
             started = time.perf_counter()
-            values = kernel(technique)
-            elapsed = time.perf_counter() - started
-        return np.asarray(values, dtype=np.float64), elapsed
-
-    def _run_matrix(self, kind: str, epsilon=None):
-        """One timed ``(M, N)`` kernel — sharded when the session is
-        parallel, the technique's own all-pairs kernel otherwise."""
-        executor = self._session.executor
-        if executor is not None:
-            technique = self._require_technique()
-            with self._session.bound(technique):
-                started = time.perf_counter()
-                values = executor.matrix(
+            if executor is not None:
+                values, stats = executor.matrix_with_stats(
                     technique,
                     kind,
                     self._queries,
                     self._session.collection,
                     epsilon,
+                    tau=tau,
                 )
-                elapsed = time.perf_counter() - started
-            return np.asarray(values, dtype=np.float64), elapsed
-        collection = self._session.collection
-
-        def kernel(technique: Technique):
-            if kind == "distance":
-                return technique.distance_matrix(self._queries, collection)
-            if kind == "calibration":
-                return technique.calibration_matrix(self._queries, collection)
-            return technique.probability_matrix(
-                self._queries, collection, epsilon
-            )
-
-        return self._run(kernel)
+            else:
+                values, stats = technique.matrix_with_stats(
+                    kind,
+                    self._queries,
+                    self._session.collection,
+                    epsilon=epsilon,
+                    tau=tau,
+                )
+            elapsed = time.perf_counter() - started
+        return np.asarray(values, dtype=np.float64), elapsed, stats
 
     def _matrix_result(
         self,
         kind: str,
         values: np.ndarray,
         elapsed: float,
+        stats: Optional[PruningStats] = None,
         epsilons: Optional[np.ndarray] = None,
     ) -> MatrixResult:
         return MatrixResult(
@@ -435,6 +457,7 @@ class QuerySet:
             query_positions=self._positions.copy(),
             elapsed_seconds=elapsed,
             epsilons=epsilons,
+            pruning_stats=stats,
         )
 
     def __repr__(self) -> str:

@@ -57,6 +57,30 @@ implementations stack the row kernels, so custom techniques keep working;
 tensor kernels process bounded query blocks to keep peak memory flat.
 The declarative front door for all of this is
 :class:`repro.queries.session.SimilaritySession`.
+
+Query plans
+-----------
+
+Every matrix workload executes through a
+:class:`~repro.queries.planner.QueryPlan` — the unified filter-and-refine
+cascade.  :meth:`Technique.build_plan` names the stages (the default is a
+single :class:`~repro.queries.planner.RefineStage`, i.e. the exact kernel
+over every cell, so custom subclasses keep working unchanged); MUNICH
+prepends a :class:`~repro.queries.planner.BoundStage` over its cached
+bounding-interval stacks, MUNICH-DTW a slack-guarded one over its
+band-inflated envelope stacks, and both swap the fixed-sample Monte Carlo
+refinement for an :class:`~repro.queries.planner.AdaptiveMCStage` when a
+decision threshold ``τ`` is known (``prob_range``).  The exact kernels
+the plans refine with live in ``distance_kernel`` /
+``probability_kernel`` / ``calibration_kernel`` / ``refine_matrix``;
+:meth:`Technique.matrix_with_stats` returns the score matrix together
+with the executed plan's :class:`~repro.queries.planner.PruningStats`.
+
+Migration note for custom :class:`Technique` subclasses: a pre-planner
+subclass that overrode ``distance_matrix`` / ``probability_matrix`` is
+detected and its override is used as the refine kernel verbatim; such
+overrides must not delegate back to ``super()``'s matrix methods (which
+now run the plan) — override the ``*_kernel`` methods instead.
 """
 
 from __future__ import annotations
@@ -74,8 +98,11 @@ from ..core.uncertain import (
 )
 from ..distances.dtw_batch import (
     PRUNE_SLACK,
+    _use_rolling as _use_rolling_dtw,
     banded_dtw_from_costs,
     dtw_hits_paired,
+    rolling_dtw_from_cost_fn,
+    rolling_stack_blocks,
     stack_blocks,
 )
 from ..distances.filtered import FilteredEuclidean
@@ -95,6 +122,15 @@ from ..munich.query import Munich
 from ..proud.query import Proud
 from ..stats.normal import std_normal_cdf
 from .engine import SHARED_ENGINE, QueryEngine
+from .planner import (
+    AdaptiveMCStage,
+    BoundStage,
+    PruningStats,
+    QueryPlan,
+    RefineStage,
+    adaptive_mc_schedule,
+    sequential_mc_decision,
+)
 
 #: Element budget for one broadcast ``(B, N, n)`` block of a tensor matrix
 #: kernel: 2^16 float64s ≈ 512 KB per temporary, so the dozen elementwise
@@ -103,6 +139,11 @@ from .engine import SHARED_ENGINE, QueryEngine
 #: (measured ~2× faster than 8 MB blocks on the full-protocol workload),
 #: while still amortizing per-block NumPy call overhead thousands of ways.
 MATRIX_BLOCK_ELEMENTS = 1 << 16
+
+#: Element budget for one batched Monte Carlo refinement block: bounds
+#: the ``(cells · s, n)`` stacked draw tensors the MUNICH-DTW refine
+#: stage pushes through one pruning-cascade call.
+MC_BATCH_ELEMENTS = 1 << 20
 
 
 def _query_blocks(n_queries: int, n_candidates: int, length: int):
@@ -126,6 +167,24 @@ def _epsilon_vector(epsilon, n_queries: int) -> np.ndarray:
     if eps.size and (np.any(eps < 0.0) or np.any(np.isnan(eps))):
         raise InvalidParameterError("every epsilon must be >= 0")
     return eps
+
+
+def _query_bound_stacks(
+    engine: QueryEngine, queries: Sequence
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(M, n)`` query-side bounding-interval stacks for a bound stage.
+
+    Single-query workloads (the profile path builds a fresh one-item
+    list per call) read the intervals directly so they don't churn the
+    engine's LRU with throwaway materializations; everything larger
+    goes through the engine and shares the cached stacks — in the full
+    protocol the query side *is* the collection.
+    """
+    if len(queries) == 1:
+        low, high = queries[0].bounding_intervals()
+        return low[None, :], high[None, :]
+    materialized = engine.materialize(queries)
+    return materialized.bounding_matrices()
 
 
 class Technique(abc.ABC):
@@ -207,19 +266,51 @@ class Technique(abc.ABC):
             count=len(collection),
         )
 
+    # -- the planned matrix API --------------------------------------------
+
+    def build_plan(
+        self, kind: str, tau: Optional[float] = None
+    ) -> QueryPlan:
+        """The filter-and-refine cascade for one workload ``kind``.
+
+        The default plan is a single
+        :class:`~repro.queries.planner.RefineStage` — the exact kernel
+        over every cell, exactly the pre-planner behaviour, which is
+        what keeps custom subclasses working unchanged.  Techniques
+        with sound cheap bounds prepend a ``BoundStage``; Monte Carlo
+        techniques swap the refinement for an ``AdaptiveMCStage`` when
+        the decision threshold ``tau`` is known.
+        """
+        return QueryPlan((RefineStage(),))
+
+    def matrix_with_stats(
+        self,
+        kind: str,
+        queries: Sequence,
+        collection: Sequence,
+        epsilon=None,
+        tau: Optional[float] = None,
+    ) -> Tuple[np.ndarray, PruningStats]:
+        """Execute this technique's plan over an ``(M, N)`` workload.
+
+        Returns ``(values, stats)`` — the score matrix plus the
+        executed plan's :class:`~repro.queries.planner.PruningStats`
+        (candidates decided per stage, refinements run, Monte Carlo
+        samples evaluated, per-stage wall time).
+        """
+        plan = self.build_plan(kind, tau=tau)
+        return plan.execute(
+            self, kind, queries, collection, epsilon=epsilon, tau=tau
+        )
+
     def distance_matrix(self, queries: Sequence, collection: Sequence) -> np.ndarray:
         """``(M, N)`` distances: every query row against every collection series.
 
-        The base implementation stacks :meth:`distance_profile` rows, so
-        custom techniques inherit the matrix API for free; concrete
-        distance techniques override it with an all-pairs kernel (GEMM /
-        grouped table application) that beats the row loop.
+        Executes the technique's :meth:`build_plan` cascade (for
+        distance techniques: one :meth:`distance_kernel` refine pass).
+        Use :meth:`matrix_with_stats` to also get the pruning stats.
         """
-        if len(queries) == 0:
-            return np.empty((0, len(collection)))
-        return np.vstack(
-            [self.distance_profile(query, collection) for query in queries]
-        )
+        return self.matrix_with_stats("distance", queries, collection)[0]
 
     def probability_matrix(
         self, queries: Sequence, collection: Sequence, epsilon
@@ -227,11 +318,98 @@ class Technique(abc.ABC):
         """``(M, N)`` match probabilities under per-query thresholds.
 
         ``epsilon`` is a scalar or an ``(M,)`` vector — the evaluation
-        protocol calibrates one ε per query.  Base implementation stacks
-        :meth:`probability_profile` rows; probabilistic techniques
-        override it with a kernel broadcast over the query axis.
+        protocol calibrates one ε per query.  Executes the technique's
+        plan: bound stages decide the clear hits/misses, refine stages
+        run the exact kernel on the remainder.
         """
+        return self.matrix_with_stats(
+            "probability", queries, collection, epsilon=epsilon
+        )[0]
+
+    def calibration_matrix(
+        self, queries: Sequence, collection: Sequence
+    ) -> np.ndarray:
+        """``(M, N)`` calibration distances (the ε-derivation matrix).
+
+        Always a single refine pass over :meth:`calibration_kernel`;
+        the harness reads each query's ε straight off its anchor
+        column.
+        """
+        return self.matrix_with_stats("calibration", queries, collection)[0]
+
+    # -- plan building blocks (what concrete techniques override) ----------
+
+    def matrix_bounds(
+        self, queries: Sequence, collection: Sequence
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(lower, upper)`` distance-bound stacks for a ``BoundStage``.
+
+        Bounds must hold for *every* materialization of each pair.
+        Only techniques that plan a bound stage implement this.
+        """
+        raise UnsupportedQueryError(
+            f"{self.name} does not provide matrix bounds"
+        )
+
+    def refine_matrix(
+        self,
+        kind: str,
+        queries: Sequence,
+        collection: Sequence,
+        epsilon: Optional[np.ndarray],
+        out: np.ndarray,
+        undecided: np.ndarray,
+        tau: Optional[float] = None,
+    ) -> Tuple[int, int]:
+        """Exact kernel over the surviving candidate mask.
+
+        Fills every still-``undecided`` cell of ``out`` and returns
+        ``(refined, samples_drawn)`` accounting.  The base
+        implementation evaluates the dense kernel and scatters the
+        masked cells; techniques whose refinement is per-candidate
+        (MUNICH's convolution, the Monte Carlo evaluators) override it
+        to touch only the undecided cells.
+        """
+        if kind == "distance":
+            dense = self.distance_kernel(queries, collection)
+        elif kind == "calibration":
+            dense = self.calibration_kernel(queries, collection)
+        else:
+            dense = self.probability_kernel(queries, collection, epsilon)
+        dense = np.asarray(dense, dtype=np.float64)
+        if undecided.all():
+            # No bound stage ran (or nothing was decided): plain copy
+            # instead of two boolean gathers over the full grid.
+            out[:] = dense
+            return out.size, 0
+        out[undecided] = dense[undecided]
+        return int(np.count_nonzero(undecided)), 0
+
+    def distance_kernel(
+        self, queries: Sequence, collection: Sequence
+    ) -> np.ndarray:
+        """The exact all-pairs distance kernel the refine stage runs.
+
+        Base implementation stacks :meth:`distance_profile` rows —
+        unless the subclass still overrides :meth:`distance_matrix`
+        directly (the pre-planner extension point), in which case that
+        override *is* the kernel.
+        """
+        if type(self).distance_matrix is not Technique.distance_matrix:
+            return self.distance_matrix(queries, collection)
+        if len(queries) == 0:
+            return np.empty((0, len(collection)))
+        return np.vstack(
+            [self.distance_profile(query, collection) for query in queries]
+        )
+
+    def probability_kernel(
+        self, queries: Sequence, collection: Sequence, epsilon
+    ) -> np.ndarray:
+        """The exact all-pairs probability kernel the refine stage runs."""
         eps = _epsilon_vector(epsilon, len(queries))
+        if type(self).probability_matrix is not Technique.probability_matrix:
+            return self.probability_matrix(queries, collection, eps)
         if len(queries) == 0:
             return np.empty((0, len(collection)))
         return np.vstack(
@@ -241,18 +419,19 @@ class Technique(abc.ABC):
             ]
         )
 
-    def calibration_matrix(
+    def calibration_kernel(
         self, queries: Sequence, collection: Sequence
     ) -> np.ndarray:
-        """``(M, N)`` calibration distances (the ε-derivation matrix).
+        """The exact calibration-distance kernel the refine stage runs.
 
-        For distance techniques this *is* :meth:`distance_matrix`; for
+        For distance techniques this *is* :meth:`distance_kernel`; for
         probabilistic ones it stacks :meth:`calibration_profile` rows
-        (concrete techniques override with a Euclidean GEMM).  The
-        harness reads each query's ε straight off its anchor column.
+        (concrete techniques override with a Euclidean GEMM).
         """
+        if type(self).calibration_matrix is not Technique.calibration_matrix:
+            return self.calibration_matrix(queries, collection)
         if self.kind == "distance":
-            return self.distance_matrix(queries, collection)
+            return self.distance_kernel(queries, collection)
         if len(queries) == 0:
             return np.empty((0, len(collection)))
         return np.vstack(
@@ -318,7 +497,7 @@ class EuclideanTechnique(Technique):
         matrix = self.engine.materialize(collection).values_matrix()
         return euclidean_profile(query.observations, matrix)
 
-    def distance_matrix(
+    def distance_kernel(
         self, queries: Sequence, collection: Sequence
     ) -> np.ndarray:
         """All-pairs Euclidean in one GEMM over the cached values matrices."""
@@ -394,7 +573,7 @@ class DustTechnique(Technique):
             dust_squared[cells] = table.dust_squared(differences[cells])
         return np.sqrt(dust_squared.sum(axis=1))
 
-    def distance_matrix(
+    def distance_kernel(
         self, queries: Sequence, collection: Sequence
     ) -> np.ndarray:
         """DUST lifted to the full ``(M, N, n)`` difference tensor.
@@ -532,7 +711,7 @@ class FilteredTechnique(Technique):
         )
         return euclidean_profile(self._filtered_values(query), matrix)
 
-    def distance_matrix(
+    def distance_kernel(
         self, queries: Sequence, collection: Sequence
     ) -> np.ndarray:
         """All-pairs filtered Euclidean: one GEMM over two filtered stacks."""
@@ -655,7 +834,7 @@ class ProudTechnique(Technique):
             probabilities[random] = std_normal_cdf(z)
         return probabilities
 
-    def probability_matrix(
+    def probability_kernel(
         self, queries: Sequence, collection: Sequence, epsilon
     ) -> np.ndarray:
         """PROUD's moment algebra broadcast over the query axis.
@@ -672,7 +851,7 @@ class ProudTechnique(Technique):
         if n_queries == 0:
             return np.empty((0, len(collection)))
         if self._proud.synopsis is not None:
-            return super().probability_matrix(queries, collection, eps)
+            return super().probability_kernel(queries, collection, eps)
         materialized = self.engine.materialize(collection)
         values = materialized.values_matrix()
         query_side = self.engine.materialize(queries)
@@ -729,7 +908,7 @@ class ProudTechnique(Technique):
         matrix = self.engine.materialize(collection).values_matrix()
         return euclidean_profile(query.observations, matrix)
 
-    def calibration_matrix(
+    def calibration_kernel(
         self, queries: Sequence, collection: Sequence
     ) -> np.ndarray:
         """All-pairs ε_eucl in one GEMM over the cached values matrices."""
@@ -765,7 +944,7 @@ class _MultisampleCalibration:
         matrix = self.engine.materialize(collection).sample_column_matrix(0)
         return euclidean_profile(query.samples[:, 0], matrix)
 
-    def calibration_matrix(
+    def calibration_kernel(
         self, queries: Sequence, collection: Sequence
     ) -> np.ndarray:
         """All-pairs ε_eucl in one GEMM over the column-0 sample matrices."""
@@ -840,63 +1019,57 @@ class MunichTechnique(_MultisampleCalibration, Technique):
     ) -> np.ndarray:
         """MUNICH's bounding filter vectorized over the candidate axis.
 
-        The minimal-bounding-interval bounds (Section 2.1) are computed
-        for *all* candidates in one shot from the cached interval stacks;
-        only the undecided middle — candidates whose bounds straddle ε —
-        pays the probability evaluation, batched over the whole set in
-        convolution mode.  With bounds disabled every candidate is
-        "undecided" and the behaviour matches the per-pair path exactly.
+        One single-row execution of the technique's query plan: the
+        bound stage decides the clear hits/misses from the cached
+        interval stacks, and only the undecided middle pays the
+        probability evaluation, batched over the whole set in
+        convolution mode.  With bounds disabled the plan is a single
+        refine stage and matches the per-pair path exactly.
         """
-        if epsilon < 0.0:
-            raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
-        n_series = len(collection)
-        probabilities = np.empty(n_series)
-        if self._munich.use_bounds:
-            materialized = self.engine.materialize(collection)
-            low, high = materialized.bounding_matrices()
-            query_low, query_high = query.bounding_intervals()
-            gap, span = interval_gap_and_span(low, high, query_low, query_high)
-            lower = np.sqrt((gap * gap).sum(axis=1))
-            upper = np.sqrt((span * span).sum(axis=1))
-            probabilities[lower > epsilon] = 0.0
-            probabilities[upper <= epsilon] = 1.0
-            undecided = np.flatnonzero((lower <= epsilon) & (upper > epsilon))
-        else:
-            undecided = np.arange(n_series)
-        self._evaluate_undecided(
-            query, collection, epsilon, probabilities, undecided
+        values, _ = self.matrix_with_stats(
+            "probability", [query], collection, epsilon=epsilon
         )
-        return probabilities
+        return values[0]
 
-    def probability_matrix(
-        self, queries: Sequence, collection: Sequence, epsilon
-    ) -> np.ndarray:
-        """MUNICH's bounding filter batched over the full query × candidate grid.
+    def build_plan(
+        self, kind: str, tau: Optional[float] = None
+    ) -> QueryPlan:
+        """Bound stage (when enabled) + batched refine.
 
-        The minimal-bounding-interval lower/upper distance bounds are
-        evaluated for every pair in one broadcast per query block; only
-        pairs whose bounds straddle their query's ε pay the probability
-        convolution, batched per query row over the stacked undecided
-        candidates.  ``epsilon`` may be a scalar or one threshold per
-        query.
+        With ``method="montecarlo"`` and a known decision threshold the
+        refinement runs adaptively (escalating sample rounds, sequential
+        stopping); the exact convolution/naive evaluators always refine
+        in full.
         """
-        n_queries = len(queries)
-        eps = _epsilon_vector(epsilon, n_queries)
-        n_series = len(collection)
-        if n_queries == 0:
-            return np.empty((0, n_series))
-        out = np.empty((n_queries, n_series))
-        if not self._munich.use_bounds:
-            for position, query in enumerate(queries):
-                out[position] = self.probability_profile(
-                    query, collection, float(eps[position])
-                )
-            return out
+        if kind != "probability":
+            return super().build_plan(kind, tau=tau)
+        stages: list = []
+        if self._munich.use_bounds:
+            stages.append(BoundStage())
+        if tau is not None and self._munich.method == "montecarlo":
+            stages.append(AdaptiveMCStage())
+        else:
+            stages.append(RefineStage())
+        return QueryPlan(stages)
+
+    def matrix_bounds(
+        self, queries: Sequence, collection: Sequence
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Minimal-bounding-interval distance bounds for every pair.
+
+        The per-timestamp interval gap/span arithmetic (Section 2.1) is
+        broadcast over bounded query blocks of the cached ``(N, n)``
+        interval stacks; sums run along the timestamp axis exactly as in
+        the per-row path, so the bounds are bit-identical to it.
+        """
         materialized = self.engine.materialize(collection)
         low, high = materialized.bounding_matrices()
-        query_side = self.engine.materialize(queries)
-        query_low, query_high = query_side.bounding_matrices()
+        query_low, query_high = _query_bound_stacks(self.engine, queries)
+        n_queries = len(queries)
+        n_series = len(collection)
         length = low.shape[1]
+        lower = np.empty((n_queries, n_series))
+        upper = np.empty((n_queries, n_series))
         for start, stop in _query_blocks(n_queries, n_series, length):
             gap, span = interval_gap_and_span(
                 low[None, :, :],
@@ -904,23 +1077,84 @@ class MunichTechnique(_MultisampleCalibration, Technique):
                 query_low[start:stop, None, :],
                 query_high[start:stop, None, :],
             )
-            lower = np.sqrt((gap * gap).sum(axis=2))
-            upper = np.sqrt((span * span).sum(axis=2))
-            block_eps = eps[start:stop, None]
-            block = out[start:stop]
-            block[lower > block_eps] = 0.0
-            block[upper <= block_eps] = 1.0
-            straddling = (lower <= block_eps) & (upper > block_eps)
-            for offset in np.flatnonzero(straddling.any(axis=1)):
-                query_index = start + int(offset)
-                self._evaluate_undecided(
-                    queries[query_index],
-                    collection,
-                    float(eps[query_index]),
-                    block[offset],
-                    np.flatnonzero(straddling[offset]),
+            lower[start:stop] = np.sqrt((gap * gap).sum(axis=2))
+            upper[start:stop] = np.sqrt((span * span).sum(axis=2))
+        return lower, upper
+
+    def refine_matrix(
+        self,
+        kind: str,
+        queries: Sequence,
+        collection: Sequence,
+        epsilon: Optional[np.ndarray],
+        out: np.ndarray,
+        undecided: np.ndarray,
+        tau: Optional[float] = None,
+    ) -> Tuple[int, int]:
+        """Per-row batched probability evaluation of the undecided cells."""
+        if kind != "probability":
+            return super().refine_matrix(
+                kind, queries, collection, epsilon, out, undecided, tau=tau
+            )
+        adaptive = tau is not None and self._munich.method == "montecarlo"
+        refined = 0
+        samples = 0
+        for row in np.flatnonzero(undecided.any(axis=1)):
+            columns = np.flatnonzero(undecided[row])
+            row_epsilon = float(epsilon[row])
+            if adaptive:
+                samples += self._adaptive_mc_row(
+                    queries[row], collection, columns, row_epsilon, tau,
+                    out[row],
                 )
-        return out
+            else:
+                self._evaluate_undecided(
+                    queries[row], collection, row_epsilon, out[row], columns
+                )
+                if self._munich.method == "montecarlo":
+                    samples += columns.size * self._munich.n_samples
+            refined += columns.size
+        return refined, samples
+
+    def _adaptive_mc_row(
+        self,
+        query: MultisampleUncertainTimeSeries,
+        collection: Sequence,
+        columns: np.ndarray,
+        epsilon: float,
+        tau: float,
+        out_row: np.ndarray,
+    ) -> int:
+        """Adaptive Monte Carlo refinement of one query row.
+
+        Draws the same seeded materialization pairs the fixed-``s``
+        evaluator would, but evaluates them in escalating rounds and
+        stops at the first round whose hit count already determines the
+        ``>= τ`` verdict.  Returns the number of draws evaluated.
+        """
+        n_samples = self._munich.n_samples
+        schedule = adaptive_mc_schedule(n_samples)
+        squared_threshold = epsilon * epsilon
+        evaluated_total = 0
+        for index in columns:
+            x_values, y_values = draw_materialization_pairs(
+                query, collection[index], n_samples, self._munich.rng
+            )
+            hits = 0
+            evaluated = 0
+            for target in schedule:
+                residual = x_values[evaluated:target] - y_values[evaluated:target]
+                squared = (residual**2).sum(axis=1)
+                hits += int(np.count_nonzero(squared <= squared_threshold))
+                evaluated = target
+                verdict = sequential_mc_decision(
+                    hits, evaluated, n_samples, tau
+                )
+                if verdict is not None:
+                    out_row[index] = verdict[1]
+                    break
+            evaluated_total += evaluated
+        return evaluated_total
 
 
 class DustDtwTechnique(Technique):
@@ -990,10 +1224,30 @@ def _dust_dtw_stack(
     table,
     window: Optional[int],
 ) -> np.ndarray:
-    """Banded DTW of one query against a value stack under one DUST table."""
+    """Banded DTW of one query against a value stack under one DUST table.
+
+    Long series (length ≥
+    :data:`~repro.distances.dtw_batch.ROLLING_MIN_LENGTH`) advance
+    through the rolling three-diagonal state with ``dust²`` costs
+    produced per diagonal, so neither the ``(B, n, m)`` cost tensor nor
+    the full DP state is ever materialized.
+    """
     n = query_values.size
     n_pairs, m = candidate_values.shape
     out = np.empty(n_pairs)
+    if _use_rolling_dtw(n, m):
+        for start, stop in rolling_stack_blocks(n_pairs, n, m):
+            block = candidate_values[start:stop]
+
+            def cost_fn(rows, cols, block=block):
+                return table.dust_squared(
+                    np.abs(query_values[rows][None, :] - block[:, cols])
+                )
+
+            out[start:stop] = rolling_dtw_from_cost_fn(
+                stop - start, n, m, cost_fn, window
+            )
+        return out
     for start, stop in stack_blocks(n_pairs, n, m):
         differences = np.abs(
             query_values[None, :, None]
@@ -1066,50 +1320,229 @@ class MunichDtwTechnique(_MultisampleCalibration, Technique):
         collection: Sequence,
         epsilon: float,
     ) -> np.ndarray:
-        if epsilon < 0.0:
-            raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
-        if self._munich.method == "naive":
-            # Exhaustive enumeration has no batch form; keep the per-pair
-            # path (tiny inputs only by construction).
-            return super().probability_profile(query, collection, epsilon)
-        n_series = len(collection)
-        probabilities = np.empty(n_series)
-        materialized = self.engine.materialize(collection)
-        envelopes = materialized.dtw_envelopes(self.window)
+        """One single-row execution of the technique's query plan."""
+        values, _ = self.matrix_with_stats(
+            "probability", [query], collection, epsilon=epsilon
+        )
+        return values[0]
+
+    def build_plan(
+        self, kind: str, tau: Optional[float] = None
+    ) -> QueryPlan:
+        """Slack-guarded envelope bound stage + Monte Carlo refinement.
+
+        With a known decision threshold the Monte Carlo refinement runs
+        adaptively (the tentpole's early-stopping path); exhaustive
+        enumeration (``method="naive"``) keeps the plain refine plan.
+        """
+        if kind != "probability" or self._munich.method == "naive":
+            return super().build_plan(kind, tau=tau)
+        stages: list = []
         if self.use_bounds:
-            query_low, query_high = query.bounding_intervals()
-            env_lower, env_upper = envelopes
+            stages.append(BoundStage(slack=PRUNE_SLACK))
+        if tau is not None:
+            stages.append(AdaptiveMCStage())
+        else:
+            stages.append(RefineStage())
+        return QueryPlan(stages)
+
+    def matrix_bounds(
+        self, queries: Sequence, collection: Sequence
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Envelope lower bounds and interval-span upper bounds per pair.
+
+        * **lower** — LB_Keogh overshoot of each query's bounding
+          interval against the candidate's band-inflated envelope stack
+          (cached per window): no materialization of the pair can align
+          closer, so exceeding ε means probability 0.
+        * **upper** — the diagonal-path interval span: the band always
+          contains the diagonal for equal lengths, so every
+          materialization pair stays within it — clearing ε means
+          probability 1.
+        """
+        materialized = self.engine.materialize(collection)
+        env_lower, env_upper = materialized.dtw_envelopes(self.window)
+        low, high = materialized.bounding_matrices()
+        query_low, query_high = _query_bound_stacks(self.engine, queries)
+        n_queries = len(queries)
+        n_series = len(collection)
+        length = low.shape[1]
+        lower = np.empty((n_queries, n_series))
+        upper = np.empty((n_queries, n_series))
+        for start, stop in _query_blocks(n_queries, n_series, length):
+            block_low = query_low[start:stop, None, :]
+            block_high = query_high[start:stop, None, :]
             gap = np.maximum(
-                query_low[None, :] - env_upper, env_lower - query_high[None, :]
+                block_low - env_upper[None, :, :],
+                env_lower[None, :, :] - block_high,
             )
             np.maximum(gap, 0.0, out=gap)
-            lower = np.sqrt((gap * gap).sum(axis=1))
-            low, high = materialized.bounding_matrices()
+            lower[start:stop] = np.sqrt((gap * gap).sum(axis=2))
             _, span = interval_gap_and_span(
-                low, high, query_low[None, :], query_high[None, :]
+                low[None, :, :], high[None, :, :], block_low, block_high
             )
-            upper = np.sqrt((span * span).sum(axis=1))
-            guard_hi = epsilon * (1.0 + PRUNE_SLACK)
-            guard_lo = epsilon * (1.0 - PRUNE_SLACK)
-            probabilities[lower > guard_hi] = 0.0
-            probabilities[upper <= guard_lo] = 1.0
-            undecided = np.flatnonzero(
-                (lower <= guard_hi) & (upper > guard_lo)
+            upper[start:stop] = np.sqrt((span * span).sum(axis=2))
+        return lower, upper
+
+    def refine_matrix(
+        self,
+        kind: str,
+        queries: Sequence,
+        collection: Sequence,
+        epsilon: Optional[np.ndarray],
+        out: np.ndarray,
+        undecided: np.ndarray,
+        tau: Optional[float] = None,
+    ) -> Tuple[int, int]:
+        """Seeded Monte Carlo refinement of the undecided cells.
+
+        Every undecided pair draws its full seeded materialization
+        stack; with ``tau`` given the stack is evaluated in escalating
+        rounds through the DTW pruning cascade and stops at the first
+        round whose hit count settles the ``>= τ`` verdict, otherwise
+        the whole stack is evaluated (the fixed-``s`` path, exact
+        per-pair parity).
+        """
+        if kind != "probability":
+            return super().refine_matrix(
+                kind, queries, collection, epsilon, out, undecided, tau=tau
             )
-        else:
-            undecided = np.arange(n_series)
-        env_lower, env_upper = envelopes
-        for index in undecided:
-            candidate = collection[index]
+        refined = 0
+        samples = 0
+        if self._munich.method == "naive":
+            # Exhaustive enumeration has no batch form; per-pair path
+            # (tiny inputs only by construction).
+            for row in np.flatnonzero(undecided.any(axis=1)):
+                for index in np.flatnonzero(undecided[row]):
+                    out[row, index] = self.probability(
+                        queries[row], collection[index], float(epsilon[row])
+                    )
+                    refined += 1
+            return refined, 0
+        materialized = self.engine.materialize(collection)
+        envelopes = materialized.dtw_envelopes(self.window)
+        n_samples = self._munich.n_samples
+        length = max(1, len(collection[0]) if len(collection) else 1)
+        cell_block = max(1, MC_BATCH_ELEMENTS // (n_samples * length))
+        # Row-major cell order — identical to the per-pair path, so
+        # seeded streams line up draw for draw.
+        cell_rows, cell_cols = np.nonzero(undecided)
+        for start in range(0, cell_rows.size, cell_block):
+            rows = cell_rows[start:start + cell_block]
+            cols = cell_cols[start:start + cell_block]
+            if tau is None:
+                samples += self._mc_fixed_cells(
+                    queries, collection, rows, cols, epsilon, envelopes,
+                    out,
+                )
+            else:
+                samples += self._mc_adaptive_cells(
+                    queries, collection, rows, cols, epsilon, tau,
+                    envelopes, out,
+                )
+            refined += rows.size
+        return refined, samples
+
+    def _draw_cells(self, queries, collection, rows, cols):
+        """Seeded draw stacks for a batch of ``(row, col)`` cells.
+
+        One :func:`draw_materialization_pairs` call per cell, in cell
+        order — exactly the per-pair evaluator's consumption pattern,
+        so a seeded technique materializes identical draws.
+        """
+        x_parts = []
+        y_parts = []
+        for row, col in zip(rows, cols):
             x_values, y_values = draw_materialization_pairs(
-                query, candidate, self._munich.n_samples, self._munich.rng
+                queries[row],
+                collection[col],
+                self._munich.n_samples,
+                self._munich.rng,
             )
-            hits = dtw_hits_paired(
-                x_values,
-                y_values,
-                epsilon,
+            x_parts.append(x_values)
+            y_parts.append(y_values)
+        return x_parts, y_parts
+
+    def _mc_fixed_cells(
+        self, queries, collection, rows, cols, epsilon, envelopes, out
+    ) -> int:
+        """Full-``s`` Monte Carlo for a cell batch, one stacked cascade.
+
+        All cells' draw stacks advance through one
+        :func:`~repro.distances.dtw_batch.dtw_hits_paired` call —
+        per-row envelope stacks pair each draw with its candidate's
+        envelope, and the per-row ε vector pairs it with its query's
+        threshold.  Per-row verdicts are independent, so the per-cell
+        hit fractions are bit-identical to evaluating each cell alone.
+        """
+        env_lower, env_upper = envelopes
+        n_samples = self._munich.n_samples
+        x_parts, y_parts = self._draw_cells(queries, collection, rows, cols)
+        hits = dtw_hits_paired(
+            np.concatenate(x_parts),
+            np.concatenate(y_parts),
+            np.repeat(epsilon[rows], n_samples),
+            window=self.window,
+            envelope=(
+                np.repeat(env_lower[cols], n_samples, axis=0),
+                np.repeat(env_upper[cols], n_samples, axis=0),
+            ),
+        )
+        out[rows, cols] = hits.reshape(rows.size, n_samples).mean(axis=1)
+        return rows.size * n_samples
+
+    def _mc_adaptive_cells(
+        self, queries, collection, rows, cols, epsilon, tau, envelopes, out
+    ) -> int:
+        """Adaptive Monte Carlo for a cell batch (sequential stopping).
+
+        The same seeded draws as :meth:`_mc_fixed_cells`, evaluated in
+        geometrically escalating rounds; each round stacks the
+        still-active cells' next draw chunks through one cascade call,
+        then :func:`~repro.queries.planner.sequential_mc_decision`
+        retires every cell whose ``>= τ`` verdict is already
+        determined.  Returns the number of draws actually evaluated.
+        """
+        env_lower, env_upper = envelopes
+        n_samples = self._munich.n_samples
+        schedule = adaptive_mc_schedule(n_samples)
+        x_parts, y_parts = self._draw_cells(queries, collection, rows, cols)
+        hit_counts = np.zeros(rows.size, dtype=np.intp)
+        active = np.arange(rows.size)
+        evaluated = 0
+        total = 0
+        for target in schedule:
+            if active.size == 0:
+                break
+            chunk = target - evaluated
+            x_stack = np.concatenate(
+                [x_parts[i][evaluated:target] for i in active]
+            )
+            y_stack = np.concatenate(
+                [y_parts[i][evaluated:target] for i in active]
+            )
+            chunk_cols = cols[active]
+            chunk_hits = dtw_hits_paired(
+                x_stack,
+                y_stack,
+                np.repeat(epsilon[rows[active]], chunk),
                 window=self.window,
-                envelope=(env_lower[index], env_upper[index]),
-            )
-            probabilities[index] = float(np.mean(hits))
-        return probabilities
+                envelope=(
+                    np.repeat(env_lower[chunk_cols], chunk, axis=0),
+                    np.repeat(env_upper[chunk_cols], chunk, axis=0),
+                ),
+            ).reshape(active.size, chunk)
+            hit_counts[active] += chunk_hits.sum(axis=1)
+            total += active.size * chunk
+            evaluated = target
+            survivors = []
+            for i in active:
+                verdict = sequential_mc_decision(
+                    int(hit_counts[i]), evaluated, n_samples, tau
+                )
+                if verdict is None:
+                    survivors.append(i)
+                else:
+                    out[rows[i], cols[i]] = verdict[1]
+            active = np.asarray(survivors, dtype=np.intp)
+        return total

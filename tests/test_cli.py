@@ -105,3 +105,24 @@ class TestExecution:
         # Strip the timing suffix, which varies run to run.
         strip = lambda s: s.rsplit("[", 1)[0]  # noqa: E731
         assert strip(a) == strip(b)
+
+
+class TestStatsFlag:
+    @pytest.fixture()
+    def reset_stats_log(self):
+        from repro.evaluation import harness
+
+        yield
+        harness._stats_log = None
+
+    def test_stats_prints_pruning_summaries(self, reset_stats_log, capsys):
+        assert main(["fig11", "--scale", "tiny", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "pruning statistics" in out
+        assert "refine" in out
+        assert "decided" in out
+
+    def test_no_stats_block_without_flag(self, reset_stats_log, capsys):
+        assert main(["fig11", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "pruning statistics" not in out

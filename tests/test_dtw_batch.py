@@ -20,6 +20,7 @@ from repro.core import (
 )
 from repro.datasets import generate_dataset
 from repro.distances import (
+    ROLLING_MIN_LENGTH,
     banded_dtw_from_costs,
     dtw_distance,
     dtw_distance_matrix,
@@ -32,6 +33,9 @@ from repro.distances import (
     lb_keogh_stack,
     lb_kim,
     lb_kim_paired,
+    rolling_dtw_from_cost_fn,
+    rolling_dtw_paired,
+    rolling_dtw_stack,
 )
 from repro.distributions import NormalError, UniformError
 from repro.dust import Dust
@@ -473,3 +477,95 @@ class TestShardParity:
                 exclude=np.arange(len(pdf), dtype=np.intp),
             )
         assert np.array_equal(indices, expected)
+
+
+class TestRollingDiagonalKernel:
+    """The O(B·n) three-diagonal state vs the full-state wavefront."""
+
+    @pytest.mark.parametrize(
+        "n,m,window",
+        [(7, 7, None), (9, 9, 2), (6, 10, None), (12, 8, 5), (1, 1, None)],
+    )
+    def test_bit_identical_to_full_state(self, n, m, window):
+        rng = np.random.default_rng(17)
+        x = rng.normal(size=(5, n))
+        y = rng.normal(size=(5, m))
+        costs = (x[:, :, None] - y[:, None, :]) ** 2
+        reference = banded_dtw_from_costs(costs, window)
+        rolled = rolling_dtw_paired(x, y, window=window)
+        assert np.array_equal(reference, rolled)
+
+    def test_stack_form_matches(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=11)
+        candidates = rng.normal(size=(6, 11))
+        assert np.array_equal(
+            rolling_dtw_stack(x, candidates, window=3),
+            np.array([dtw_distance(x, row, window=3) for row in candidates]),
+        )
+
+    def test_bit_identical_to_per_pair_at_long_length(self):
+        # The public paired entry point always runs the rolling kernel;
+        # spot-check a long pair (where the full state would be at its
+        # most expensive) against the per-pair Python DP.
+        rng = np.random.default_rng(5)
+        length = ROLLING_MIN_LENGTH
+        x = rng.normal(size=(1, length))
+        y = rng.normal(size=(1, length))
+        rolled = dtw_distance_paired(x, y, window=8)
+        assert rolled[0] == dtw_distance(x[0], y[0], window=8)
+
+    def test_auto_selection_threshold(self):
+        from repro.distances.dtw_batch import _use_rolling
+
+        assert not _use_rolling(
+            ROLLING_MIN_LENGTH - 1, ROLLING_MIN_LENGTH - 1
+        )
+        assert _use_rolling(ROLLING_MIN_LENGTH, 4)
+        assert _use_rolling(4, ROLLING_MIN_LENGTH)
+
+    def test_empty_series_raises(self):
+        with pytest.raises(InvalidParameterError):
+            rolling_dtw_from_cost_fn(1, 0, 4, lambda rows, cols: None)
+
+    def test_empty_stack_short_circuits(self):
+        def cost_fn(rows, cols):  # pragma: no cover - never called
+            raise AssertionError("no pairs, no costs")
+
+        assert rolling_dtw_from_cost_fn(0, 4, 4, cost_fn).shape == (0,)
+
+    def test_cost_fn_form_supports_custom_costs(self):
+        # The generic entry point reproduces squared-difference DTW when
+        # handed the same per-diagonal costs.
+        rng = np.random.default_rng(23)
+        x = rng.normal(size=(3, 9))
+        y = rng.normal(size=(3, 9))
+
+        def cost_fn(rows, cols):
+            residual = x[:, rows] - y[:, cols]
+            return residual * residual
+
+        rolled = rolling_dtw_from_cost_fn(3, 9, 9, cost_fn, window=2)
+        reference = dtw_distance_paired(x, y, window=2)
+        assert np.array_equal(rolled, reference)
+
+    def test_dust_dtw_profile_long_series_parity(self):
+        # DUST-DTW's stacked kernel takes the rolling path for long
+        # series; verify against the per-pair anchor on a small stack.
+        exact = generate_dataset(
+            "GunPoint", seed=29, n_series=3, length=ROLLING_MIN_LENGTH
+        )
+        scenario = ConstantScenario("normal", 0.4)
+        pdf = [
+            scenario.apply(series, spawn(29, "pdf", index))
+            for index, series in enumerate(exact)
+        ]
+        technique = DustDtwTechnique(window=6)
+        profile = technique.distance_profile(pdf[0], pdf)
+        expected = np.array(
+            [
+                technique.dust.dtw_distance(pdf[0], candidate, window=6)
+                for candidate in pdf
+            ]
+        )
+        assert np.array_equal(profile, expected)
