@@ -17,8 +17,8 @@ read as hardware speed, while a *single* kernel regressing against the
 rest still trips the gate.  The scale never drops below 1, so a faster
 runner is not held to a tighter bar; pass ``--no-normalize`` for raw
 absolute comparison.  Any correctness flag carried by the fresh payload
-(``f1_parity`` / ``parity`` / ``knn_merge`` / ``mmap``) failing is
-always fatal.
+(``f1_parity`` / ``parity`` / ``knn_merge`` / ``mmap`` / ``index``)
+failing is always fatal.
 
 The baselines live in ``benchmarks/baselines/`` and were generated with
 the same deterministic seeds the benchmarks hard-code, so a rerun on
@@ -61,6 +61,9 @@ def _correctness_failures(payload: Dict) -> List[str]:
     mmap_check = payload.get("mmap")
     if mmap_check is not None and not mmap_check.get("parity_ok", True):
         failures.append("mmap.parity_ok is false")
+    index = payload.get("index")
+    if index is not None and not index.get("all_ok", True):
+        failures.append("index.all_ok is false")
     return failures
 
 

@@ -26,8 +26,10 @@ from .core import (
     ErrorModel,
     MappedCollection,
     MultisampleUncertainTimeSeries,
+    StreamingCollectionWriter,
     TimeSeries,
     UncertainTimeSeries,
+    build_index,
     load_collection,
     make_rng,
     resample,
@@ -41,6 +43,7 @@ from .datasets import (
     UCR_SPECS,
     generate_dataset,
     load_ucr_directory,
+    stream_fourier_collection,
 )
 from .distances import (
     FilteredEuclidean,
@@ -96,7 +99,9 @@ from .queries import (
     SimilaritySession,
     StageStats,
     Technique,
+    index_enabled,
     knn_query,
+    set_index_enabled,
     knn_table,
     knn_technique_query,
     probabilistic_range_query,
@@ -109,6 +114,7 @@ __all__ = [
     "ErrorModel", "Collection", "znormalize", "resample", "truncate",
     "make_rng", "spawn",
     "MappedCollection", "save_collection", "load_collection",
+    "StreamingCollectionWriter", "build_index",
     # distributions
     "NormalError", "UniformError", "ExponentialError", "MixtureError",
     "make_distribution", "with_tails",
@@ -128,11 +134,12 @@ __all__ = [
     "QueryEngine", "SimilaritySession", "QuerySet", "MatrixResult",
     "KnnResult", "RangeResult", "ShardedExecutor",
     "QueryPlan", "PruningStats", "StageStats",
+    "index_enabled", "set_index_enabled",
     "range_query", "probabilistic_range_query", "knn_query", "knn_table",
     "knn_technique_query",
     # datasets
     "generate_dataset", "load_ucr_directory", "UCR_SPECS",
-    "PAPER_DATASET_NAMES",
+    "PAPER_DATASET_NAMES", "stream_fourier_collection",
     # evaluation
     "run_similarity_experiment", "ExperimentResult", "score_result_set",
     "mean_with_ci",

@@ -153,8 +153,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="after each figure, print the query planner's pruning "
-        "statistics (candidates decided per stage, refinements run, "
-        "Monte Carlo samples evaluated, per-stage wall time)",
+        "statistics (candidates decided per stage, visited/skipped "
+        "cells, index selectivity, refinements run, Monte Carlo "
+        "samples evaluated, per-stage wall time)",
+    )
+    parser.add_argument(
+        "--no-index",
+        action="store_true",
+        help="disable the PAA summarization-index stage (escape hatch: "
+        "every plan scans all candidates, as before PR 6)",
     )
     parser.add_argument(
         "--out",
@@ -225,6 +232,11 @@ def main(argv=None) -> int:
         from .evaluation.harness import set_default_workers
 
         set_default_workers(args.workers)
+
+    if args.no_index:
+        from .queries.index import set_index_enabled
+
+        set_index_enabled(False)
 
     if args.stats:
         from .evaluation.harness import enable_stats_log

@@ -24,11 +24,23 @@ from .mmapio import (
     MANIFEST_NAME,
     MappedCollection,
     MappedCollectionError,
+    StreamingCollectionWriter,
+    build_index,
     load_collection,
     save_collection,
 )
 from .rng import DEFAULT_SEED, child_seeds, make_rng, spawn
 from .series import TimeSeries, as_values
+from .summaries import (
+    DEFAULT_SEGMENTS,
+    IntervalSummary,
+    PointSummary,
+    interval_lower_bound,
+    paa_lower_bound,
+    paa_upper_bound,
+    summarize_intervals,
+    summarize_values,
+)
 from .uncertain import (
     ErrorModel,
     MultisampleUncertainTimeSeries,
@@ -45,7 +57,17 @@ __all__ = [
     "MappedCollectionError",
     "save_collection",
     "load_collection",
+    "build_index",
+    "StreamingCollectionWriter",
     "MANIFEST_NAME",
+    "DEFAULT_SEGMENTS",
+    "PointSummary",
+    "IntervalSummary",
+    "summarize_values",
+    "summarize_intervals",
+    "paa_lower_bound",
+    "paa_upper_bound",
+    "interval_lower_bound",
     "as_values",
     "znormalize",
     "znormalize_values",

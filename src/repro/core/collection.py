@@ -31,16 +31,26 @@ class Collection(Generic[ItemT]):
 
     __slots__ = ("_items", "name")
 
-    def __init__(self, items: Iterable[ItemT], name: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        items: Iterable[ItemT],
+        name: Optional[str] = None,
+        *,
+        _validated: bool = False,
+    ) -> None:
         self._items: List[ItemT] = list(items)
         if not self._items:
             raise InvalidSeriesError("a collection must contain at least one series")
-        lengths = {len(item) for item in self._items}
-        if len(lengths) != 1:
-            raise InvalidSeriesError(
-                f"all series in a collection must share one length, "
-                f"got {sorted(lengths)}"
-            )
+        # ``_validated`` is an internal escape hatch for views over items
+        # that already passed this check (e.g. MappedCollection.shard):
+        # the O(N) length scan would otherwise dominate blocked scans.
+        if not _validated:
+            lengths = {len(item) for item in self._items}
+            if len(lengths) != 1:
+                raise InvalidSeriesError(
+                    f"all series in a collection must share one length, "
+                    f"got {sorted(lengths)}"
+                )
         self.name = name
 
     def __len__(self) -> int:

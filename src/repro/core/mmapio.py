@@ -246,6 +246,10 @@ class MappedCollection(Collection):
     :class:`~repro.queries.parallel.ShardedExecutor`.
     """
 
+    #: The item list is fixed at load time and the maps are read-only:
+    #: engine materializations may skip their per-item snapshot scan.
+    immutable_items = True
+
     __slots__ = (
         "manifest_path",
         "mmap_mode",
@@ -253,6 +257,7 @@ class MappedCollection(Collection):
         "mapped_values",
         "mapped_variances",
         "mapped_samples",
+        "mapped_index",
         "_shard_range",
     )
 
@@ -268,14 +273,17 @@ class MappedCollection(Collection):
         mapped_samples: Optional[np.ndarray],
         shard_range: Tuple[int, int],
         name: Optional[str] = None,
+        mapped_index: Optional[Dict] = None,
+        _validated: bool = False,
     ) -> None:
-        super().__init__(items, name=name)
+        super().__init__(items, name=name, _validated=_validated)
         self.manifest_path = manifest_path
         self.mmap_mode = mmap_mode
         self.kind = kind
         self.mapped_values = mapped_values
         self.mapped_variances = mapped_variances
         self.mapped_samples = mapped_samples
+        self.mapped_index = mapped_index
         self._shard_range = shard_range
 
     @property
@@ -306,6 +314,13 @@ class MappedCollection(Collection):
         def _sliced(matrix: Optional[np.ndarray]) -> Optional[np.ndarray]:
             return None if matrix is None else matrix[start:stop]
 
+        index = None
+        if self.mapped_index is not None:
+            index = {
+                key: (table if key == "segments" else table[start:stop])
+                for key, table in self.mapped_index.items()
+            }
+
         return MappedCollection(
             self._items[start:stop],
             manifest_path=self.manifest_path,
@@ -316,6 +331,8 @@ class MappedCollection(Collection):
             mapped_samples=_sliced(self.mapped_samples),
             shard_range=(offset + start, offset + stop),
             name=self.name,
+            mapped_index=index,
+            _validated=True,
         )
 
     def __reduce__(self):
@@ -368,10 +385,7 @@ def load_collection(
 
     directory = os.path.dirname(manifest_path)
 
-    def _open(array_name: str) -> Optional[np.ndarray]:
-        file_name = manifest["arrays"].get(array_name)
-        if file_name is None:
-            return None
+    def _open_file(file_name: str) -> np.ndarray:
         array = np.load(
             os.path.join(directory, file_name), mmap_mode=mmap_mode
         )
@@ -383,6 +397,12 @@ def load_collection(
                 array = array.copy()
             array.setflags(write=False)
         return array
+
+    def _open(array_name: str) -> Optional[np.ndarray]:
+        file_name = manifest["arrays"].get(array_name)
+        if file_name is None:
+            return None
+        return _open_file(file_name)
 
     kind = manifest.get("kind")
     n_series = manifest["n_series"]
@@ -442,6 +462,19 @@ def load_collection(
             f"unknown collection kind {kind!r} in {manifest_path!r}"
         )
 
+    mapped_index: Optional[Dict] = None
+    index_spec = manifest.get("index")
+    if index_spec:
+        mapped_index = {"segments": int(index_spec["segments"])}
+        for key, file_name in index_spec["arrays"].items():
+            table = _open_file(file_name)
+            if table.shape[0] != n_series:
+                raise MappedCollectionError(
+                    f"index table {file_name!r} has {table.shape[0]} rows "
+                    f"for {n_series} series"
+                )
+            mapped_index[key] = table
+
     return MappedCollection(
         items,
         manifest_path=manifest_path,
@@ -452,6 +485,7 @@ def load_collection(
         mapped_samples=samples,
         shard_range=(0, n_series),
         name=manifest.get("name"),
+        mapped_index=mapped_index,
     )
 
 
@@ -463,3 +497,237 @@ def _load_shard(
     if (start, stop) == collection.shard_range:
         return collection
     return collection.shard(start, stop)
+
+
+# ---------------------------------------------------------------------------
+# Streaming writes and index construction
+# ---------------------------------------------------------------------------
+
+
+class StreamingCollectionWriter:
+    """Write an exact-kind collection chunk by chunk, straight to the map.
+
+    ``save_collection`` stacks every series in RAM before writing — fine
+    for the paper-scale datasets, impossible for the 10⁶-series
+    scalability collections.  The streaming writer pre-allocates
+    ``values.npy`` as a writeable memory map and lets a generator
+    :meth:`append` row chunks into it; no more than one chunk is ever
+    resident.  :meth:`finalize` (or a clean ``with`` exit) validates the
+    row count and writes the manifest — until then the directory holds
+    no manifest and cannot be opened by :func:`load_collection`.
+
+    Only the ``exact`` kind streams: pdf/multisample collections carry
+    per-series error metadata that the paper-scale experiments build in
+    memory anyway (:func:`save_collection`).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        n_series: int,
+        length: int,
+        name: Optional[str] = None,
+    ) -> None:
+        if n_series < 1:
+            raise InvalidParameterError(
+                f"n_series must be >= 1, got {n_series}"
+            )
+        if length < 1:
+            raise InvalidParameterError(f"length must be >= 1, got {length}")
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.n_series = int(n_series)
+        self.length = int(length)
+        self.name = name
+        self._values: Optional[np.ndarray] = np.lib.format.open_memmap(
+            os.path.join(directory, "values.npy"),
+            mode="w+",
+            dtype=np.float64,
+            shape=(self.n_series, self.length),
+        )
+        self._row = 0
+        self.manifest_path: Optional[str] = None
+
+    @property
+    def rows_written(self) -> int:
+        """Rows appended so far."""
+        return self._row
+
+    def append(self, chunk: np.ndarray) -> None:
+        """Write the next ``(rows, length)`` value chunk into the map."""
+        if self._values is None:
+            raise InvalidParameterError(
+                "writer is finalized; no further chunks accepted"
+            )
+        chunk = np.atleast_2d(np.asarray(chunk, dtype=np.float64))
+        if chunk.ndim != 2 or chunk.shape[1] != self.length:
+            raise InvalidParameterError(
+                f"chunk must be (rows, {self.length}), got shape "
+                f"{chunk.shape}"
+            )
+        if not np.all(np.isfinite(chunk)):
+            raise InvalidSeriesError("chunk values must be finite")
+        stop = self._row + chunk.shape[0]
+        if stop > self.n_series:
+            raise InvalidParameterError(
+                f"chunk overflows the declared {self.n_series} series "
+                f"(rows {self._row}:{stop})"
+            )
+        self._values[self._row:stop] = chunk
+        self._row = stop
+
+    def finalize(self) -> str:
+        """Flush the map, write the manifest; returns the manifest path."""
+        if self._values is None:
+            return self.manifest_path
+        if self._row != self.n_series:
+            raise InvalidParameterError(
+                f"wrote {self._row} of the declared {self.n_series} series"
+            )
+        self._values.flush()
+        self._values = None
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "version": MANIFEST_VERSION,
+            "kind": "exact",
+            "n_series": self.n_series,
+            "length": self.length,
+            "name": self.name,
+            "labels": None,
+            "series_names": None,
+            "arrays": {"values": "values.npy"},
+        }
+        self.manifest_path = os.path.join(self.directory, MANIFEST_NAME)
+        with open(self.manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+            handle.write("\n")
+        return self.manifest_path
+
+    def __enter__(self) -> "StreamingCollectionWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.finalize()
+        else:
+            self._values = None  # drop the map; leave no manifest behind
+
+
+def build_index(
+    path: str,
+    n_segments: Optional[int] = None,
+    chunk_rows: int = 65536,
+) -> str:
+    """Build the PAA summarization-index tables of a saved collection.
+
+    Streams the mapped matrices chunk by chunk (never more than
+    ``chunk_rows`` rows resident), writes the per-kind index tables next
+    to the manifest, and records them under the manifest's ``"index"``
+    key so :func:`load_collection` re-opens them zero-copy:
+
+    * exact / pdf — ``index_means.npy`` (``(N, S)`` segment means of the
+      point estimates) + ``index_residuals.npy`` (``(N,)`` PAA
+      reconstruction residual norms): the Euclidean-family geometry;
+    * multisample — ``index_low_means.npy`` / ``index_high_means.npy``
+      (``(N, S)`` segment means of the per-timestamp sample min/max
+      envelopes): MUNICH's interval geometry.
+
+    Returns the manifest path.  Rebuilding with a different segment
+    count overwrites the previous tables.
+    """
+    from .summaries import (
+        DEFAULT_SEGMENTS,
+        effective_segments,
+        residual_norms,
+        segment_means,
+        segment_widths,
+    )
+
+    if chunk_rows < 1:
+        raise InvalidParameterError(
+            f"chunk_rows must be >= 1, got {chunk_rows}"
+        )
+    if n_segments is None:
+        n_segments = DEFAULT_SEGMENTS
+    manifest_path = _resolve_manifest(path)
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise MappedCollectionError(
+            f"{manifest_path!r} is not a {MANIFEST_FORMAT} manifest"
+        )
+    directory = os.path.dirname(manifest_path)
+    kind = manifest.get("kind")
+    n_series = manifest["n_series"]
+    length = manifest["length"]
+    n_segments = effective_segments(n_segments, length)
+
+    def _table(file_name: str, shape: Tuple[int, ...]) -> np.ndarray:
+        return np.lib.format.open_memmap(
+            os.path.join(directory, file_name),
+            mode="w+",
+            dtype=np.float64,
+            shape=shape,
+        )
+
+    arrays: Dict[str, str] = {}
+    if kind == "multisample":
+        samples = np.load(
+            os.path.join(directory, manifest["arrays"]["samples"]),
+            mmap_mode="r",
+        )
+        low_means = _table("index_low_means.npy", (n_series, n_segments))
+        high_means = _table("index_high_means.npy", (n_series, n_segments))
+        for start in range(0, n_series, chunk_rows):
+            stop = min(start + chunk_rows, n_series)
+            block = np.asarray(samples[start:stop])
+            low_means[start:stop] = segment_means(
+                block.min(axis=2), n_segments
+            )
+            high_means[start:stop] = segment_means(
+                block.max(axis=2), n_segments
+            )
+        low_means.flush()
+        high_means.flush()
+        arrays = {
+            "low_means": "index_low_means.npy",
+            "high_means": "index_high_means.npy",
+        }
+    elif kind in ("exact", "pdf"):
+        values = np.load(
+            os.path.join(directory, manifest["arrays"]["values"]),
+            mmap_mode="r",
+        )
+        means = _table("index_means.npy", (n_series, n_segments))
+        residuals = _table("index_residuals.npy", (n_series,))
+        norms = _table("index_norms.npy", (n_series,))
+        widths = segment_widths(length, n_segments)
+        for start in range(0, n_series, chunk_rows):
+            stop = min(start + chunk_rows, n_series)
+            block = np.asarray(values[start:stop])
+            chunk_means = segment_means(block, n_segments)
+            means[start:stop] = chunk_means
+            residuals[start:stop] = residual_norms(
+                block, n_segments, means=chunk_means
+            )
+            norms[start:stop] = np.einsum(
+                "js,s,js->j", chunk_means, widths, chunk_means
+            )
+        means.flush()
+        residuals.flush()
+        norms.flush()
+        arrays = {
+            "means": "index_means.npy",
+            "residuals": "index_residuals.npy",
+            "norms": "index_norms.npy",
+        }
+    else:
+        raise MappedCollectionError(
+            f"unknown collection kind {kind!r} in {manifest_path!r}"
+        )
+
+    manifest["index"] = {"segments": int(n_segments), "arrays": arrays}
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+        handle.write("\n")
+    return manifest_path

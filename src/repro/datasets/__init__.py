@@ -12,9 +12,11 @@ from .base import (
 from .generators import (
     control_chart,
     cylinder_bell_funnel,
+    fourier_chunk,
     fourier_template,
     smooth_warp,
     spike_train,
+    stream_fourier_collection,
     warped_instance,
 )
 from .loaders import load_ucr_directory, load_ucr_file, parse_ucr_line
@@ -32,7 +34,9 @@ __all__ = [
     "parse_ucr_line",
     "cylinder_bell_funnel",
     "control_chart",
+    "fourier_chunk",
     "fourier_template",
+    "stream_fourier_collection",
     "smooth_warp",
     "warped_instance",
     "spike_train",

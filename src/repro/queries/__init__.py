@@ -23,12 +23,19 @@ from .engine import (
     CollectionMaterialization,
     QueryEngine,
 )
+from .index import (
+    IndexStage,
+    index_enabled,
+    knn_candidate_thresholds,
+    set_index_enabled,
+)
 from .knn import (
     euclidean_knn_table,
     knn_indices,
     knn_query,
     knn_table,
     knn_technique_query,
+    sparse_knn_table,
 )
 from .parallel import (
     BACKENDS,
@@ -94,6 +101,10 @@ __all__ = [
     "RangeResult",
     "QueryPlan",
     "PlanStage",
+    "IndexStage",
+    "index_enabled",
+    "set_index_enabled",
+    "knn_candidate_thresholds",
     "BoundStage",
     "RefineStage",
     "AdaptiveMCStage",
@@ -115,6 +126,7 @@ __all__ = [
     "result_set_from_scores",
     "knn_indices",
     "knn_table",
+    "sparse_knn_table",
     "knn_query",
     "knn_technique_query",
     "euclidean_knn_table",

@@ -81,6 +81,7 @@ class CollectionMaterialization:
 
     __slots__ = (
         "collection",
+        "_frozen",
         "_items",
         "_values",
         "_variances",
@@ -90,6 +91,7 @@ class CollectionMaterialization:
         "_bounds",
         "_samples_tensor",
         "_envelopes",
+        "_summaries",
     )
 
     def __init__(self, collection: Sequence) -> None:
@@ -100,6 +102,7 @@ class CollectionMaterialization:
         # collection in place (append / replace / remove) is detected and
         # the engine rebuilds instead of serving stale arrays.
         self._items = list(collection)
+        self._frozen = bool(getattr(collection, "immutable_items", False))
         self._values: np.ndarray = None
         self._variances: np.ndarray = None
         self._filtered: Dict[Hashable, np.ndarray] = {}
@@ -108,6 +111,7 @@ class CollectionMaterialization:
         self._bounds: Tuple[np.ndarray, np.ndarray] = None
         self._samples_tensor: np.ndarray = None
         self._envelopes: Dict[Optional[int], Tuple[np.ndarray, np.ndarray]] = {}
+        self._summaries: Dict[Hashable, object] = {}
 
     def __len__(self) -> int:
         return len(self.collection)
@@ -122,6 +126,11 @@ class CollectionMaterialization:
         """
         if len(self.collection) != len(self._items):
             return False
+        if self._frozen:
+            # Mapped collections declare their item list immutable
+            # (``immutable_items``): the maps are read-only views, so the
+            # O(N) identity scan — measurable at 10^6 series — is skipped.
+            return True
         return all(
             item is snapshot
             for item, snapshot in zip(self.collection, self._items)
@@ -287,6 +296,114 @@ class CollectionMaterialization:
                     highs.append(high)
                 self._bounds = (_stack(lows), _stack(highs))
         return self._bounds
+
+    def _mapped_index(self, n_segments: int) -> Optional[Dict]:
+        """The collection's persisted index tables, when geometry matches.
+
+        :func:`~repro.core.mmapio.build_index` stores segment-mean /
+        residual arrays next to the mmap manifest;
+        :class:`~repro.core.mmapio.MappedCollection` exposes them as
+        ``mapped_index``.  Adopting them here makes index pruning at
+        scale zero-copy — the summary tables are never recomputed.
+        """
+        mapped = self._mapped("mapped_index")
+        if mapped is not None and mapped.get("segments") == n_segments:
+            return mapped
+        return None
+
+    def paa_summary(self, n_segments: int):
+        """Cached :class:`~repro.core.summaries.PointSummary` of the
+        point-estimate matrix (Euclidean-family index geometry)."""
+        from ..core.summaries import (
+            PointSummary,
+            effective_segments,
+            segment_widths,
+            summarize_values,
+        )
+
+        values = self.values_matrix()
+        n_segments = effective_segments(n_segments, values.shape[1])
+        key = ("values", n_segments)
+        cached = self._summaries.get(key)
+        if cached is None:
+            mapped = self._mapped_index(n_segments)
+            if mapped is not None and "means" in mapped:
+                cached = PointSummary(
+                    means=mapped["means"],
+                    residuals=mapped["residuals"],
+                    widths=segment_widths(values.shape[1], n_segments),
+                    length=values.shape[1],
+                )
+                if "norms" in mapped:
+                    object.__setattr__(
+                        cached, "_norms_cache", mapped["norms"]
+                    )
+            else:
+                cached = summarize_values(values, n_segments)
+            self._summaries[key] = cached
+        return cached
+
+    def filtered_paa_summary(
+        self, filtered: FilteredEuclidean, n_segments: int
+    ):
+        """Cached :class:`~repro.core.summaries.PointSummary` of one
+        filtered matrix (UMA/UEMA operate on filtered values, so their
+        index must summarize the same)."""
+        from ..core.summaries import effective_segments, summarize_values
+
+        matrix = self.filtered_matrix(filtered)
+        n_segments = effective_segments(n_segments, matrix.shape[1])
+        key = ("filtered", filtered, n_segments)
+        cached = self._summaries.get(key)
+        if cached is None:
+            cached = summarize_values(matrix, n_segments)
+            self._summaries[key] = cached
+        return cached
+
+    def interval_paa_summary(self, n_segments: int):
+        """Cached :class:`~repro.core.summaries.IntervalSummary` of the
+        bounding-interval stacks (MUNICH's index geometry)."""
+        from ..core.summaries import (
+            IntervalSummary,
+            effective_segments,
+            segment_widths,
+            summarize_intervals,
+        )
+
+        length = len(self._items[0]) if self._items else 0
+        n_segments = effective_segments(n_segments, length)
+        key = ("intervals", n_segments)
+        cached = self._summaries.get(key)
+        if cached is None:
+            mapped = self._mapped_index(n_segments)
+            if mapped is not None and "low_means" in mapped:
+                # Adopt the persisted tables without forcing the O(N·n·s)
+                # min/max scan bounding_matrices() would run on the samples.
+                cached = IntervalSummary(
+                    low_means=mapped["low_means"],
+                    high_means=mapped["high_means"],
+                    widths=segment_widths(length, n_segments),
+                    length=length,
+                )
+            else:
+                low, high = self.bounding_matrices()
+                cached = summarize_intervals(low, high, n_segments)
+            self._summaries[key] = cached
+        return cached
+
+    def envelope_paa_summary(self, window: Optional[int], n_segments: int):
+        """Cached :class:`~repro.core.summaries.IntervalSummary` of the
+        band-inflated DTW envelopes (MUNICH-DTW's index geometry)."""
+        from ..core.summaries import effective_segments, summarize_intervals
+
+        lower, upper = self.dtw_envelopes(window)
+        n_segments = effective_segments(n_segments, lower.shape[1])
+        key = ("envelopes", window, n_segments)
+        cached = self._summaries.get(key)
+        if cached is None:
+            cached = summarize_intervals(lower, upper, n_segments)
+            self._summaries[key] = cached
+        return cached
 
 
 class QueryEngine:

@@ -75,6 +75,65 @@ def knn_table(
     return table
 
 
+def sparse_knn_table(
+    matrix: np.ndarray, k: int, exclude: Optional[np.ndarray] = None
+) -> tuple:
+    """Row-wise top-k of a score matrix whose pruned cells are ``+inf``.
+
+    The summarization index records certain non-candidates as ``+inf``;
+    ranking only each row's *finite* cells keeps the sort cost
+    proportional to the kept candidate set instead of ``N``, while
+    returning exactly :func:`knn_table`'s rankings
+    (``np.flatnonzero`` walks columns in ascending order, so the stable
+    break-ties-by-index rule is preserved).  Returns ``(indices,
+    scores)``.  Rows must keep at least ``k`` eligible finite cells —
+    the index stage's pruning-threshold guarantee.
+    """
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+    n_queries, n_candidates = matrix.shape
+    if exclude is not None:
+        exclude = np.asarray(exclude, dtype=np.intp)
+        if exclude.shape != (n_queries,):
+            raise InvalidParameterError(
+                f"exclude must hold one index per query row, got shape "
+                f"{exclude.shape} for {n_queries} rows"
+            )
+    excluding = exclude is not None and bool(np.any(exclude >= 0))
+    if k > n_candidates - (1 if excluding else 0):
+        raise InvalidParameterError(
+            f"k={k} must be at most the number of eligible candidates "
+            f"({n_candidates - (1 if excluding else 0)})"
+        )
+    indices = np.empty((n_queries, k), dtype=np.intp)
+    scores = np.empty((n_queries, k))
+    for row in range(n_queries):
+        row_values = matrix[row]
+        skipped = None
+        if exclude is not None and exclude[row] >= 0:
+            skipped = int(exclude[row])
+        finite = np.flatnonzero(np.isfinite(row_values))
+        if finite.size == n_candidates:
+            chosen = knn_indices(row_values, k, exclude=skipped)
+        else:
+            local_skip = None
+            if skipped is not None:
+                hit = int(np.searchsorted(finite, skipped))
+                if hit < finite.size and finite[hit] == skipped:
+                    local_skip = hit
+            eligible = finite.size - (1 if local_skip is not None else 0)
+            if eligible < k:
+                raise InvalidParameterError(
+                    f"k={k} exceeds the {eligible} finite candidates of "
+                    f"row {row}; sparse top-k requires an admissibly "
+                    f"pruned matrix"
+                )
+            local = knn_indices(row_values[finite], k, exclude=local_skip)
+            chosen = [int(finite[i]) for i in local]
+        indices[row] = chosen
+        scores[row] = row_values[indices[row]]
+    return indices, scores
+
+
 def knn_query(
     distance: Distance,
     query_values: np.ndarray,

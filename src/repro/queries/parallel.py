@@ -149,13 +149,18 @@ class _ShardComputer:
         c1: int,
         epsilon_block: Optional[np.ndarray],
         tau: Optional[float] = None,
+        knn_k: Optional[int] = None,
+        exclude_block: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, PruningStats]:
         """One shard of the ``(M, N)`` matrix, shape ``(r1-r0, c1-c0)``.
 
         Executes the technique's query plan over the shard and returns
         the block together with the shard's
         :class:`~repro.queries.planner.PruningStats`; the caller merges
-        shard stats into one workload-level record.
+        shard stats into one workload-level record.  ``knn_k`` /
+        ``exclude_block`` (shard-**local** column indices, ``-1`` for
+        none) mark a top-k decision workload so the summarization index
+        can prune within the shard.
         """
         rows = self._rows(r0, r1)
         cols = self._cols(c0, c1)
@@ -164,7 +169,13 @@ class _ShardComputer:
         technique._engine = self._engine
         try:
             block, stats = technique.matrix_with_stats(
-                kind, rows, cols, epsilon=epsilon_block, tau=tau
+                kind,
+                rows,
+                cols,
+                epsilon=epsilon_block,
+                tau=tau,
+                knn_k=knn_k,
+                exclude=exclude_block,
             )
             return np.asarray(block), stats
         finally:
@@ -186,18 +197,39 @@ class _ShardComputer:
         column positions, rows short of ``k'`` candidates are padded
         with ``-1`` / ``+inf`` (only possible when the shard is narrower
         than ``k`` after excluding a self-match).
+
+        The shard matrix is computed in kNN decision mode: the
+        technique's summarization index (when present) prunes cells
+        beaten by at least ``k`` candidates *within this shard* — a
+        strictly conservative subset of the global verdict, so the
+        stable merge over shards is unchanged.  Pruned ``+inf`` cells
+        are never selected (pruning only happens on rows keeping at
+        least ``k`` finite eligible candidates).
         """
-        block, stats = self.matrix_block("distance", r0, r1, c0, c1, None)
         width = c1 - c0
+        local_exclude = None
+        if exclude_block is not None:
+            own = np.asarray(exclude_block, dtype=np.intp)
+            local_exclude = np.where(
+                (own >= c0) & (own < c1), own - c0, -1
+            ).astype(np.intp)
+        block, stats = self.matrix_block(
+            "distance",
+            r0,
+            r1,
+            c0,
+            c1,
+            None,
+            knn_k=k,
+            exclude_block=local_exclude,
+        )
         limit = min(k, width)
         indices = np.full((block.shape[0], limit), -1, dtype=np.intp)
         scores = np.full((block.shape[0], limit), np.inf)
         for offset in range(block.shape[0]):
             skipped = None
-            if exclude_block is not None:
-                own = int(exclude_block[offset])
-                if c0 <= own < c1:
-                    skipped = own - c0
+            if local_exclude is not None and local_exclude[offset] >= 0:
+                skipped = int(local_exclude[offset])
             take = min(limit, width - (1 if skipped is not None else 0))
             if take < 1:
                 continue
@@ -525,7 +557,9 @@ class ShardedExecutor:
         are merged stage-by-stage and the executor's chosen shard plan
         (block sizes, worker count, CPU count) is logged alongside.
         ``tau`` forwards a decision threshold so adaptive Monte Carlo
-        stages can stop early inside each shard.
+        stages can stop early inside each shard.  For *distance* kind,
+        ``epsilon`` optionally marks a decision-mode range workload —
+        index-pruned cells come back ``+inf``, one shard at a time.
         """
         if kind not in _MATRIX_KINDS:
             raise InvalidParameterError(
@@ -534,6 +568,8 @@ class ShardedExecutor:
         n_queries = len(queries)
         n_candidates = len(collection)
         if kind == "probability":
+            eps = _epsilon_vector(epsilon, n_queries)
+        elif kind == "distance" and epsilon is not None:
             eps = _epsilon_vector(epsilon, n_queries)
         elif epsilon is not None:
             raise InvalidParameterError(

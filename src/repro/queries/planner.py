@@ -121,11 +121,13 @@ def sequential_mc_decision(
 class StageStats:
     """One plan stage's contribution to a workload.
 
-    ``entered`` counts the undecided cells the stage received,
-    ``decided`` how many it settled, ``refined`` how many exact kernel
-    evaluations ran, and ``samples_drawn`` how many Monte Carlo draws
-    were actually *evaluated* (the expensive part — the integer draws
-    themselves are free and always taken upfront for seed parity).
+    ``entered`` counts the undecided cells the stage received (its
+    *visited* set), ``skipped`` the cells earlier stages already settled
+    so this stage never saw, ``decided`` how many of the visited cells
+    it settled, ``refined`` how many exact kernel evaluations ran, and
+    ``samples_drawn`` how many Monte Carlo draws were actually
+    *evaluated* (the expensive part — the integer draws themselves are
+    free and always taken upfront for seed parity).
     """
 
     stage: str
@@ -133,7 +135,13 @@ class StageStats:
     decided: int = 0
     refined: int = 0
     samples_drawn: int = 0
+    skipped: int = 0
     seconds: float = 0.0
+
+    @property
+    def visited(self) -> int:
+        """Cells this stage actually visited (alias for ``entered``)."""
+        return self.entered
 
     def merged(self, other: "StageStats") -> "StageStats":
         """Element-wise sum with another shard's stats for this stage."""
@@ -143,6 +151,7 @@ class StageStats:
             decided=self.decided + other.decided,
             refined=self.refined + other.refined,
             samples_drawn=self.samples_drawn + other.samples_drawn,
+            skipped=self.skipped + other.skipped,
             seconds=self.seconds + other.seconds,
         )
 
@@ -196,6 +205,18 @@ class PruningStats:
             if entry.stage == name:
                 return entry
         return None
+
+    @property
+    def index_selectivity(self) -> Optional[float]:
+        """Fraction of cells the summarization index kept as candidates.
+
+        ``None`` when no index stage ran (or the workload had no cells);
+        ``1.0`` means the index pruned nothing.
+        """
+        entry = self.stage("index")
+        if entry is None or self.total_cells <= 0:
+            return None
+        return 1.0 - entry.decided / self.total_cells
 
     def merged(self, other: "PruningStats") -> "PruningStats":
         """Combine with another shard of the same plan.
@@ -258,11 +279,22 @@ class PruningStats:
                 f"({100.0 * entry.decided / total:5.1f}%) "
                 f"in {entry.seconds * 1e3:8.2f} ms"
             )
+            if entry.skipped:
+                line += (
+                    f", visited {entry.visited}, skipped {entry.skipped}"
+                )
             if entry.refined:
                 line += f", {entry.refined} refined"
             if entry.samples_drawn:
                 line += f", {entry.samples_drawn} MC samples"
             lines.append(line)
+        selectivity = self.index_selectivity
+        if selectivity is not None:
+            kept = total - self.decided_by("index")
+            lines.append(
+                f"  index selectivity {kept}/{total} candidates kept "
+                f"({100.0 * selectivity:5.1f}%)"
+            )
         if self.executor:
             pairs = ", ".join(
                 f"{key}={value}" for key, value in self.executor.items()
@@ -283,6 +315,11 @@ class PlanContext:
     tau: Optional[float]
     values: np.ndarray
     undecided: np.ndarray
+    #: Top-k target for kNN workloads — lets the index stage derive
+    #: per-row pruning thresholds from upper bounds.  ``exclude`` marks
+    #: at most one self-match column per row (``-1`` for none).
+    knn_k: Optional[int] = None
+    exclude: Optional[np.ndarray] = None
     stage_stats: List[StageStats] = field(default_factory=list)
 
     @property
@@ -416,12 +453,19 @@ class QueryPlan:
         collection: Sequence,
         epsilon=None,
         tau: Optional[float] = None,
+        knn_k: Optional[int] = None,
+        exclude: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, PruningStats]:
         """Run the cascade; returns ``(values, stats)``.
 
         ``epsilon`` (scalar or per-query vector) is required for
-        probability workloads and forbidden otherwise; ``tau`` is the
-        optional decision threshold adaptive stages stop against.
+        probability workloads; for *distance* workloads it optionally
+        marks a decision-mode range query, letting index stages retire
+        certain non-matches as ``+inf`` instead of materializing them.
+        ``tau`` is the optional decision threshold adaptive stages stop
+        against; ``knn_k``/``exclude`` describe a top-k workload the
+        same way (pruned cells become ``+inf``; ``exclude`` holds each
+        row's self-match column, ``-1`` for none).
         """
         from .techniques import _epsilon_vector
 
@@ -433,10 +477,28 @@ class QueryPlan:
         n_candidates = len(collection)
         if kind == "probability":
             epsilons = _epsilon_vector(epsilon, n_queries)
+        elif kind == "distance" and epsilon is not None:
+            epsilons = _epsilon_vector(epsilon, n_queries)
         elif epsilon is not None:
             raise InvalidParameterError(f"{kind} plans take no epsilon")
         else:
             epsilons = None
+        if knn_k is not None:
+            if kind != "distance":
+                raise InvalidParameterError(
+                    f"knn_k applies to distance plans only, got {kind!r}"
+                )
+            if knn_k < 1:
+                raise InvalidParameterError(
+                    f"knn_k must be >= 1, got {knn_k}"
+                )
+        if exclude is not None:
+            exclude = np.asarray(exclude, dtype=np.intp)
+            if exclude.shape != (n_queries,):
+                raise InvalidParameterError(
+                    f"exclude must hold one index per query row, got "
+                    f"shape {exclude.shape} for {n_queries} rows"
+                )
         values = np.empty((n_queries, n_candidates))
         if n_queries == 0:
             return values, PruningStats(
@@ -457,7 +519,10 @@ class QueryPlan:
             tau=tau,
             values=values,
             undecided=np.ones((n_queries, n_candidates), dtype=bool),
+            knn_k=knn_k,
+            exclude=exclude,
         )
+        total_cells = n_queries * n_candidates
         for stage in self.stages:
             entered = context.n_undecided
             started = time.perf_counter()
@@ -470,6 +535,7 @@ class QueryPlan:
                     decided=entered - context.n_undecided,
                     refined=refined,
                     samples_drawn=samples,
+                    skipped=total_cells - entered,
                     seconds=elapsed,
                 )
             )

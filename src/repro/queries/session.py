@@ -45,7 +45,8 @@ import numpy as np
 
 from ..core.errors import InvalidParameterError, UnsupportedQueryError
 from .engine import SHARED_ENGINE, QueryEngine
-from .knn import knn_table
+from .index import index_enabled
+from .knn import knn_table, sparse_knn_table
 from .parallel import ShardedExecutor
 from .planner import PruningStats
 from .techniques import Technique, _epsilon_vector
@@ -321,7 +322,26 @@ class QuerySet:
             )
         executor = self._session.executor
         if executor is None:
-            return self.profile_matrix().top_k(k)
+            if technique.index_segments is None or not index_enabled():
+                return self.profile_matrix().top_k(k)
+            # Indexed path: the plan runs in kNN decision mode, so the
+            # summarization index retires certain non-neighbors as +inf
+            # before refinement, and the sparse top-k ranks only the
+            # surviving candidates.  Rankings are identical to
+            # profile_matrix().top_k(k) — the index prunes only cells
+            # strictly beaten by >= k candidates.
+            values, elapsed, stats = self._run_matrix("distance", knn_k=k)
+            indices, scores = sparse_knn_table(
+                values, k, exclude=self._positions
+            )
+            return KnnResult(
+                technique_name=technique.name,
+                indices=indices,
+                scores=scores,
+                query_positions=self._positions.copy(),
+                elapsed_seconds=elapsed,
+                pruning_stats=stats,
+            )
         with self._session.bound(technique):
             started = time.perf_counter()
             indices, scores, stats = executor.knn_with_stats(
@@ -342,15 +362,24 @@ class QuerySet:
         )
 
     def range(self, epsilon) -> RangeResult:
-        """Per-query range results ``distance <= ε`` (Equation 1 batch)."""
+        """Per-query range results ``distance <= ε`` (Equation 1 batch).
+
+        Because ``ε`` is known here, the plan runs in *decision* mode:
+        techniques with a summarization index retire certain
+        non-matches as ``+inf`` without refining them (``row <= ε``
+        excludes them just the same), so only candidate cells pay for
+        exact distances.  Match sets are identical to thresholding the
+        full ``profile_matrix()``.
+        """
         technique = self._require_technique()
         if technique.kind != "distance":
             raise UnsupportedQueryError(
                 f"range() requires a distance technique; use prob_range() "
                 f"for {technique.name}"
             )
-        result = self.profile_matrix()
         eps = _epsilon_vector(epsilon, len(self._queries))
+        values, elapsed, stats = self._run_matrix("distance", eps)
+        result = self._matrix_result("distance", values, elapsed, stats, eps)
         return RangeResult(
             technique_name=technique.name,
             kind="distance",
@@ -410,13 +439,15 @@ class QuerySet:
             )
         return self._technique
 
-    def _run_matrix(self, kind: str, epsilon=None, tau=None):
+    def _run_matrix(self, kind: str, epsilon=None, tau=None, knn_k=None):
         """One timed ``(M, N)`` plan execution — sharded when the
         session is parallel, the technique's own plan otherwise.
 
         Returns ``(values, elapsed, pruning_stats)``; ``tau`` forwards
         the decision threshold so adaptive Monte Carlo stages can stop
-        early.
+        early, ``knn_k`` marks a top-k decision workload for the index
+        stage (single-process path only — the sharded executor's kNN
+        entry point threads its own per-shard thresholds).
         """
         technique = self._require_technique()
         executor = self._session.executor
@@ -438,6 +469,8 @@ class QuerySet:
                     self._session.collection,
                     epsilon=epsilon,
                     tau=tau,
+                    knn_k=knn_k,
+                    exclude=self._positions if knn_k is not None else None,
                 )
             elapsed = time.perf_counter() - started
         return np.asarray(values, dtype=np.float64), elapsed, stats

@@ -91,6 +91,14 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.errors import InvalidParameterError, UnsupportedQueryError
+from ..core.summaries import (
+    DEFAULT_SEGMENTS,
+    interval_lower_bound,
+    paa_lower_bound,
+    paa_upper_bound,
+    summarize_intervals,
+    summarize_values,
+)
 from ..core.uncertain import (
     ErrorModel,
     MultisampleUncertainTimeSeries,
@@ -121,7 +129,8 @@ from ..munich.exact import draw_materialization_pairs
 from ..munich.query import Munich
 from ..proud.query import Proud
 from ..stats.normal import std_normal_cdf
-from .engine import SHARED_ENGINE, QueryEngine
+from .engine import SHARED_ENGINE, QueryEngine, _point_estimate
+from .index import IndexStage
 from .planner import (
     AdaptiveMCStage,
     BoundStage,
@@ -187,6 +196,48 @@ def _query_bound_stacks(
     return materialized.bounding_matrices()
 
 
+def _query_point_summary(engine: QueryEngine, queries: Sequence, n_segments: int):
+    """Query-side PAA summary, mirroring :func:`_query_bound_stacks`:
+    single-query workloads summarize the row directly instead of churning
+    a throwaway materialization through the engine's LRU."""
+    if len(queries) == 1:
+        return summarize_values(_point_estimate(queries[0])[None, :], n_segments)
+    return engine.materialize(queries).paa_summary(n_segments)
+
+
+def _query_interval_summary(
+    engine: QueryEngine, queries: Sequence, n_segments: int
+):
+    """Query-side bounding-interval PAA summary (MUNICH-family index)."""
+    if len(queries) == 1:
+        low, high = queries[0].bounding_intervals()
+        return summarize_intervals(low[None, :], high[None, :], n_segments)
+    return engine.materialize(queries).interval_paa_summary(n_segments)
+
+
+def _sparse_euclidean_refine(
+    query_matrix: np.ndarray,
+    matrix: np.ndarray,
+    out: np.ndarray,
+    undecided: np.ndarray,
+) -> int:
+    """Euclidean refinement of only the undecided cells, row by row.
+
+    Gathering each row's candidate columns keeps the kernel cost (and,
+    on a memory-mapped collection, the bytes actually read) proportional
+    to the surviving candidate set instead of ``M × N`` — the payoff of
+    index pruning at scale.
+    """
+    refined = 0
+    for row in np.flatnonzero(undecided.any(axis=1)):
+        columns = np.flatnonzero(undecided[row])
+        out[row, columns] = euclidean_matrix(
+            query_matrix[row:row + 1], matrix[columns]
+        )[0]
+        refined += columns.size
+    return refined
+
+
 class Technique(abc.ABC):
     """A similarity-matching method under the common evaluation protocol."""
 
@@ -196,6 +247,11 @@ class Technique(abc.ABC):
     kind: str = "distance"
     #: ``"pdf"`` for single-observation input, ``"multisample"`` for MUNICH.
     input_kind: str = "pdf"
+    #: PAA summarization-index geometry (segments per series) backing
+    #: :class:`~repro.queries.index.IndexStage`, or ``None`` when the
+    #: technique has no admissible summary bound (DUST's table costs are
+    #: not Euclidean; PROUD's probabilities never reach exactly 0).
+    index_segments: Optional[int] = None
     #: Materialization cache; instances may attach their own.
     _engine: Optional[QueryEngine] = None
 
@@ -290,6 +346,8 @@ class Technique(abc.ABC):
         collection: Sequence,
         epsilon=None,
         tau: Optional[float] = None,
+        knn_k: Optional[int] = None,
+        exclude: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, PruningStats]:
         """Execute this technique's plan over an ``(M, N)`` workload.
 
@@ -297,11 +355,46 @@ class Technique(abc.ABC):
         executed plan's :class:`~repro.queries.planner.PruningStats`
         (candidates decided per stage, refinements run, Monte Carlo
         samples evaluated, per-stage wall time).
+
+        ``knn_k``/``exclude`` (top-k workloads) and a distance-kind
+        ``epsilon`` (decision-mode range workloads) let the
+        summarization index retire certain non-candidates as ``+inf``
+        before any kernel runs; plain matrix workloads are unchanged.
         """
         plan = self.build_plan(kind, tau=tau)
+        plan = self._indexed_plan(plan, kind, epsilon, knn_k)
         return plan.execute(
-            self, kind, queries, collection, epsilon=epsilon, tau=tau
+            self, kind, queries, collection, epsilon=epsilon, tau=tau,
+            knn_k=knn_k, exclude=exclude,
         )
+
+    def _indexed_plan(
+        self, plan: QueryPlan, kind: str, epsilon, knn_k: Optional[int]
+    ) -> QueryPlan:
+        """Prepend an :class:`~repro.queries.index.IndexStage` when the
+        workload carries decision information the index can prune with.
+
+        Distance workloads qualify with a top-k target or a range ε;
+        probability workloads qualify when the technique already plans a
+        bound stage (the index is that stage's cheap summary-resolution
+        pre-filter — a technique that opted out of pruning keeps its
+        pure-refine plan).
+        """
+        if self.index_segments is None or any(
+            isinstance(stage, IndexStage) for stage in plan.stages
+        ):
+            return plan
+        if kind == "distance":
+            wanted = knn_k is not None or epsilon is not None
+        elif kind == "probability":
+            wanted = any(
+                isinstance(stage, BoundStage) for stage in plan.stages
+            )
+        else:
+            wanted = False
+        if not wanted:
+            return plan
+        return QueryPlan((IndexStage(),) + plan.stages)
 
     def distance_matrix(self, queries: Sequence, collection: Sequence) -> np.ndarray:
         """``(M, N)`` distances: every query row against every collection series.
@@ -350,6 +443,24 @@ class Technique(abc.ABC):
         raise UnsupportedQueryError(
             f"{self.name} does not provide matrix bounds"
         )
+
+    def index_bounds(
+        self,
+        kind: str,
+        queries: Sequence,
+        collection: Sequence,
+        need_upper: bool = False,
+    ) -> Optional[Tuple[np.ndarray, Optional[np.ndarray], float]]:
+        """Summarization-index bounds for an :class:`IndexStage`.
+
+        Returns ``(lower, upper, slack)`` — admissible ``(M, N)``
+        distance bounds computed from the ``S``-segment PAA summaries
+        (``upper`` may be ``None`` unless ``need_upper``, i.e. a top-k
+        workload needs pruning thresholds), or ``None`` when this
+        technique/workload has no admissible summary bound, which makes
+        the stage a sound no-op.
+        """
+        return None
 
     def refine_matrix(
         self,
@@ -484,6 +595,10 @@ class EuclideanTechnique(Technique):
 
     name = "Euclidean"
     kind = "distance"
+    index_segments = DEFAULT_SEGMENTS
+
+    def __init__(self, index_segments: Optional[int] = DEFAULT_SEGMENTS) -> None:
+        self.index_segments = index_segments
 
     def distance(
         self, query: UncertainTimeSeries, candidate: UncertainTimeSeries
@@ -506,6 +621,63 @@ class EuclideanTechnique(Technique):
         matrix = self.engine.materialize(collection).values_matrix()
         query_matrix = self.engine.materialize(queries).values_matrix()
         return euclidean_matrix(query_matrix, matrix)
+
+    def index_bounds(
+        self,
+        kind: str,
+        queries: Sequence,
+        collection: Sequence,
+        need_upper: bool = False,
+    ) -> Optional[Tuple[np.ndarray, Optional[np.ndarray], float]]:
+        """PAA projection bounds over the cached values summaries.
+
+        The lower bound is the Euclidean distance between the
+        (width-scaled) segment-mean vectors — an orthogonal projection,
+        hence a contraction; the upper bound adds both reconstruction
+        residual norms (triangle inequality).
+        """
+        if (
+            kind != "distance"
+            or self.index_segments is None
+            or len(queries) == 0
+            or len(collection) == 0
+        ):
+            return None
+        summary = self.engine.materialize(collection).paa_summary(
+            self.index_segments
+        )
+        query_summary = _query_point_summary(
+            self.engine, queries, summary.n_segments
+        )
+        lower = paa_lower_bound(query_summary, summary)
+        upper = (
+            paa_upper_bound(lower, query_summary, summary)
+            if need_upper
+            else None
+        )
+        return lower, upper, 0.0
+
+    def refine_matrix(
+        self,
+        kind: str,
+        queries: Sequence,
+        collection: Sequence,
+        epsilon: Optional[np.ndarray],
+        out: np.ndarray,
+        undecided: np.ndarray,
+        tau: Optional[float] = None,
+    ) -> Tuple[int, int]:
+        """Dense GEMM normally; candidate-gather refinement when the
+        index pruned most of the grid (sub-linear at scale)."""
+        if undecided.all() or 2 * np.count_nonzero(undecided) >= undecided.size:
+            return super().refine_matrix(
+                kind, queries, collection, epsilon, out, undecided, tau=tau
+            )
+        matrix = self.engine.materialize(collection).values_matrix()
+        query_matrix = self.engine.materialize(queries).values_matrix()
+        return _sparse_euclidean_refine(
+            query_matrix, matrix, out, undecided
+        ), 0
 
 
 class DustTechnique(Technique):
@@ -666,10 +838,16 @@ class FilteredTechnique(Technique):
     """
 
     kind = "distance"
+    index_segments = DEFAULT_SEGMENTS
 
-    def __init__(self, filtered: FilteredEuclidean) -> None:
+    def __init__(
+        self,
+        filtered: FilteredEuclidean,
+        index_segments: Optional[int] = DEFAULT_SEGMENTS,
+    ) -> None:
         self.filtered = filtered
         self.name = filtered.name
+        self.index_segments = index_segments
         self._cache: Dict[int, Tuple[UncertainTimeSeries, np.ndarray]] = {}
 
     @classmethod
@@ -724,6 +902,72 @@ class FilteredTechnique(Technique):
             self.filtered
         )
         return euclidean_matrix(query_matrix, matrix)
+
+    def index_bounds(
+        self,
+        kind: str,
+        queries: Sequence,
+        collection: Sequence,
+        need_upper: bool = False,
+    ) -> Optional[Tuple[np.ndarray, Optional[np.ndarray], float]]:
+        """PAA bounds over the *filtered* matrices.
+
+        UMA/UEMA distances are Euclidean on filtered values, so the
+        index must summarize the same filtered stacks its kernel
+        compares — summarizing raw observations would not be admissible.
+        """
+        if (
+            kind != "distance"
+            or self.index_segments is None
+            or len(queries) == 0
+            or len(collection) == 0
+        ):
+            return None
+        summary = self.engine.materialize(collection).filtered_paa_summary(
+            self.filtered, self.index_segments
+        )
+        if len(queries) == 1:
+            query_summary = summarize_values(
+                self._filtered_values(queries[0])[None, :],
+                summary.n_segments,
+            )
+        else:
+            query_summary = self.engine.materialize(
+                queries
+            ).filtered_paa_summary(self.filtered, summary.n_segments)
+        lower = paa_lower_bound(query_summary, summary)
+        upper = (
+            paa_upper_bound(lower, query_summary, summary)
+            if need_upper
+            else None
+        )
+        return lower, upper, 0.0
+
+    def refine_matrix(
+        self,
+        kind: str,
+        queries: Sequence,
+        collection: Sequence,
+        epsilon: Optional[np.ndarray],
+        out: np.ndarray,
+        undecided: np.ndarray,
+        tau: Optional[float] = None,
+    ) -> Tuple[int, int]:
+        """Dense GEMM normally; candidate-gather refinement when the
+        index pruned most of the grid."""
+        if undecided.all() or 2 * np.count_nonzero(undecided) >= undecided.size:
+            return super().refine_matrix(
+                kind, queries, collection, epsilon, out, undecided, tau=tau
+            )
+        matrix = self.engine.materialize(collection).filtered_matrix(
+            self.filtered
+        )
+        query_matrix = self.engine.materialize(queries).filtered_matrix(
+            self.filtered
+        )
+        return _sparse_euclidean_refine(
+            query_matrix, matrix, out, undecided
+        ), 0
 
 
 class ProudTechnique(Technique):
@@ -961,9 +1205,15 @@ class MunichTechnique(_MultisampleCalibration, Technique):
     name = "MUNICH"
     kind = "probabilistic"
     input_kind = "multisample"
+    index_segments = DEFAULT_SEGMENTS
 
-    def __init__(self, munich: Optional[Munich] = None) -> None:
+    def __init__(
+        self,
+        munich: Optional[Munich] = None,
+        index_segments: Optional[int] = DEFAULT_SEGMENTS,
+    ) -> None:
         self._munich = munich if munich is not None else Munich(tau=0.5)
+        self.index_segments = index_segments
 
     @property
     def munich(self) -> Munich:
@@ -1080,6 +1330,36 @@ class MunichTechnique(_MultisampleCalibration, Technique):
             lower[start:stop] = np.sqrt((gap * gap).sum(axis=2))
             upper[start:stop] = np.sqrt((span * span).sum(axis=2))
         return lower, upper
+
+    def index_bounds(
+        self,
+        kind: str,
+        queries: Sequence,
+        collection: Sequence,
+        need_upper: bool = False,
+    ) -> Optional[Tuple[np.ndarray, Optional[np.ndarray], float]]:
+        """Segment-coarsened bounding-interval gap bound.
+
+        The mean-interval gap per segment lower-bounds every
+        materialization pair's segment-mean difference, so the weighted
+        gap norm lower-bounds their Euclidean distance — the
+        ``S``-segment coarsening of :meth:`matrix_bounds`' lower bound.
+        Cells it prunes have match probability exactly 0.
+        """
+        if (
+            kind != "probability"
+            or self.index_segments is None
+            or len(queries) == 0
+            or len(collection) == 0
+        ):
+            return None
+        summary = self.engine.materialize(collection).interval_paa_summary(
+            self.index_segments
+        )
+        query_summary = _query_interval_summary(
+            self.engine, queries, summary.n_segments
+        )
+        return interval_lower_bound(query_summary, summary), None, 0.0
 
     def refine_matrix(
         self,
@@ -1282,12 +1562,14 @@ class MunichDtwTechnique(_MultisampleCalibration, Technique):
     name = "MUNICH-DTW"
     kind = "probabilistic"
     input_kind = "multisample"
+    index_segments = DEFAULT_SEGMENTS
 
     def __init__(
         self,
         window: Optional[int] = None,
         munich: Optional[Munich] = None,
         use_bounds: bool = True,
+        index_segments: Optional[int] = DEFAULT_SEGMENTS,
     ) -> None:
         if window is not None and window < 0:
             raise InvalidParameterError(f"window must be >= 0, got {window}")
@@ -1298,6 +1580,7 @@ class MunichDtwTechnique(_MultisampleCalibration, Technique):
             else Munich(tau=0.5, method="montecarlo", rng=0)
         )
         self.use_bounds = use_bounds
+        self.index_segments = index_segments
 
     @property
     def munich(self) -> Munich:
@@ -1383,6 +1666,43 @@ class MunichDtwTechnique(_MultisampleCalibration, Technique):
             )
             upper[start:stop] = np.sqrt((span * span).sum(axis=2))
         return lower, upper
+
+    def index_bounds(
+        self,
+        kind: str,
+        queries: Sequence,
+        collection: Sequence,
+        need_upper: bool = False,
+    ) -> Optional[Tuple[np.ndarray, Optional[np.ndarray], float]]:
+        """Segment-coarsened envelope bound (banded-DTW admissible).
+
+        Candidate side: PAA summary of the cached band-inflated Keogh
+        envelopes; query side: summary of its bounding intervals.  The
+        per-point envelope overshoot averaged over a segment dominates
+        the mean-interval gap, and Cauchy–Schwarz turns the weighted
+        gap norm into a lower bound on LB_Keogh — hence on the banded
+        DTW of every materialization pair.  Guarded with the same
+        :data:`~repro.distances.dtw_batch.PRUNE_SLACK` as the full
+        bound stage.
+        """
+        if (
+            kind != "probability"
+            or self.index_segments is None
+            or len(queries) == 0
+            or len(collection) == 0
+        ):
+            return None
+        summary = self.engine.materialize(collection).envelope_paa_summary(
+            self.window, self.index_segments
+        )
+        query_summary = _query_interval_summary(
+            self.engine, queries, summary.n_segments
+        )
+        return (
+            interval_lower_bound(query_summary, summary),
+            None,
+            PRUNE_SLACK,
+        )
 
     def refine_matrix(
         self,

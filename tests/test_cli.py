@@ -126,3 +126,29 @@ class TestStatsFlag:
         assert main(["fig11", "--scale", "tiny"]) == 0
         out = capsys.readouterr().out
         assert "pruning statistics" not in out
+
+
+class TestNoIndexFlag:
+    @pytest.fixture(autouse=True)
+    def restore_index_default(self):
+        from repro.queries.index import set_index_enabled
+
+        yield
+        set_index_enabled(True)
+
+    def test_parser_accepts_flag(self):
+        args = build_parser().parse_args(["fig05", "--no-index"])
+        assert args.no_index is True
+        assert build_parser().parse_args(["fig05"]).no_index is False
+
+    def test_no_index_disables_index_stage(self, capsys):
+        from repro.queries.index import index_enabled
+
+        assert main(["uniformity", "--scale", "tiny", "--no-index"]) == 0
+        assert not index_enabled()
+
+    def test_default_keeps_index_enabled(self, capsys):
+        from repro.queries.index import index_enabled
+
+        assert main(["uniformity", "--scale", "tiny"]) == 0
+        assert index_enabled()

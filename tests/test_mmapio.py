@@ -269,3 +269,215 @@ class TestErrors:
         save_collection(collection, str(tmp_path))
         loaded = load_collection(str(tmp_path))
         assert loaded.name == "wrapped"
+
+
+class TestStreamingWriter:
+    def test_chunked_roundtrip(self, tmp_path):
+        from repro.core import StreamingCollectionWriter, make_rng
+
+        rng = make_rng(5)
+        rows = rng.normal(size=(11, 6))
+        with StreamingCollectionWriter(
+            str(tmp_path), 11, 6, name="streamed"
+        ) as writer:
+            writer.append(rows[:4])
+            writer.append(rows[4:10])
+            assert writer.rows_written == 10
+            writer.append(rows[10])  # 1-D chunk promotes to one row
+        loaded = load_collection(str(tmp_path))
+        assert loaded.kind == "exact"
+        assert loaded.name == "streamed"
+        assert np.array_equal(loaded.values_matrix(), rows)
+        assert all(series.label is None for series in loaded)
+
+    def test_overflow_and_short_write_rejected(self, tmp_path):
+        from repro.core import StreamingCollectionWriter
+
+        writer = StreamingCollectionWriter(str(tmp_path), 3, 4)
+        writer.append(np.zeros((2, 4)))
+        with pytest.raises(InvalidParameterError):
+            writer.append(np.zeros((2, 4)))  # would write 4 of 3 rows
+        with pytest.raises(InvalidParameterError):
+            writer.finalize()  # only 2 of 3 rows written
+        with pytest.raises(InvalidParameterError):
+            StreamingCollectionWriter(str(tmp_path), 3, 4).append(
+                np.zeros((1, 5))
+            )
+
+    def test_abort_leaves_no_manifest(self, tmp_path):
+        from repro.core import StreamingCollectionWriter
+        from repro.core.mmapio import MANIFEST_NAME
+
+        with pytest.raises(RuntimeError):
+            with StreamingCollectionWriter(str(tmp_path), 4, 3) as writer:
+                writer.append(np.zeros((2, 3)))
+                raise RuntimeError("generator died")
+        assert not os.path.exists(os.path.join(str(tmp_path), MANIFEST_NAME))
+        with pytest.raises(MappedCollectionError):
+            load_collection(str(tmp_path))
+
+    def test_finalized_writer_rejects_appends(self, tmp_path):
+        from repro.core import StreamingCollectionWriter
+
+        writer = StreamingCollectionWriter(str(tmp_path), 1, 2)
+        writer.append(np.zeros((1, 2)))
+        manifest = writer.finalize()
+        assert writer.finalize() == manifest  # idempotent
+        with pytest.raises(InvalidParameterError):
+            writer.append(np.zeros((1, 2)))
+
+    def test_stream_fourier_collection(self, tmp_path):
+        from repro.datasets import stream_fourier_collection
+
+        manifest = stream_fourier_collection(
+            str(tmp_path), n_series=10, length=16, seed=9, chunk_size=4
+        )
+        loaded = load_collection(manifest)
+        assert len(loaded) == 10
+        values = loaded.values_matrix()
+        assert values.shape == (10, 16)
+        assert np.all(np.isfinite(values))
+        # Same seed and chunk size reproduce the stream exactly.
+        other = tmp_path / "again"
+        reloaded = load_collection(
+            stream_fourier_collection(
+                str(other), n_series=10, length=16, seed=9, chunk_size=4
+            )
+        )
+        assert np.array_equal(values, reloaded.values_matrix())
+
+
+class TestPersistedIndex:
+    def test_exact_kind_tables(self, tmp_path):
+        from repro.core import StreamingCollectionWriter, build_index, make_rng
+        from repro.core.summaries import residual_norms, segment_means
+
+        rng = make_rng(7)
+        rows = rng.normal(size=(9, 12)).cumsum(axis=1)
+        with StreamingCollectionWriter(str(tmp_path), 9, 12) as writer:
+            writer.append(rows)
+        build_index(str(tmp_path), n_segments=4, chunk_rows=4)
+        loaded = load_collection(str(tmp_path))
+        index = loaded.mapped_index
+        assert index is not None and index["segments"] == 4
+        assert np.allclose(index["means"], segment_means(rows, 4))
+        assert np.allclose(index["residuals"], residual_norms(rows, 4))
+
+    def test_pdf_kind_tables(self, pdf, tmp_path):
+        from repro.core import build_index
+        from repro.core.summaries import segment_means
+
+        save_collection(pdf, str(tmp_path))
+        build_index(str(tmp_path), n_segments=3)
+        loaded = load_collection(str(tmp_path))
+        values = np.vstack([series.observations for series in pdf])
+        assert np.allclose(
+            loaded.mapped_index["means"], segment_means(values, 3)
+        )
+
+    def test_multisample_tables_match_bounding_summaries(
+        self, multisample, tmp_path
+    ):
+        from repro.core import build_index
+        from repro.core.summaries import segment_means
+
+        save_collection(multisample, str(tmp_path))
+        build_index(str(tmp_path), n_segments=5, chunk_rows=3)
+        loaded = load_collection(str(tmp_path))
+        index = loaded.mapped_index
+        samples = loaded.mapped_samples
+        assert np.allclose(
+            index["low_means"], segment_means(samples.min(axis=2), 5)
+        )
+        assert np.allclose(
+            index["high_means"], segment_means(samples.max(axis=2), 5)
+        )
+
+    def test_engine_adopts_tables_zero_copy(self, pdf, tmp_path):
+        from repro.core import build_index
+        from repro.core.summaries import DEFAULT_SEGMENTS
+
+        save_collection(pdf, str(tmp_path))
+        build_index(str(tmp_path))
+        loaded = load_collection(str(tmp_path))
+        engine = QueryEngine()
+        materialized = engine.materialize(loaded)
+        summary = materialized.paa_summary(DEFAULT_SEGMENTS)
+        assert np.shares_memory(summary.means, loaded.mapped_index["means"])
+        # A non-matching segment count falls back to computing fresh.
+        other = materialized.paa_summary(DEFAULT_SEGMENTS + 1)
+        assert not np.shares_memory(
+            other.means, loaded.mapped_index["means"]
+        )
+
+    def test_interval_adoption_skips_bounding_scan(
+        self, multisample, tmp_path
+    ):
+        from repro.core import build_index
+        from repro.core.summaries import DEFAULT_SEGMENTS
+
+        save_collection(multisample, str(tmp_path))
+        build_index(str(tmp_path))
+        loaded = load_collection(str(tmp_path))
+        engine = QueryEngine()
+        materialized = engine.materialize(loaded)
+        summary = materialized.interval_paa_summary(DEFAULT_SEGMENTS)
+        assert np.shares_memory(
+            summary.low_means, loaded.mapped_index["low_means"]
+        )
+        # Adoption must not have forced the O(N·n·s) bounding scan.
+        assert materialized._bounds is None
+
+    def test_shard_slices_index(self, pdf, tmp_path):
+        from repro.core import build_index
+
+        save_collection(pdf, str(tmp_path))
+        build_index(str(tmp_path), n_segments=4)
+        loaded = load_collection(str(tmp_path))
+        shard = loaded.shard(2, 7)
+        assert shard.mapped_index["segments"] == 4
+        assert np.array_equal(
+            shard.mapped_index["means"], loaded.mapped_index["means"][2:7]
+        )
+        assert np.shares_memory(
+            shard.mapped_index["means"], loaded.mapped_index["means"]
+        )
+
+    def test_rebuild_overwrites_segment_count(self, pdf, tmp_path):
+        from repro.core import build_index
+
+        save_collection(pdf, str(tmp_path))
+        build_index(str(tmp_path), n_segments=4)
+        build_index(str(tmp_path), n_segments=6)
+        loaded = load_collection(str(tmp_path))
+        assert loaded.mapped_index["segments"] == 6
+        assert loaded.mapped_index["means"].shape[1] == 6
+
+    def test_collections_without_index_load_as_before(self, pdf, tmp_path):
+        save_collection(pdf, str(tmp_path))
+        loaded = load_collection(str(tmp_path))
+        assert loaded.mapped_index is None
+        assert loaded.shard(1, 4).mapped_index is None
+
+    def test_indexed_knn_matches_in_memory(self, multisample, tmp_path):
+        from repro.core import build_index
+        from repro.queries import SimilaritySession
+
+        save_collection(multisample, str(tmp_path))
+        build_index(str(tmp_path))
+        loaded = load_collection(str(tmp_path))
+        technique = EuclideanTechnique()
+        mapped = (
+            SimilaritySession(loaded, engine=QueryEngine())
+            .queries()
+            .using(technique)
+            .knn(3)
+        )
+        direct = (
+            SimilaritySession(multisample, engine=QueryEngine())
+            .queries()
+            .using(technique)
+            .knn(3)
+        )
+        assert np.array_equal(mapped.indices, direct.indices)
+        assert np.allclose(mapped.scores, direct.scores, atol=1e-9)

@@ -286,12 +286,26 @@ class TestEdgeCases:
             with pytest.raises(InvalidParameterError):
                 executor.matrix(EuclideanTechnique(), "similarity", pdf, pdf)
 
-    def test_distance_kind_rejects_epsilon(self, pdf):
+    def test_calibration_kind_rejects_epsilon(self, pdf):
         with ShardedExecutor(n_workers=1) as executor:
             with pytest.raises(InvalidParameterError):
                 executor.matrix(
-                    EuclideanTechnique(), "distance", pdf, pdf, 1.0
+                    EuclideanTechnique(), "calibration", pdf, pdf, 1.0
                 )
+
+    def test_distance_kind_accepts_decision_epsilon(self, pdf):
+        # On a distance workload, epsilon marks decision-mode range:
+        # index-pruned cells come back +inf, surviving cells exact.
+        with ShardedExecutor(n_workers=1) as executor:
+            plain = executor.matrix(
+                EuclideanTechnique(), "distance", pdf, pdf
+            )
+            decided = executor.matrix(
+                EuclideanTechnique(), "distance", pdf, pdf, 1.0
+            )
+        finite = np.isfinite(decided)
+        assert np.allclose(decided[finite], plain[finite])
+        assert np.all(plain[~finite] > 1.0)
 
 
 class _UnpicklableTechnique(Technique):

@@ -194,11 +194,13 @@ class TestPlanParity:
             ]
         )
         assert np.max(np.abs(values - reference)) <= PARITY_TOL
-        # The bound stage decided at least the certain cells, and the
-        # two stages together decided everything.
-        assert stats.decided_by("bounds") + stats.decided_by("refine") == (
-            stats.total_cells
-        )
+        # The index/bound stages decided at least the certain cells, and
+        # the stages together decided everything.
+        assert (
+            stats.decided_by("index")
+            + stats.decided_by("bounds")
+            + stats.decided_by("refine")
+        ) == stats.total_cells
 
     def test_munich_without_bounds_is_pure_refine(self, multisample):
         technique = MunichTechnique(
