@@ -17,7 +17,8 @@ read as hardware speed, while a *single* kernel regressing against the
 rest still trips the gate.  The scale never drops below 1, so a faster
 runner is not held to a tighter bar; pass ``--no-normalize`` for raw
 absolute comparison.  Any correctness flag carried by the fresh payload
-(``f1_parity`` / ``parity`` / ``knn_merge`` / ``mmap`` / ``index``)
+(``f1_parity`` / ``parity`` / ``knn_merge`` / ``mmap`` / ``index`` /
+``service``)
 failing is always fatal.
 
 The baselines live in ``benchmarks/baselines/`` and were generated with
@@ -64,6 +65,9 @@ def _correctness_failures(payload: Dict) -> List[str]:
     index = payload.get("index")
     if index is not None and not index.get("all_ok", True):
         failures.append("index.all_ok is false")
+    service = payload.get("service")
+    if service is not None and not service.get("all_ok", True):
+        failures.append("service.all_ok is false")
     return failures
 
 

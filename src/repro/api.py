@@ -107,6 +107,13 @@ from .queries import (
     probabilistic_range_query,
     range_query,
 )
+from .service import (
+    CatalogError,
+    ServiceCatalog,
+    ServiceClient,
+    ServiceError,
+    SimilarityDaemon,
+)
 
 __all__ = [
     # core
@@ -143,4 +150,7 @@ __all__ = [
     # evaluation
     "run_similarity_experiment", "ExperimentResult", "score_result_set",
     "mean_with_ci",
+    # service
+    "ServiceCatalog", "CatalogError", "SimilarityDaemon", "ServiceClient",
+    "ServiceError",
 ]

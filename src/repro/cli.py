@@ -12,6 +12,12 @@ Usage::
 Each figure command runs the corresponding experiment at the requested
 scale and prints the same rows/series the paper's figure plots (the same
 renderers the benchmarks use).
+
+The similarity service rides on two subcommands (see
+:mod:`repro.service.cli` for their options)::
+
+    python -m repro.cli serve --catalog catalog.db --register name=dir
+    python -m repro.cli query --port 7791 --collection name --knn 10
 """
 
 from __future__ import annotations
@@ -120,7 +126,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "figure",
         help="figure to regenerate (fig04..fig17, uniformity), "
-        "'all', or 'list'",
+        "'all', or 'list'; the similarity service runs under the "
+        "'serve' and 'query' subcommands",
     )
     parser.add_argument(
         "--scale",
@@ -220,6 +227,18 @@ def run_command(
 
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # Service subcommands route before the figure parser so the figure
+    # surface (positional figure name) stays byte-compatible.
+    if argv and argv[0] == "serve":
+        from .service.cli import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "query":
+        from .service.cli import query_main
+
+        return query_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -386,9 +386,18 @@ def load_collection(
     directory = os.path.dirname(manifest_path)
 
     def _open_file(file_name: str) -> np.ndarray:
-        array = np.load(
-            os.path.join(directory, file_name), mmap_mode=mmap_mode
-        )
+        array_path = os.path.join(directory, file_name)
+        if not os.path.isfile(array_path):
+            # A bare numpy FileNotFoundError would name only the .npy
+            # file; the manifest is what the user registered, so the
+            # error must point back at it.
+            raise MappedCollectionError(
+                f"collection payload {array_path!r} referenced by manifest "
+                f"{manifest_path!r} is missing; the saved collection is "
+                f"incomplete (payload or index tables deleted?) — re-save "
+                f"it with save_collection()/build_index()"
+            )
+        array = np.load(array_path, mmap_mode=mmap_mode)
         if mmap_mode is None:
             # np.load returns a view over a writeable buffer; re-own it
             # so the whole base chain is read-only and series rows are

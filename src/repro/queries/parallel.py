@@ -41,6 +41,7 @@ import math
 import multiprocessing
 import os
 import pickle
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -372,6 +373,7 @@ class ShardedExecutor:
         self.col_block = col_block
         self.mp_context = mp_context
         self._pool = None
+        self._close_lock = threading.Lock()
         # Strong reference to the (technique, queries, collection) the
         # pool workers were initialized with: identity comparison stays
         # sound (no id recycling) for as long as the pool is alive.
@@ -499,16 +501,23 @@ class ShardedExecutor:
         return self._serial_computer
 
     def close(self) -> None:
-        """Shut down the worker pool and drop cached bindings (idempotent)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-        self._pool_binding = None
-        self._serial_binding = None
-        self._serial_computer = None
-        self._backend_binding = None
-        self._resolved_backend = None
+        """Shut down the worker pool and drop cached bindings.
+
+        Idempotent and thread-safe: exactly one caller terminates the
+        pool (the swap under ``_close_lock`` publishes ``None`` before
+        anyone joins), so concurrent double-close never races the pool's
+        own internals.
+        """
+        with self._close_lock:
+            pool, self._pool = self._pool, None
+            self._pool_binding = None
+            self._serial_binding = None
+            self._serial_computer = None
+            self._backend_binding = None
+            self._resolved_backend = None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
 
     def __enter__(self) -> "ShardedExecutor":
         return self

@@ -36,6 +36,7 @@ rankings exclude the self-match, exactly like the free-function protocol.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -532,7 +533,14 @@ class SimilaritySession:
     session as a context manager) to release it deterministically.
     """
 
-    __slots__ = ("_collection", "_engine", "_executor", "_parallel")
+    __slots__ = (
+        "_collection",
+        "_engine",
+        "_executor",
+        "_parallel",
+        "_closed",
+        "_close_lock",
+    )
 
     def __init__(
         self,
@@ -561,6 +569,8 @@ class SimilaritySession:
             )
         else:
             self._executor = None
+        self._closed = False
+        self._close_lock = threading.Lock()
         self._engine.materialize(collection)
 
     @property
@@ -578,10 +588,27 @@ class SimilaritySession:
         """The session's :class:`ShardedExecutor` (``None`` single-process)."""
         return self._executor
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has already run."""
+        return self._closed
+
     def close(self) -> None:
-        """Release the executor's worker pool (no-op single-process)."""
-        if self._executor is not None:
-            self._executor.close()
+        """Release the executor's worker pool (no-op single-process).
+
+        Idempotent and safe under concurrent callers: the daemon's
+        shutdown path may close a session from a signal handler while a
+        draining request still holds a reference, so exactly one caller
+        tears the pool down and every later (or simultaneous) call
+        returns immediately instead of racing pool internals.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor = self._executor
+        if executor is not None:
+            executor.close()
 
     def __enter__(self) -> "SimilaritySession":
         return self

@@ -1,0 +1,67 @@
+"""Similarity service: persistent catalog + concurrent query daemon.
+
+The library answers a workload only after paying collection load,
+materialization-cache warmup and index adoption in *every* process.  The
+service subsystem turns that library into a long-lived system:
+
+* :mod:`repro.service.catalog` — a WAL-mode SQLite catalog registering
+  collections by name → mmap manifest path (plus persisted index
+  artifacts), schema-versioned with migration on open, so a restarted
+  daemon recovers every registered collection instantly;
+* :mod:`repro.service.daemon` — an asyncio socket server holding warmed
+  :class:`~repro.queries.session.SimilaritySession` objects over mapped
+  collections, answering concurrent kNN / range / prob-range requests
+  over the versioned JSON protocol of :mod:`repro.service.protocol`,
+  executing kernels in a thread pool so the event loop never blocks,
+  and draining in-flight work on shutdown;
+* :mod:`repro.service.batching` — admission control that coalesces
+  compatible queued requests (same collection / technique / parameters)
+  into one planner ``(M, N)`` matrix execution per tick and scatters
+  the per-query results;
+* :mod:`repro.service.client` — a blocking :class:`ServiceClient` for
+  scripts and the ``python -m repro.cli query`` command.
+
+Start a daemon and query it::
+
+    python -m repro.cli serve --catalog /data/catalog.db \
+        --register trades=/data/trades_collection
+
+    from repro.service import ServiceClient
+    with ServiceClient("127.0.0.1", 7791) as client:
+        hits = client.knn("trades", k=10, technique="dust")
+        hits.indices          # (M, k) neighbor table
+        hits.batch            # coalesced-batch occupancy
+"""
+
+from __future__ import annotations
+
+from .batching import BatchQueue, batch_key, merge_requests, scatter_rows
+from .catalog import CatalogEntry, CatalogError, ServiceCatalog
+from .client import ServiceClient, ServiceError, ServiceResult
+from .daemon import SimilarityDaemon
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    TECHNIQUE_NAMES,
+    build_technique,
+    technique_key,
+)
+
+__all__ = [
+    "BatchQueue",
+    "batch_key",
+    "merge_requests",
+    "scatter_rows",
+    "CatalogEntry",
+    "CatalogError",
+    "ServiceCatalog",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceResult",
+    "SimilarityDaemon",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "TECHNIQUE_NAMES",
+    "build_technique",
+    "technique_key",
+]

@@ -1,0 +1,329 @@
+"""Request batching: admission control that coalesces compatible queries.
+
+A similarity kernel answering one query row wastes most of its work —
+the engine materializations, bound stacks and GEMM blocks are all batch
+structures.  The batcher exploits that: queued requests that would
+execute *identically* (same collection, same technique key, same
+decision parameters) are coalesced into one planner ``(M, N)`` matrix
+execution per tick, then the per-query rows are scattered back to their
+requests.  Two knobs bound the added latency:
+
+* ``max_batch`` — a full batch dispatches immediately;
+* ``max_delay`` — a partial batch dispatches when its oldest request
+  has waited this long (seconds).
+
+The module is split so the semantics are testable without a daemon:
+
+* a **pure core** — :func:`batch_key` (what may coalesce),
+  :func:`merge_requests` (stack the query rows + per-query ε) and
+  :func:`scatter_rows` (slice a batch result back per request) — that
+  works on any :class:`~repro.queries.session.SimilaritySession`;
+* an **asyncio queue** — :class:`BatchQueue` — that owns the timers and
+  futures; the daemon supplies the dispatch coroutine (which runs the
+  merged kernel in its thread pool).
+
+Coalescing never changes results: the planner's matrix kernels are
+row-independent (per-query ε vectors, row-wise kNN merges, per-row
+adaptive Monte Carlo decisions), so a batched row is bit-identical to
+the same query executed alone — tests assert exactly that for every
+technique family.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import InvalidParameterError
+from ..queries.session import (
+    KnnResult,
+    QuerySet,
+    RangeResult,
+    SimilaritySession,
+)
+from ..queries.techniques import Technique
+
+
+@dataclass
+class QueryJob:
+    """One admitted query request, ready to coalesce.
+
+    ``items`` are the query series objects and ``positions`` their
+    collection positions (``-1`` for non-member raw-value queries), as
+    :class:`~repro.queries.session.QuerySet` expects.  ``params`` holds
+    the op parameters (``k`` / ``epsilon`` / ``tau``); ``enqueued`` is
+    the admission timestamp the occupancy report is computed from.
+    """
+
+    request_id: str
+    op: str
+    items: Sequence
+    positions: np.ndarray
+    params: Dict[str, Any]
+    enqueued: float = field(default_factory=time.monotonic)
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.items)
+
+
+def batch_key(
+    collection: str, technique: str, op: str, params: Dict[str, Any]
+) -> Tuple:
+    """The coalescing key: requests with equal keys share one execution.
+
+    ``technique`` is the canonical spec string from
+    :func:`repro.service.protocol.technique_key`.  Row-independent
+    parameters stay *out* of the key — range ε is per-query (merged
+    into one ε vector) — while parameters that shape the whole plan are
+    part of it: ``k`` (the kNN pruning threshold cascade) and ``τ``
+    (the decision threshold steering adaptive Monte Carlo stages).
+    """
+    if op == "knn":
+        return (collection, technique, op, int(params["k"]))
+    if op == "range":
+        return (collection, technique, op)
+    if op == "prob_range":
+        return (collection, technique, op, float(params["tau"]))
+    raise InvalidParameterError(f"op {op!r} is not batchable")
+
+
+def merge_requests(
+    jobs: Sequence[QueryJob],
+) -> Tuple[List, np.ndarray, Optional[np.ndarray], List[slice]]:
+    """Stack the jobs' query rows into one workload.
+
+    Returns ``(items, positions, epsilons, slices)`` — the concatenated
+    query series, their collection positions, the per-query ε vector
+    (``None`` for kNN jobs, which carry no ε), and each job's row slice
+    of the merged workload (for :func:`scatter_rows`).
+    """
+    if not jobs:
+        raise InvalidParameterError("cannot merge an empty batch")
+    items: List = []
+    positions: List[np.ndarray] = []
+    epsilons: List[np.ndarray] = []
+    slices: List[slice] = []
+    offset = 0
+    for job in jobs:
+        rows = job.n_queries
+        items.extend(job.items)
+        positions.append(np.asarray(job.positions, dtype=np.intp))
+        if "epsilon" in job.params:
+            epsilon = np.asarray(job.params["epsilon"], dtype=np.float64)
+            if epsilon.ndim == 0:
+                epsilon = np.full(rows, float(epsilon))
+            elif epsilon.shape != (rows,):
+                raise InvalidParameterError(
+                    f"request {job.request_id!r}: epsilon has shape "
+                    f"{epsilon.shape}, expected scalar or ({rows},)"
+                )
+            epsilons.append(epsilon)
+        slices.append(slice(offset, offset + rows))
+        offset += rows
+    if epsilons and len(epsilons) != len(jobs):
+        raise InvalidParameterError(
+            "either every request of a batch carries epsilon or none does"
+        )
+    merged_epsilon = np.concatenate(epsilons) if epsilons else None
+    return items, np.concatenate(positions), merged_epsilon, slices
+
+
+def execute_batch(
+    session: SimilaritySession,
+    technique: Technique,
+    op: str,
+    jobs: Sequence[QueryJob],
+):
+    """Run one coalesced batch through the session's planner kernels.
+
+    Returns the batch-level result object
+    (:class:`~repro.queries.session.KnnResult` /
+    :class:`~repro.queries.session.RangeResult`) together with the
+    per-job row slices for :func:`scatter_rows`.
+    """
+    items, positions, epsilon, slices = merge_requests(jobs)
+    query_set = QuerySet(session, items, positions, technique)
+    if op == "knn":
+        result = query_set.knn(int(jobs[0].params["k"]))
+    elif op == "range":
+        result = query_set.range(epsilon)
+    elif op == "prob_range":
+        result = query_set.prob_range(epsilon, float(jobs[0].params["tau"]))
+    else:
+        raise InvalidParameterError(f"op {op!r} is not batchable")
+    return result, slices
+
+
+def scatter_rows(result, job_slice: slice):
+    """One job's share of a batch result.
+
+    Slices row-wise structures only — scores, rankings, match sets,
+    ε vectors; batch-level metadata (timings, pruning stats) is shared
+    by every member and reported separately.
+    """
+    if isinstance(result, KnnResult):
+        return {
+            "indices": result.indices[job_slice].tolist(),
+            "scores": result.scores[job_slice].tolist(),
+        }
+    if isinstance(result, RangeResult):
+        payload = {
+            "matches": [
+                [int(i) for i in found]
+                for found in result.matches[job_slice]
+            ],
+            "epsilons": result.epsilons[job_slice].tolist(),
+        }
+        if result.tau is not None:
+            payload["tau"] = result.tau
+        return payload
+    raise InvalidParameterError(
+        f"cannot scatter result of type {type(result).__name__}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# The asyncio admission queue
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchInfo:
+    """Occupancy report for one dispatched batch (attached per response)."""
+
+    size: int
+    n_queries: int
+    waited_ms: float
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "size": self.size,
+            "n_queries": self.n_queries,
+            "waited_ms": round(self.waited_ms, 3),
+        }
+
+
+class _PendingBatch:
+    __slots__ = ("jobs", "futures", "timer", "dispatched")
+
+    def __init__(self) -> None:
+        self.jobs: List[QueryJob] = []
+        self.futures: List[asyncio.Future] = []
+        self.timer: Optional[asyncio.TimerHandle] = None
+        self.dispatched = False
+
+
+class BatchQueue:
+    """Coalesce submitted jobs per key; dispatch full or expired batches.
+
+    ``dispatch(key, jobs)`` is awaited off the queue's internal task and
+    must return one result per job (the daemon runs the merged kernel in
+    its thread pool and scatters with :func:`scatter_rows`).  A dispatch
+    exception is delivered to every member request's future — one bad
+    batch never wedges the queue.
+
+    ``max_batch`` jobs dispatch immediately; otherwise the batch waits
+    at most ``max_delay`` seconds from its *first* admission (a
+    timeout-expired partial batch runs with whatever coalesced by then).
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable[[Tuple, List[QueryJob]], Awaitable[List[Any]]],
+        max_batch: int = 32,
+        max_delay: float = 0.002,
+    ) -> None:
+        if max_batch < 1:
+            raise InvalidParameterError(
+                f"max_batch must be >= 1, got {max_batch}"
+            )
+        if max_delay < 0:
+            raise InvalidParameterError(
+                f"max_delay must be >= 0, got {max_delay}"
+            )
+        self._dispatch = dispatch
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self._pending: Dict[Tuple, _PendingBatch] = {}
+        self._tasks: set = set()
+
+    @property
+    def in_flight(self) -> int:
+        """Dispatched batches still executing."""
+        return len(self._tasks)
+
+    async def submit(self, key: Tuple, job: QueryJob) -> Tuple[Any, BatchInfo]:
+        """Admit one job; resolves to ``(result, batch_info)``.
+
+        ``result`` is whatever the dispatch coroutine returned for this
+        job's position; ``batch_info`` reports how the admission played
+        out (batch size, total query rows, how long this job waited).
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        pending = self._pending.get(key)
+        if pending is None or pending.dispatched:
+            pending = _PendingBatch()
+            self._pending[key] = pending
+            if self.max_batch > 1 and self.max_delay > 0:
+                pending.timer = loop.call_later(
+                    self.max_delay, self._flush, key, pending
+                )
+        pending.jobs.append(job)
+        pending.futures.append(future)
+        if len(pending.jobs) >= self.max_batch or pending.timer is None:
+            self._flush(key, pending)
+        return await future
+
+    def _flush(self, key: Tuple, pending: _PendingBatch) -> None:
+        if pending.dispatched:
+            return
+        pending.dispatched = True
+        if pending.timer is not None:
+            pending.timer.cancel()
+        if self._pending.get(key) is pending:
+            del self._pending[key]
+        task = asyncio.get_running_loop().create_task(
+            self._run(key, pending)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run(self, key: Tuple, pending: _PendingBatch) -> None:
+        dispatched_at = time.monotonic()
+        n_queries = sum(job.n_queries for job in pending.jobs)
+        try:
+            results = await self._dispatch(key, pending.jobs)
+            if len(results) != len(pending.jobs):
+                raise InvalidParameterError(
+                    f"dispatch returned {len(results)} results for "
+                    f"{len(pending.jobs)} jobs"
+                )
+        except BaseException as error:  # delivered, never swallowed
+            for future in pending.futures:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for job, future, result in zip(
+            pending.jobs, pending.futures, results
+        ):
+            if future.done():
+                continue  # requester gave up (per-request timeout)
+            info = BatchInfo(
+                size=len(pending.jobs),
+                n_queries=n_queries,
+                waited_ms=(dispatched_at - job.enqueued) * 1e3,
+            )
+            future.set_result((result, info))
+
+    async def drain(self) -> None:
+        """Dispatch every pending batch and wait for all work to finish."""
+        for key, pending in list(self._pending.items()):
+            self._flush(key, pending)
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)

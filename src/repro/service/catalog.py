@@ -1,0 +1,453 @@
+"""Persistent collection catalog: name → mmap manifest, WAL-mode SQLite.
+
+The daemon must survive restarts without re-ingesting anything: every
+collection a user ever registered — its manifest path, kind, shape and
+persisted index artifacts — lives in one small SQLite database opened in
+WAL mode, so any number of concurrent reader processes (a restarted
+daemon, a client-side script, a second daemon on another port) see a
+consistent snapshot while one writer registers new collections.
+
+The schema is versioned through the ``catalog_meta`` table and migrated
+*on open*: a catalog written by an older release upgrades in place
+(inside one transaction, so a crash mid-migration leaves the old
+version intact), while a catalog from a **newer** release is rejected
+with :class:`CatalogError` instead of being misread.
+
+The catalog stores *pointers*, not data — the payloads stay in the
+mmap directories written by :func:`repro.core.mmapio.save_collection`
+and :func:`~repro.core.mmapio.build_index`.  Opening a registered
+collection is therefore O(1) in collection size: the manifest's arrays
+are memory-mapped and pages fault in on demand.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import sqlite3
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.errors import ReproError
+from ..core.mmapio import (
+    MANIFEST_FORMAT,
+    MappedCollection,
+    _resolve_manifest,
+    load_collection,
+)
+
+#: Current catalog schema version (see :data:`_MIGRATIONS` for history).
+SCHEMA_VERSION = 2
+
+
+class CatalogError(ReproError):
+    """A catalog cannot be opened, migrated, or a lookup failed."""
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One registered collection."""
+
+    name: str
+    manifest_path: str
+    kind: str
+    n_series: int
+    length: int
+    indexed: bool
+    registered_at: str
+    artifacts: Dict[str, str]
+
+
+def _read_manifest(path: str) -> Dict:
+    """Load and sanity-check a collection manifest for registration."""
+    try:
+        manifest_path = _resolve_manifest(path)
+    except ReproError as error:
+        raise CatalogError(
+            f"cannot register {path!r}: {error}"
+        ) from error
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        try:
+            manifest = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise CatalogError(
+                f"cannot register {manifest_path!r}: manifest is not "
+                f"valid JSON ({error})"
+            ) from error
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise CatalogError(
+            f"cannot register {manifest_path!r}: not a "
+            f"{MANIFEST_FORMAT} manifest"
+        )
+    manifest["__path__"] = manifest_path
+    return manifest
+
+
+def _manifest_artifacts(manifest: Dict) -> Dict[str, str]:
+    """Persisted artifact files recorded by the manifest (index tables)."""
+    artifacts: Dict[str, str] = dict(manifest.get("arrays") or {})
+    index_spec = manifest.get("index") or {}
+    for key, file_name in (index_spec.get("arrays") or {}).items():
+        artifacts[f"index:{key}"] = file_name
+    return artifacts
+
+
+# ---------------------------------------------------------------------------
+# Schema + migrations
+# ---------------------------------------------------------------------------
+
+
+def _create_schema(connection: sqlite3.Connection) -> None:
+    """Create the current-version schema on a fresh database."""
+    connection.executescript(
+        """
+        CREATE TABLE IF NOT EXISTS catalog_meta (
+            key   TEXT PRIMARY KEY,
+            value TEXT NOT NULL
+        );
+        CREATE TABLE IF NOT EXISTS collections (
+            name          TEXT PRIMARY KEY,
+            manifest_path TEXT NOT NULL,
+            kind          TEXT NOT NULL,
+            n_series      INTEGER NOT NULL,
+            length        INTEGER NOT NULL,
+            indexed       INTEGER NOT NULL DEFAULT 0,
+            registered_at TEXT NOT NULL,
+            artifacts     TEXT NOT NULL DEFAULT '{}'
+        );
+        """
+    )
+    connection.execute(
+        "INSERT OR REPLACE INTO catalog_meta (key, value) VALUES (?, ?)",
+        ("schema_version", str(SCHEMA_VERSION)),
+    )
+
+
+def _migrate_v1_to_v2(connection: sqlite3.Connection) -> None:
+    """v1 → v2: add the ``indexed`` / ``artifacts`` columns.
+
+    Version 1 recorded only ``(name, manifest_path, kind, n_series,
+    length, registered_at)``.  Version 2 adds whether the collection has
+    persisted PAA index tables and the artifact-file map, backfilled
+    from each manifest where it is still readable (a missing manifest
+    backfills to "no artifacts" — :meth:`ServiceCatalog.open_collection`
+    surfaces the real error when the entry is actually used).
+    """
+    connection.execute(
+        "ALTER TABLE collections ADD COLUMN indexed INTEGER NOT NULL "
+        "DEFAULT 0"
+    )
+    connection.execute(
+        "ALTER TABLE collections ADD COLUMN artifacts TEXT NOT NULL "
+        "DEFAULT '{}'"
+    )
+    rows = connection.execute(
+        "SELECT name, manifest_path FROM collections"
+    ).fetchall()
+    for name, manifest_path in rows:
+        try:
+            manifest = _read_manifest(manifest_path)
+        except CatalogError:
+            continue
+        connection.execute(
+            "UPDATE collections SET indexed = ?, artifacts = ? "
+            "WHERE name = ?",
+            (
+                int(bool(manifest.get("index"))),
+                json.dumps(_manifest_artifacts(manifest), sort_keys=True),
+                name,
+            ),
+        )
+
+
+#: from-version -> in-place upgrade to from-version + 1.
+_MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {
+    1: _migrate_v1_to_v2,
+}
+
+
+# ---------------------------------------------------------------------------
+# The catalog
+# ---------------------------------------------------------------------------
+
+
+class ServiceCatalog:
+    """The service's collection registry, persisted in one SQLite file.
+
+    Parameters
+    ----------
+    path:
+        Database file (created with the current schema if absent).
+    readonly:
+        Open an existing catalog for reads only — concurrent reader
+        processes use this so they never take the write lock and never
+        attempt a migration (an old-version catalog read-only raises).
+
+    Thread-safe: one connection guarded by a lock (WAL mode keeps
+    concurrent *processes* consistent; the lock serializes this
+    process's statements).  Usable as a context manager.
+    """
+
+    def __init__(self, path: str, readonly: bool = False) -> None:
+        self.path = os.fspath(path)
+        self.readonly = readonly
+        exists = os.path.exists(self.path)
+        if readonly and not exists:
+            raise CatalogError(f"no catalog database at {self.path!r}")
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        self._lock = threading.RLock()
+        # check_same_thread=False: the daemon touches the catalog from
+        # the event loop *and* pool threads; the RLock serializes them.
+        self._connection = sqlite3.connect(
+            self.path, check_same_thread=False
+        )
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA synchronous=NORMAL")
+        try:
+            if exists and self._has_schema():
+                self._upgrade()
+            elif readonly:
+                raise CatalogError(
+                    f"{self.path!r} is not a repro service catalog "
+                    f"(no catalog_meta table)"
+                )
+            else:
+                with self._connection:
+                    _create_schema(self._connection)
+        except BaseException:
+            self._connection.close()
+            raise
+
+    # -- schema ------------------------------------------------------------
+
+    def _has_schema(self) -> bool:
+        row = self._connection.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' "
+            "AND name='catalog_meta'"
+        ).fetchone()
+        return row is not None
+
+    def schema_version(self) -> int:
+        """The catalog's current on-disk schema version."""
+        row = self._connection.execute(
+            "SELECT value FROM catalog_meta WHERE key='schema_version'"
+        ).fetchone()
+        if row is None:
+            raise CatalogError(
+                f"{self.path!r} has no schema_version record; "
+                f"not a repro service catalog"
+            )
+        return int(row[0])
+
+    def _upgrade(self) -> None:
+        version = self.schema_version()
+        if version > SCHEMA_VERSION:
+            raise CatalogError(
+                f"catalog {self.path!r} has schema version {version}, "
+                f"newer than this build's {SCHEMA_VERSION}; upgrade the "
+                f"library instead of downgrading the catalog"
+            )
+        if version == SCHEMA_VERSION:
+            return
+        if self.readonly:
+            raise CatalogError(
+                f"catalog {self.path!r} has schema version {version} and "
+                f"needs migration to {SCHEMA_VERSION}; open it writable "
+                f"once to upgrade"
+            )
+        with self._lock, self._connection:
+            # Re-check under the write transaction: another process may
+            # have migrated between our read and the lock.
+            version = self.schema_version()
+            while version < SCHEMA_VERSION:
+                migrate = _MIGRATIONS.get(version)
+                if migrate is None:
+                    raise CatalogError(
+                        f"no migration path from catalog schema "
+                        f"{version} to {SCHEMA_VERSION}"
+                    )
+                migrate(self._connection)
+                version += 1
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO catalog_meta (key, value) "
+                    "VALUES ('schema_version', ?)",
+                    (str(version),),
+                )
+
+    # -- registration ------------------------------------------------------
+
+    def register(
+        self, name: str, path: str, replace: bool = False
+    ) -> CatalogEntry:
+        """Register a saved collection under ``name``.
+
+        ``path`` is the collection directory or its manifest file; the
+        manifest is read now, so a bad path fails at registration time,
+        not at first query.  Re-registering an existing name requires
+        ``replace=True`` (it also refreshes the recorded artifacts after
+        an out-of-band :func:`~repro.core.mmapio.build_index`).
+        """
+        if self.readonly:
+            raise CatalogError(
+                f"catalog {self.path!r} is open read-only"
+            )
+        if not isinstance(name, str) or not name:
+            raise CatalogError(
+                f"collection name must be a non-empty string, got {name!r}"
+            )
+        manifest = _read_manifest(path)
+        entry = CatalogEntry(
+            name=name,
+            manifest_path=os.path.abspath(manifest["__path__"]),
+            kind=str(manifest.get("kind")),
+            n_series=int(manifest["n_series"]),
+            length=int(manifest["length"]),
+            indexed=bool(manifest.get("index")),
+            registered_at=datetime.datetime.now(
+                datetime.timezone.utc
+            ).isoformat(timespec="seconds"),
+            artifacts=_manifest_artifacts(manifest),
+        )
+        with self._lock, self._connection:
+            if not replace:
+                row = self._connection.execute(
+                    "SELECT 1 FROM collections WHERE name = ?", (name,)
+                ).fetchone()
+                if row is not None:
+                    raise CatalogError(
+                        f"collection {name!r} is already registered; "
+                        f"pass replace=True to overwrite"
+                    )
+            self._connection.execute(
+                "INSERT OR REPLACE INTO collections (name, manifest_path, "
+                "kind, n_series, length, indexed, registered_at, artifacts) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    entry.name,
+                    entry.manifest_path,
+                    entry.kind,
+                    entry.n_series,
+                    entry.length,
+                    int(entry.indexed),
+                    entry.registered_at,
+                    json.dumps(entry.artifacts, sort_keys=True),
+                ),
+            )
+        return entry
+
+    def unregister(self, name: str) -> None:
+        """Remove one entry (the on-disk collection is left untouched)."""
+        if self.readonly:
+            raise CatalogError(f"catalog {self.path!r} is open read-only")
+        with self._lock, self._connection:
+            cursor = self._connection.execute(
+                "DELETE FROM collections WHERE name = ?", (name,)
+            )
+            if cursor.rowcount == 0:
+                raise CatalogError(f"no collection named {name!r}")
+
+    # -- lookup ------------------------------------------------------------
+
+    @staticmethod
+    def _entry(row) -> CatalogEntry:
+        return CatalogEntry(
+            name=row[0],
+            manifest_path=row[1],
+            kind=row[2],
+            n_series=int(row[3]),
+            length=int(row[4]),
+            indexed=bool(row[5]),
+            registered_at=row[6],
+            artifacts=json.loads(row[7]),
+        )
+
+    _COLUMNS = (
+        "name, manifest_path, kind, n_series, length, indexed, "
+        "registered_at, artifacts"
+    )
+
+    def get(self, name: str) -> CatalogEntry:
+        """The entry registered under ``name`` (or :class:`CatalogError`)."""
+        with self._lock:
+            row = self._connection.execute(
+                f"SELECT {self._COLUMNS} FROM collections WHERE name = ?",
+                (name,),
+            ).fetchone()
+        if row is None:
+            known = ", ".join(self.names()) or "none registered"
+            raise CatalogError(
+                f"no collection named {name!r} in catalog {self.path!r} "
+                f"(known: {known})"
+            )
+        return self._entry(row)
+
+    def entries(self) -> List[CatalogEntry]:
+        """Every registered collection, ordered by name."""
+        with self._lock:
+            rows = self._connection.execute(
+                f"SELECT {self._COLUMNS} FROM collections ORDER BY name"
+            ).fetchall()
+        return [self._entry(row) for row in rows]
+
+    def names(self) -> List[str]:
+        """Registered collection names, ordered."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT name FROM collections ORDER BY name"
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def __len__(self) -> int:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM collections"
+            ).fetchone()
+        return int(row[0])
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT 1 FROM collections WHERE name = ?", (name,)
+            ).fetchone()
+        return row is not None
+
+    def open_collection(
+        self, name: str, mmap_mode: Optional[str] = "r"
+    ) -> MappedCollection:
+        """Memory-map the collection registered under ``name``.
+
+        O(1) in collection size (pages fault in on demand).  A manifest
+        whose payloads were deleted out-of-band raises a
+        :class:`CatalogError` naming both the entry and the missing
+        file, so operators can tell a stale registration from a bug.
+        """
+        entry = self.get(name)
+        try:
+            return load_collection(entry.manifest_path, mmap_mode=mmap_mode)
+        except ReproError as error:
+            raise CatalogError(
+                f"collection {name!r} (manifest "
+                f"{entry.manifest_path!r}) cannot be opened: {error}"
+            ) from error
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the database connection (idempotent)."""
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "ServiceCatalog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        mode = "ro" if self.readonly else "rw"
+        return f"ServiceCatalog(path={self.path!r}, mode={mode})"

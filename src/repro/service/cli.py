@@ -1,0 +1,229 @@
+"""``python -m repro.cli serve`` / ``query`` — the service's shell surface.
+
+Start a daemon over a catalog (registering collections on the way up)::
+
+    python -m repro.cli serve --catalog /data/catalog.db --port 7791 \
+        --register trades=/data/trades_collection
+
+Query it from another shell::
+
+    python -m repro.cli query --port 7791 --collection trades \
+        --knn 10 --technique dust --queries 0,1,2
+    python -m repro.cli query --port 7791 --collection sensors \
+        --prob-range 4.0 0.4 --technique proud
+    python -m repro.cli query --port 7791 --status
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .catalog import ServiceCatalog
+from .client import ServiceClient
+from .daemon import DEFAULT_MAX_BATCH, DEFAULT_MAX_DELAY, SimilarityDaemon
+from .protocol import TECHNIQUE_NAMES
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli serve",
+        description="Run the similarity-service daemon over a catalog.",
+    )
+    parser.add_argument(
+        "--catalog",
+        required=True,
+        help="path of the WAL SQLite catalog database (created if absent)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=7791,
+        help="bind port (0 picks an ephemeral port; default 7791)",
+    )
+    parser.add_argument(
+        "--register",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="register a saved collection before serving (repeatable)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=DEFAULT_MAX_BATCH,
+        help="coalesce at most this many compatible requests per kernel "
+        f"run (default {DEFAULT_MAX_BATCH})",
+    )
+    parser.add_argument(
+        "--max-delay",
+        type=float,
+        default=DEFAULT_MAX_DELAY,
+        metavar="SECONDS",
+        help="hold a partial batch at most this long "
+        f"(default {DEFAULT_MAX_DELAY})",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request timeout (default: unbounded)",
+    )
+    parser.add_argument(
+        "--no-preload",
+        action="store_true",
+        help="warm sessions lazily on first query instead of at startup",
+    )
+    return parser
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro.cli serve``."""
+    args = build_serve_parser().parse_args(argv)
+    catalog = ServiceCatalog(args.catalog)
+    for item in args.register:
+        name, _, path = item.partition("=")
+        if not name or not path:
+            print(
+                f"--register expects NAME=PATH, got {item!r}",
+                file=sys.stderr,
+            )
+            return 2
+        catalog.register(name, path, replace=True)
+        print(f"registered {name!r} -> {path}")
+
+    def announce(daemon: SimilarityDaemon) -> None:
+        warm = ", ".join(daemon.warm_collections) or "none"
+        print(
+            f"repro-service listening on {daemon.host}:{daemon.port} "
+            f"(catalog={args.catalog}, warm: {warm})",
+            flush=True,
+        )
+
+    SimilarityDaemon.run(
+        catalog,
+        announce=announce,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+        default_timeout=args.timeout,
+        preload=not args.no_preload,
+    )
+    print("repro-service drained and stopped", flush=True)
+    return 0
+
+
+def build_query_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli query",
+        description="Query a running similarity-service daemon.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7791)
+    parser.add_argument("--collection", default=None)
+    parser.add_argument(
+        "--technique",
+        default="euclidean",
+        help=f"technique name ({', '.join(TECHNIQUE_NAMES)}), or a JSON "
+        f'spec like \'{{"name": "proud", "params": {{"assumed_std": 0.7}}}}\'',
+    )
+    parser.add_argument(
+        "--queries",
+        default=None,
+        metavar="I,J,...",
+        help="comma-separated query indices (default: every series)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS"
+    )
+    verb = parser.add_mutually_exclusive_group(required=True)
+    verb.add_argument("--knn", type=int, metavar="K")
+    verb.add_argument("--range", type=float, metavar="EPSILON", dest="range_")
+    verb.add_argument(
+        "--prob-range",
+        type=float,
+        nargs=2,
+        metavar=("EPSILON", "TAU"),
+        dest="prob_range",
+    )
+    verb.add_argument("--status", action="store_true")
+    verb.add_argument("--list", action="store_true", dest="list_")
+    verb.add_argument("--shutdown", action="store_true")
+    return parser
+
+
+def query_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro.cli query``."""
+    parser = build_query_parser()
+    args = parser.parse_args(argv)
+    technique = args.technique
+    if technique.strip().startswith("{"):
+        technique = json.loads(technique)
+    indices = None
+    if args.queries is not None:
+        indices = [int(part) for part in args.queries.split(",") if part]
+
+    with ServiceClient(args.host, args.port) as client:
+        if args.status:
+            print(json.dumps(client.status(), indent=2))
+            return 0
+        if args.list_:
+            print(json.dumps(client.list_collections(), indent=2))
+            return 0
+        if args.shutdown:
+            client.shutdown()
+            print("daemon stopping")
+            return 0
+        if args.collection is None:
+            parser.error("query verbs require --collection")
+        if args.knn is not None:
+            result = client.knn(
+                args.collection,
+                k=args.knn,
+                technique=technique,
+                indices=indices,
+                timeout=args.timeout,
+            )
+            for row, (neighbors, scores) in enumerate(
+                zip(result.indices, result.scores)
+            ):
+                pairs = ", ".join(
+                    f"{index}:{score:.4f}"
+                    for index, score in zip(neighbors, scores)
+                )
+                print(f"query {row}: {pairs}")
+        elif args.range_ is not None:
+            result = client.range(
+                args.collection,
+                epsilon=args.range_,
+                technique=technique,
+                indices=indices,
+                timeout=args.timeout,
+            )
+            for row, found in enumerate(result.matches):
+                print(f"query {row}: {found}")
+        else:
+            epsilon, tau = args.prob_range
+            result = client.prob_range(
+                args.collection,
+                epsilon=epsilon,
+                tau=tau,
+                technique=technique,
+                indices=indices,
+                timeout=args.timeout,
+            )
+            for row, found in enumerate(result.matches):
+                print(f"query {row}: {found}")
+        if result.batch:
+            print(
+                f"[batch size {result.batch['size']}, "
+                f"{result.batch['n_queries']} query rows, waited "
+                f"{result.batch['waited_ms']:.2f} ms; kernel "
+                f"{result.elapsed_ms:.2f} ms]"
+            )
+    return 0

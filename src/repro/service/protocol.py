@@ -1,0 +1,358 @@
+"""Versioned JSON wire protocol of the similarity service.
+
+One request or response per line (newline-delimited UTF-8 JSON).  Every
+message carries the protocol version ``v`` and the client-chosen request
+``id``; the daemon echoes the id so a client can multiplex.  Errors are
+structured — ``{"type": ..., "message": ...}`` — never raw tracebacks.
+
+Request::
+
+    {"v": 1, "id": "q-0", "op": "knn",
+     "collection": "trades",
+     "technique": {"name": "dust", "params": {}},
+     "params": {"k": 10},
+     "queries": {"indices": [0, 1, 2]},        # omit for all series
+     "timeout": 30.0}                           # optional, seconds
+
+Ops: ``ping`` / ``status`` / ``list`` / ``register`` / ``knn`` /
+``range`` / ``prob_range`` / ``shutdown``.
+
+Response::
+
+    {"v": 1, "id": "q-0", "ok": true,
+     "result": {"indices": [[...]], "scores": [[...]]},
+     "stats": {...},                            # PruningStats, optional
+     "batch": {"size": 4, "n_queries": 64, "waited_ms": 1.7},
+     "elapsed_ms": 12.4}
+
+    {"v": 1, "id": "q-0", "ok": false,
+     "error": {"type": "UnknownCollection", "message": "..."}}
+
+The technique registry (:data:`TECHNIQUE_NAMES`) maps wire names to the
+library's :class:`~repro.queries.techniques.Technique` constructors; a
+request's ``technique`` spec is canonicalized by :func:`technique_key`
+so the batcher can coalesce requests that will execute identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..core.errors import ReproError
+from ..queries.planner import PruningStats
+from ..queries.techniques import (
+    DustDtwTechnique,
+    DustTechnique,
+    EuclideanTechnique,
+    FilteredTechnique,
+    MunichDtwTechnique,
+    MunichTechnique,
+    ProudTechnique,
+    Technique,
+)
+
+#: Bump on incompatible wire-format changes; both ends must match.
+PROTOCOL_VERSION = 1
+
+#: Longest accepted request line (64 MiB): bounds a malicious or
+#: corrupted client's memory footprint without constraining real
+#: workloads (10⁴ raw queries of length 1024 fit comfortably).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+#: Query operations (executed through a session; batchable).
+QUERY_OPS = ("knn", "range", "prob_range")
+#: Control operations (answered on the event loop).
+CONTROL_OPS = ("ping", "status", "list", "register", "shutdown")
+
+
+class ProtocolError(ReproError):
+    """A request violates the wire protocol (shape, version, values)."""
+
+
+# ---------------------------------------------------------------------------
+# Technique registry
+# ---------------------------------------------------------------------------
+
+
+def _build_munich(params: Dict[str, Any]) -> Technique:
+    from ..munich import Munich
+
+    munich_kwargs = {
+        key: params[key]
+        for key in ("tau", "method", "n_bins", "n_samples", "rng")
+        if key in params
+    }
+    if munich_kwargs:
+        munich_kwargs.setdefault("tau", 0.5)
+        return MunichTechnique(Munich(**munich_kwargs))
+    return MunichTechnique()
+
+
+def _build_munich_dtw(params: Dict[str, Any]) -> Technique:
+    from ..munich import Munich
+
+    munich_kwargs = {
+        key: params[key]
+        for key in ("tau", "n_samples", "rng")
+        if key in params
+    }
+    munich = None
+    if munich_kwargs:
+        munich_kwargs.setdefault("tau", 0.5)
+        munich_kwargs.setdefault("rng", 0)
+        munich = Munich(method="montecarlo", **munich_kwargs)
+    return MunichDtwTechnique(window=params.get("window"), munich=munich)
+
+
+_TechniqueBuilder = Callable[[Dict[str, Any]], Technique]
+
+#: wire name -> (builder over the params dict, accepted parameter names)
+_TECHNIQUES: Dict[str, Tuple[_TechniqueBuilder, Tuple[str, ...]]] = {
+    "euclidean": (lambda p: EuclideanTechnique(), ()),
+    "uma": (
+        lambda p: FilteredTechnique.uma(window=p.get("window", 2)),
+        ("window",),
+    ),
+    "uema": (
+        lambda p: FilteredTechnique.uema(
+            window=p.get("window", 2), decay=p.get("decay", 1.0)
+        ),
+        ("window", "decay"),
+    ),
+    "dust": (lambda p: DustTechnique(), ()),
+    "proud": (
+        lambda p: ProudTechnique(assumed_std=p.get("assumed_std")),
+        ("assumed_std",),
+    ),
+    "munich": (
+        _build_munich,
+        ("tau", "method", "n_bins", "n_samples", "rng"),
+    ),
+    "dust-dtw": (
+        lambda p: DustDtwTechnique(window=p.get("window")),
+        ("window",),
+    ),
+    "munich-dtw": (
+        _build_munich_dtw,
+        ("window", "tau", "n_samples", "rng"),
+    ),
+}
+
+#: Wire names of every servable technique family.
+TECHNIQUE_NAMES = tuple(sorted(_TECHNIQUES))
+
+
+def normalize_technique_spec(spec: Any) -> Dict[str, Any]:
+    """Validate a request's technique spec into ``{"name", "params"}``.
+
+    Accepts a bare name string or a ``{"name": ..., "params": {...}}``
+    mapping; unknown names and parameters raise :class:`ProtocolError`
+    (a typo must never silently fall back to defaults).
+    """
+    if spec is None:
+        spec = "euclidean"
+    if isinstance(spec, str):
+        spec = {"name": spec, "params": {}}
+    if not isinstance(spec, dict) or not isinstance(spec.get("name"), str):
+        raise ProtocolError(
+            f"technique spec must be a name or {{'name', 'params'}} "
+            f"mapping, got {spec!r}"
+        )
+    name = spec["name"].lower()
+    params = spec.get("params") or {}
+    if name not in _TECHNIQUES:
+        raise ProtocolError(
+            f"unknown technique {name!r}; servable techniques: "
+            f"{', '.join(TECHNIQUE_NAMES)}"
+        )
+    if not isinstance(params, dict):
+        raise ProtocolError(
+            f"technique params must be a mapping, got {params!r}"
+        )
+    accepted = _TECHNIQUES[name][1]
+    unknown = sorted(set(params) - set(accepted))
+    if unknown:
+        raise ProtocolError(
+            f"technique {name!r} does not accept parameter(s) "
+            f"{', '.join(map(repr, unknown))}; accepted: "
+            f"{list(accepted) or 'none'}"
+        )
+    return {"name": name, "params": dict(params)}
+
+
+def build_technique(spec: Any) -> Technique:
+    """A fresh :class:`Technique` instance for a (normalized) spec."""
+    normalized = normalize_technique_spec(spec)
+    return _TECHNIQUES[normalized["name"]][0](normalized["params"])
+
+
+def technique_key(spec: Any) -> str:
+    """Canonical string of a technique spec (the batcher's coalescing key).
+
+    Two requests with equal keys execute through one technique instance
+    and may share one ``(M, N)`` matrix execution.
+    """
+    normalized = normalize_technique_spec(spec)
+    return json.dumps(normalized, sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# Messages
+# ---------------------------------------------------------------------------
+
+
+def encode_message(payload: Dict[str, Any]) -> bytes:
+    """One wire line: compact JSON + newline."""
+    return (
+        json.dumps(payload, separators=(",", ":"), allow_nan=False) + "\n"
+    ).encode("utf-8")
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line into a mapping, or raise :class:`ProtocolError`."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"malformed JSON line: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"a message must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+@dataclass(frozen=True)
+class Request:
+    """A validated query/control request."""
+
+    request_id: str
+    op: str
+    collection: Optional[str] = None
+    technique: Dict[str, Any] = field(default_factory=dict)
+    params: Dict[str, Any] = field(default_factory=dict)
+    queries: Optional[Dict[str, Any]] = None
+    timeout: Optional[float] = None
+
+
+def parse_request(payload: Dict[str, Any]) -> Request:
+    """Validate a decoded request payload.
+
+    Checks version and op up front and normalizes the technique spec;
+    op-specific parameter validation (``k`` / ``epsilon`` / ``tau``)
+    stays with the daemon, which owns the collection context.
+    """
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: server speaks "
+            f"v{PROTOCOL_VERSION}, request carries {version!r}"
+        )
+    request_id = payload.get("id")
+    if not isinstance(request_id, str) or not request_id:
+        raise ProtocolError("every request needs a non-empty string 'id'")
+    op = payload.get("op")
+    if op not in QUERY_OPS and op not in CONTROL_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; query ops: {', '.join(QUERY_OPS)}; "
+            f"control ops: {', '.join(CONTROL_OPS)}"
+        )
+    collection = payload.get("collection")
+    if op in QUERY_OPS and not isinstance(collection, str):
+        raise ProtocolError(f"op {op!r} requires a 'collection' name")
+    queries = payload.get("queries")
+    if queries is not None:
+        if not isinstance(queries, dict) or not (
+            ("indices" in queries) ^ ("values" in queries)
+        ):
+            raise ProtocolError(
+                "'queries' must be {'indices': [...]} or {'values': [...]}"
+            )
+    timeout = payload.get("timeout")
+    if timeout is not None:
+        timeout = float(timeout)
+        if timeout <= 0:
+            raise ProtocolError(f"timeout must be > 0, got {timeout}")
+    params = payload.get("params") or {}
+    if not isinstance(params, dict):
+        raise ProtocolError(f"'params' must be a mapping, got {params!r}")
+    technique = (
+        normalize_technique_spec(payload.get("technique"))
+        if op in QUERY_OPS
+        else {}
+    )
+    return Request(
+        request_id=request_id,
+        op=op,
+        collection=collection,
+        technique=technique,
+        params=params,
+        queries=queries,
+        timeout=timeout,
+    )
+
+
+def ok_response(
+    request_id: str,
+    result: Dict[str, Any],
+    stats: Optional[Dict[str, Any]] = None,
+    batch: Optional[Dict[str, Any]] = None,
+    elapsed_ms: Optional[float] = None,
+) -> Dict[str, Any]:
+    """A success payload ready for :func:`encode_message`."""
+    payload: Dict[str, Any] = {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": True,
+        "result": result,
+    }
+    if stats is not None:
+        payload["stats"] = stats
+    if batch is not None:
+        payload["batch"] = batch
+    if elapsed_ms is not None:
+        payload["elapsed_ms"] = round(float(elapsed_ms), 3)
+    return payload
+
+
+def error_response(
+    request_id: Optional[str], error_type: str, message: str
+) -> Dict[str, Any]:
+    """A structured error payload (no tracebacks cross the wire)."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": {"type": error_type, "message": message},
+    }
+
+
+def stats_payload(stats: Optional[PruningStats]) -> Optional[Dict[str, Any]]:
+    """Serialize a plan's :class:`PruningStats` for the response."""
+    if stats is None:
+        return None
+    payload: Dict[str, Any] = {
+        "technique": stats.technique_name,
+        "kind": stats.kind,
+        "n_queries": stats.n_queries,
+        "n_candidates": stats.n_candidates,
+        "total_cells": stats.total_cells,
+        "total_seconds": stats.total_seconds,
+        "stages": [
+            {
+                "stage": entry.stage,
+                "entered": entry.entered,
+                "decided": entry.decided,
+                "refined": entry.refined,
+                "samples_drawn": entry.samples_drawn,
+                "skipped": entry.skipped,
+                "seconds": entry.seconds,
+            }
+            for entry in stats.stages
+        ],
+    }
+    selectivity = stats.index_selectivity
+    if selectivity is not None:
+        payload["index_selectivity"] = selectivity
+    return payload

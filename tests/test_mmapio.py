@@ -239,6 +239,32 @@ class TestErrors:
         with pytest.raises(MappedCollectionError):
             load_collection(str(tmp_path / "nowhere"))
 
+    def test_deleted_payload_names_manifest_and_file(self, pdf, tmp_path):
+        """An out-of-band rm of a payload must not surface as a bare
+        numpy FileNotFoundError — the message names the manifest so an
+        operator can tell a stale registration from a bug."""
+        manifest_path = save_collection(pdf, str(tmp_path))
+        os.remove(tmp_path / "variances.npy")
+        with pytest.raises(MappedCollectionError) as excinfo:
+            load_collection(str(tmp_path))
+        message = str(excinfo.value)
+        assert "variances.npy" in message
+        assert manifest_path in message
+        assert "re-save" in message
+
+    def test_deleted_index_table_names_manifest_and_file(
+        self, pdf, tmp_path
+    ):
+        from repro.core import build_index
+
+        save_collection(pdf, str(tmp_path))
+        build_index(str(tmp_path), n_segments=4)
+        os.remove(tmp_path / "index_means.npy")
+        with pytest.raises(MappedCollectionError) as excinfo:
+            load_collection(str(tmp_path))
+        message = str(excinfo.value)
+        assert "index_means.npy" in message
+
     def test_bad_version(self, pdf, tmp_path):
         manifest_path = save_collection(pdf, str(tmp_path))
         with open(manifest_path, "r", encoding="utf-8") as handle:

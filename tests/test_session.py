@@ -412,6 +412,53 @@ class TestSimilaritySession:
             SimilaritySession([])
 
 
+class TestSessionClose:
+    def test_close_is_idempotent(self, homogeneous):
+        session = SimilaritySession(homogeneous)
+        assert not session.closed
+        session.close()
+        assert session.closed
+        session.close()  # second call is a no-op, not an error
+        assert session.closed
+
+    def test_context_manager_closes(self, homogeneous):
+        with SimilaritySession(homogeneous) as session:
+            assert not session.closed
+        assert session.closed
+
+    def test_concurrent_close_with_worker_pool(self, homogeneous):
+        """Many threads racing close() tear the pool down exactly once.
+
+        The daemon's shutdown path can close a session from a signal
+        handler while a draining request still holds a reference; the
+        pool's terminate/join must never run twice or race a second
+        caller observing half-torn state.
+        """
+        import threading
+
+        session = SimilaritySession(
+            homogeneous, n_workers=2, backend="process"
+        )
+        assert session.executor is not None
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def racer():
+            try:
+                barrier.wait(timeout=30.0)
+                session.close()
+            except Exception as error:  # pragma: no cover - must not fire
+                errors.append(error)
+
+        threads = [threading.Thread(target=racer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert errors == []
+        assert session.closed
+
+
 class TestQuerySetVerbs:
     def test_profile_matrix_distance(self, homogeneous):
         session = SimilaritySession(homogeneous)
