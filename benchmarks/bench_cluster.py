@@ -1,0 +1,320 @@
+#!/usr/bin/env python
+"""Scatter-gather cluster benchmark: shard fleet vs single daemon.
+
+Measures the serving tier's distributed path on one host: the same
+collection answered by one daemon versus column-sharded across a
+four-daemon fleet behind :class:`~repro.service.cluster.ClusterCoordinator`.
+Both sides run through the coordinator (the single daemon behind a
+1-shard map) so the comparison isolates sharding itself: scatter
+threads, per-shard wire time, and the stable-by-index merge.  On
+localhost every shard shares the same cores and process, so the fleet
+ratio **bounds the coordination overhead** — the kernel-scan win
+appears only when shards are separate machines; what must hold here is
+bit-identical parity.
+
+Every timed answer is checked for parity against the in-process session
+(kNN neighbor tables bit-identical in index and 1e-9 in score; range
+match sets exactly equal); the result lands under the payload's
+``cluster`` key, which ``check_regression.py`` treats as fatal when
+false.
+
+Results are written to ``BENCH_cluster.json`` at the repository root.
+
+Run:  PYTHONPATH=src python benchmarks/bench_cluster.py
+      PYTHONPATH=src python benchmarks/bench_cluster.py --quick  (CI smoke)
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import tempfile
+import threading
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core import load_collection
+from repro.datasets import stream_fourier_collection
+from repro.queries import SimilaritySession
+from repro.service import ServiceCatalog, SimilarityDaemon
+from repro.service.cluster import ClusterCoordinator
+from repro.service.protocol import build_technique
+
+SEED = 2012
+N_SHARDS = 4
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_cluster.json",
+)
+#: Query rows timed per configuration (scattered over the collection).
+N_QUERIES = 16
+
+
+class _DaemonThread:
+    """A live daemon on a background event-loop thread."""
+
+    def __init__(self, catalog_path: str, **kwargs) -> None:
+        self.daemon: SimilarityDaemon = None  # type: ignore[assignment]
+        self.loop: asyncio.AbstractEventLoop = None  # type: ignore
+        ready = threading.Event()
+
+        def _serve() -> None:
+            async def _main() -> None:
+                self.daemon = SimilarityDaemon(catalog_path, **kwargs)
+                await self.daemon.start()
+                self.loop = asyncio.get_running_loop()
+                ready.set()
+                await self.daemon.serve_forever()
+
+            asyncio.run(_main())
+
+        self.thread = threading.Thread(target=_serve, daemon=True)
+        self.thread.start()
+        if not ready.wait(timeout=600.0):
+            raise RuntimeError("daemon did not come up")
+
+    def stop(self) -> None:
+        self.loop.call_soon_threadsafe(
+            lambda: asyncio.ensure_future(self.daemon.stop())
+        )
+        self.thread.join(timeout=120.0)
+
+
+def _spawn_fleet(base: str, manifest: str, count: int) -> List[_DaemonThread]:
+    """``count`` daemons, each cataloging the same mmap manifest."""
+    fleet = []
+    for index in range(count):
+        catalog_path = os.path.join(base, f"shard{index}.db")
+        with ServiceCatalog(catalog_path) as catalog:
+            catalog.register("main", manifest)
+        fleet.append(_DaemonThread(catalog_path))
+    return fleet
+
+
+def _cluster_catalog(
+    base: str, manifest: str, fleet: List[_DaemonThread], n_series: int
+) -> str:
+    """A routing catalog column-sharding ``main`` across the fleet."""
+    path = os.path.join(base, "cluster.db")
+    bounds = np.linspace(0, n_series, len(fleet) + 1).astype(int)
+    with ServiceCatalog(path) as catalog:
+        catalog.register("main", manifest)
+        catalog.set_shard_map(
+            "main",
+            [
+                ("127.0.0.1", daemon.daemon.port, int(start), int(stop))
+                for daemon, start, stop in zip(
+                    fleet, bounds[:-1], bounds[1:]
+                )
+            ],
+        )
+    return path
+
+
+def _measure(
+    coordinator: ClusterCoordinator, indices: List[int], k: int, repeats: int
+) -> float:
+    """Best-of-``repeats`` wall-clock seconds per query row."""
+    coordinator.knn("main", k, "euclidean", indices=indices[:1])  # warm
+    best = np.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        coordinator.knn("main", k, "euclidean", indices=indices)
+        best = min(best, time.perf_counter() - started)
+    return float(best) / len(indices)
+
+
+def _check_parity(
+    coordinator: ClusterCoordinator,
+    manifest: str,
+    indices: List[int],
+    k: int,
+    epsilon: float,
+) -> Dict:
+    """Cluster answers vs the in-process session on the same manifest."""
+    checks: List[Dict] = []
+    collection = load_collection(manifest)
+    with SimilaritySession(collection) as session:
+        expected_knn = (
+            session.queries(indices)
+            .using(build_technique("euclidean"))
+            .knn(k)
+        )
+        expected_range = (
+            session.queries(indices)
+            .using(build_technique("euclidean"))
+            .range(epsilon)
+        )
+    merged_knn = coordinator.knn("main", k, "euclidean", indices=indices)
+    checks.append(
+        {
+            "check": "knn_euclidean_cluster",
+            "ok": bool(
+                np.array_equal(merged_knn.indices, expected_knn.indices)
+            )
+            and bool(
+                np.allclose(
+                    merged_knn.scores, expected_knn.scores, atol=1e-9
+                )
+            ),
+        }
+    )
+    merged_range = coordinator.range(
+        "main", epsilon, "euclidean", indices=indices
+    )
+    checks.append(
+        {
+            "check": "range_euclidean_cluster",
+            "ok": [list(row) for row in merged_range.matches]
+            == [list(row) for row in expected_range.matches],
+        }
+    )
+    checks.append(
+        {
+            "check": "no_failed_shards",
+            "ok": merged_knn.failed_shards == ()
+            and merged_range.failed_shards == (),
+        }
+    )
+    return {"all_ok": all(c["ok"] for c in checks), "checks": checks}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-series", type=int, default=60_000)
+    parser.add_argument("--length", type=int, default=64)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--epsilon", type=float, default=5.0)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload for CI smoke runs",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.n_series, args.length, args.repeats = 2400, 32, 2
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cluster-") as tmp:
+        print(
+            f"workload: {args.n_series} series x {args.length} timestamps, "
+            f"{N_QUERIES} query rows, k={args.k}, "
+            f"{N_SHARDS}-shard fleet vs 1 daemon (localhost)"
+        )
+        manifest = stream_fourier_collection(
+            os.path.join(tmp, "main"), args.n_series, args.length, seed=SEED
+        )
+        indices = np.linspace(
+            0, args.n_series - 1, N_QUERIES, dtype=int
+        ).tolist()
+
+        fleet = _spawn_fleet(tmp, manifest, N_SHARDS)
+        solo = _DaemonThread(_single_catalog(tmp, manifest))
+        try:
+            solo_catalog = _solo_routing_catalog(
+                tmp, manifest, solo, args.n_series
+            )
+            cluster_catalog = _cluster_catalog(
+                tmp, manifest, fleet, args.n_series
+            )
+            with ClusterCoordinator.from_catalog(
+                solo_catalog, timeout=600
+            ) as coordinator:
+                single_latency = _measure(
+                    coordinator, indices, args.k, args.repeats
+                )
+            with ClusterCoordinator.from_catalog(
+                cluster_catalog, timeout=600
+            ) as coordinator:
+                cluster_latency = _measure(
+                    coordinator, indices, args.k, args.repeats
+                )
+                parity = _check_parity(
+                    coordinator, manifest, indices, args.k, args.epsilon
+                )
+        finally:
+            solo.stop()
+            for daemon in fleet:
+                daemon.stop()
+
+    speedup = (
+        single_latency / cluster_latency if cluster_latency > 0 else np.inf
+    )
+    print(
+        f"  single daemon {single_latency * 1e3:9.3f} ms/query   "
+        f"{N_SHARDS}-shard fleet {cluster_latency * 1e3:9.3f} ms/query   "
+        f"ratio {speedup:5.2f}x (localhost: shards share cores, so this "
+        f"bounds scatter/merge overhead)"
+    )
+    print(f"  parity: {'ok' if parity['all_ok'] else 'FAILED'}")
+
+    payload = {
+        "benchmark": "cluster serving: scatter-gather vs single daemon",
+        "workload": {
+            "n_series": args.n_series,
+            "length": args.length,
+            "k": args.k,
+            "epsilon": args.epsilon,
+            "n_queries": N_QUERIES,
+            "n_shards": N_SHARDS,
+            "seed": SEED,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": [
+            {
+                "technique": "Euclidean",
+                "kind": "scatter-gather",
+                "single_daemon_seconds_per_query": single_latency,
+                "cluster_seconds_per_query": cluster_latency,
+                "cluster_speedup": float(speedup),
+            }
+        ],
+        "cluster": parity,
+    }
+    out_dir = os.path.dirname(os.path.abspath(args.out))
+    os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"[written to {args.out}]")
+
+    if not parity["all_ok"]:
+        print("FAIL: cluster answers differ from the in-process session")
+        return 1
+    return 0
+
+
+def _single_catalog(base: str, manifest: str) -> str:
+    path = os.path.join(base, "solo.db")
+    with ServiceCatalog(path) as catalog:
+        catalog.register("main", manifest)
+    return path
+
+
+def _solo_routing_catalog(
+    base: str, manifest: str, solo: _DaemonThread, n_series: int
+) -> str:
+    """A 1-shard map: the same coordinator path, no fan-out — so the
+    single-daemon measurement shares transport and merge code with the
+    fleet measurement and the comparison isolates sharding itself."""
+    path = os.path.join(base, "solo-routing.db")
+    with ServiceCatalog(path) as catalog:
+        catalog.register("main", manifest)
+        catalog.set_shard_map(
+            "main", [("127.0.0.1", solo.daemon.port, 0, n_series)]
+        )
+    return path
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

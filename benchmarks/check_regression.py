@@ -18,7 +18,7 @@ rest still trips the gate.  The scale never drops below 1, so a faster
 runner is not held to a tighter bar; pass ``--no-normalize`` for raw
 absolute comparison.  Any correctness flag carried by the fresh payload
 (``f1_parity`` / ``parity`` / ``knn_merge`` / ``mmap`` / ``index`` /
-``service``)
+``service`` / ``cluster``)
 failing is always fatal.
 
 The baselines live in ``benchmarks/baselines/`` and were generated with
@@ -68,6 +68,9 @@ def _correctness_failures(payload: Dict) -> List[str]:
     service = payload.get("service")
     if service is not None and not service.get("all_ok", True):
         failures.append("service.all_ok is false")
+    cluster = payload.get("cluster")
+    if cluster is not None and not cluster.get("all_ok", True):
+        failures.append("cluster.all_ok is false")
     return failures
 
 

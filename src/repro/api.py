@@ -15,8 +15,15 @@ For downstream users who just want to *use* the techniques::
     session = api.SimilaritySession(uncertain)
     top10 = session.queries().using(api.DustTechnique()).knn(10)
 
-Everything here is importable from its home subpackage too; this module
-adds no behaviour.
+    # the same chain against any deployment shape
+    remote = api.connect("tcp://127.0.0.1:7791/trades")
+    top10 = remote.queries().using(api.DustTechnique()).knn(10)
+
+:func:`connect` is the one entry point for every deployment shape —
+``tcp://host:port[/collection]`` reaches one daemon, a catalog database
+with a shard map scatters across the fleet, and a saved-collection path
+opens an in-process session.  Everything here is importable from its
+home subpackage too; this module adds no behaviour.
 """
 
 from __future__ import annotations
@@ -109,10 +116,17 @@ from .queries import (
 )
 from .service import (
     CatalogError,
+    ClusterBackend,
+    ClusterCoordinator,
+    ClusterError,
+    RemoteBackend,
+    RemoteSession,
     ServiceCatalog,
     ServiceClient,
     ServiceError,
+    ShardEntry,
     SimilarityDaemon,
+    connect,
 )
 
 __all__ = [
@@ -153,4 +167,7 @@ __all__ = [
     # service
     "ServiceCatalog", "CatalogError", "SimilarityDaemon", "ServiceClient",
     "ServiceError",
+    # distributed serving
+    "connect", "ClusterCoordinator", "ClusterBackend", "RemoteBackend",
+    "RemoteSession", "ClusterError", "ShardEntry",
 ]

@@ -18,6 +18,8 @@ The similarity service rides on two subcommands (see
 
     python -m repro.cli serve --catalog catalog.db --register name=dir
     python -m repro.cli query --port 7791 --collection name --knn 10
+    python -m repro.cli shard-map --catalog catalog.db --collection name \
+        --shard host:7791:0:500 --shard host:7792:500:1000
 """
 
 from __future__ import annotations
@@ -239,6 +241,10 @@ def main(argv=None) -> int:
         from .service.cli import query_main
 
         return query_main(argv[1:])
+    if argv and argv[0] == "shard-map":
+        from .service.cli import shard_map_main
+
+        return shard_map_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 

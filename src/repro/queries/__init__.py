@@ -41,6 +41,8 @@ from .parallel import (
     BACKENDS,
     ShardedExecutor,
     ShardPlan,
+    local_topk_rows,
+    merge_knn_rows,
     plan_blocks,
 )
 from .planner import (
@@ -61,10 +63,12 @@ from .range_query import (
     result_set_from_scores,
 )
 from .session import (
+    InProcessBackend,
     KnnResult,
     MatrixResult,
     QuerySet,
     RangeResult,
+    SimilarityBackend,
     SimilaritySession,
 )
 from .techniques import (
@@ -92,9 +96,13 @@ __all__ = [
     "DEFAULT_MAX_COLLECTIONS",
     "SimilaritySession",
     "QuerySet",
+    "SimilarityBackend",
+    "InProcessBackend",
     "ShardedExecutor",
     "ShardPlan",
     "plan_blocks",
+    "merge_knn_rows",
+    "local_topk_rows",
     "BACKENDS",
     "MatrixResult",
     "KnnResult",

@@ -224,20 +224,45 @@ class _ShardComputer:
             knn_k=k,
             exclude_block=local_exclude,
         )
-        limit = min(k, width)
-        indices = np.full((block.shape[0], limit), -1, dtype=np.intp)
-        scores = np.full((block.shape[0], limit), np.inf)
-        for offset in range(block.shape[0]):
-            skipped = None
-            if local_exclude is not None and local_exclude[offset] >= 0:
-                skipped = int(local_exclude[offset])
-            take = min(limit, width - (1 if skipped is not None else 0))
-            if take < 1:
-                continue
-            local = knn_indices(block[offset], take, exclude=skipped)
-            indices[offset, :take] = np.asarray(local, dtype=np.intp) + c0
-            scores[offset, :take] = block[offset, local]
+        indices, scores = local_topk_rows(block, k, local_exclude, c0)
         return indices, scores, stats
+
+
+def local_topk_rows(
+    block: np.ndarray,
+    k: int,
+    local_exclude: Optional[np.ndarray],
+    col_offset: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row local top-``k`` of one column-shard score block.
+
+    The shard half of the distributed kNN contract (the other half is
+    :func:`merge_knn_rows`): returns ``(indices, scores)`` with shapes
+    ``(rows, k')`` where ``k' = min(k, width)``; indices are **global**
+    column positions (``col_offset`` added), rows short of ``k'``
+    eligible candidates are padded with ``-1`` / ``+inf`` (only
+    possible when the shard is narrower than ``k`` after excluding a
+    self-match).  ``local_exclude`` holds one shard-local column to
+    skip per row (``-1`` for none).  Shared by the in-process
+    :class:`ShardedExecutor` shard tasks and the service tier's
+    column-sliced daemon executions, so both scatter paths produce
+    byte-identical shard candidates.
+    """
+    width = block.shape[1]
+    limit = min(k, width)
+    indices = np.full((block.shape[0], limit), -1, dtype=np.intp)
+    scores = np.full((block.shape[0], limit), np.inf)
+    for offset in range(block.shape[0]):
+        skipped = None
+        if local_exclude is not None and local_exclude[offset] >= 0:
+            skipped = int(local_exclude[offset])
+        take = min(limit, width - (1 if skipped is not None else 0))
+        if take < 1:
+            continue
+        local = knn_indices(block[offset], take, exclude=skipped)
+        indices[offset, :take] = np.asarray(local, dtype=np.intp) + col_offset
+        scores[offset, :take] = block[offset, local]
+    return indices, scores
 
 
 # -- pool worker plumbing ----------------------------------------------------
@@ -267,7 +292,7 @@ def _worker_knn(task) -> Tuple[int, np.ndarray, np.ndarray, PruningStats]:
     return r0, indices, scores, stats
 
 
-def _merge_knn_rows(
+def merge_knn_rows(
     n_queries: int,
     k: int,
     shards: Sequence[Tuple[int, np.ndarray, np.ndarray]],
@@ -278,6 +303,12 @@ def _merge_knn_rows(
     ordered by ``(score, global index)`` — the same tie-breaking rule as
     :func:`repro.queries.knn.knn_indices`' stable argsort, so the merged
     ranking is identical to a single-process top-``k`` of the full row.
+    Each shard entry is ``(row_offset, indices, scores)`` with
+    **global** candidate indices and ``-1`` / ``+inf`` padding for rows
+    short of candidates (narrow shards).  This is the single merge rule
+    of the system: the in-process :class:`ShardedExecutor` and the
+    distributed :class:`~repro.service.cluster.ClusterCoordinator` both
+    reassemble through it.
     """
     index_pool: List[List[np.ndarray]] = [[] for _ in range(n_queries)]
     score_pool: List[List[np.ndarray]] = [[] for _ in range(n_queries)]
@@ -704,7 +735,7 @@ class ShardedExecutor:
             n_candidates,
             executor=self._plan_log(plan, backend),
         )
-        indices, scores = _merge_knn_rows(
+        indices, scores = merge_knn_rows(
             n_queries, k, [shard[:3] for shard in shards]
         )
         return indices, scores, merged_stats

@@ -33,10 +33,29 @@ def range_query(
     """Certain-data range query ``RQ(Q, C, ε)`` (Equation 1).
 
     ``collection_values`` is an ``(N, n)`` matrix of exact series; returns
-    the indices whose distance to ``query_values`` is ``<= ε``.
+    the indices whose distance to ``query_values`` is ``<= ε``.  Euclidean
+    queries route through the planner-backed session path (the same verb
+    the fluent ``queries().using(...).range(ε)`` chain executes); other
+    distance callables use one vectorized profile kernel.
     """
     if epsilon < 0.0:
         raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
+    from ..distances.lp import euclidean as _euclidean
+
+    if distance is _euclidean and len(collection_values) > 0:
+        from .knn import planner_query_set
+        from .techniques import EuclideanTechnique
+
+        matrix = np.atleast_2d(
+            np.asarray(collection_values, dtype=np.float64)
+        )
+        query_set = planner_query_set(
+            EuclideanTechnique(),
+            np.asarray(query_values, dtype=np.float64),
+            matrix,
+            exclude,
+        )
+        return [int(i) for i in query_set.range(float(epsilon)).matches[0]]
     distances = distance_profile(distance, query_values, collection_values)
     indices = np.flatnonzero(distances <= epsilon)
     if exclude is not None:
@@ -55,25 +74,29 @@ def probabilistic_range_query(
     """``PRQ(Q, C, ε, τ)`` (Equation 2) under any :class:`Technique`.
 
     For distance techniques ``τ`` is ignored (their answer is exact); for
-    probabilistic techniques it is required.  Scores come from the
-    technique's batch profile, so one call covers the collection.
+    probabilistic techniques it is required.  A shim over the session
+    path: the query runs through the same planner verb as
+    ``session.queries([...]).using(technique).prob_range(ε, τ)``, so
+    free-function callers get the decision-mode pruning (index stage,
+    adaptive Monte Carlo early stopping) of the fluent surface with
+    guaranteed-identical match sets.
     """
     if epsilon < 0.0:
         raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
+    if len(collection) == 0:
+        return []
+    from .knn import planner_query_set
+
+    query_set = planner_query_set(technique, query, collection, exclude)
     if technique.kind == "distance":
-        scores = technique.distance_profile(query, collection)
-        mask = scores <= epsilon
+        result = query_set.range(float(epsilon))
     else:
         if tau is None:
             raise InvalidParameterError(
                 f"{technique.name} requires a probability threshold tau"
             )
-        scores = technique.probability_profile(query, collection, epsilon)
-        mask = scores >= tau
-    indices = np.flatnonzero(mask)
-    if exclude is not None:
-        indices = indices[indices != exclude]
-    return indices.tolist()
+        result = query_set.prob_range(float(epsilon), float(tau))
+    return [int(i) for i in result.matches[0]]
 
 
 def result_set_from_scores(

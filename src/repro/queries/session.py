@@ -36,11 +36,12 @@ rankings exclude the self-match, exactly like the free-function protocol.
 
 from __future__ import annotations
 
+import abc
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -148,7 +149,13 @@ class MatrixResult:
 
 @dataclass(frozen=True)
 class KnnResult:
-    """Row-wise k-nearest-neighbor rankings for a query set."""
+    """Row-wise k-nearest-neighbor rankings for a query set.
+
+    ``failed_shards`` is empty on every single-host execution; a
+    cluster backend running with ``allow_partial`` tags a degraded
+    result with the endpoints whose shards contributed nothing, so a
+    caller can tell a complete answer from a best-effort one.
+    """
 
     technique_name: str
     indices: np.ndarray
@@ -156,6 +163,12 @@ class KnnResult:
     query_positions: np.ndarray
     elapsed_seconds: float
     pruning_stats: Optional[PruningStats] = None
+    failed_shards: Tuple[str, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        """Whether every shard contributed (always true single-host)."""
+        return not self.failed_shards
 
     @property
     def n_queries(self) -> int:
@@ -185,7 +198,11 @@ class KnnResult:
 
 @dataclass(frozen=True)
 class RangeResult:
-    """Per-query range-query result sets (RQ / PRQ, Equations 1–2)."""
+    """Per-query range-query result sets (RQ / PRQ, Equations 1–2).
+
+    ``failed_shards`` mirrors :attr:`KnnResult.failed_shards`: empty
+    unless a cluster backend degraded to partial results.
+    """
 
     technique_name: str
     kind: str
@@ -195,6 +212,12 @@ class RangeResult:
     query_positions: np.ndarray
     elapsed_seconds: float
     pruning_stats: Optional[PruningStats] = None
+    failed_shards: Tuple[str, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        """Whether every shard contributed (always true single-host)."""
+        return not self.failed_shards
 
     @property
     def n_queries(self) -> int:
@@ -229,10 +252,24 @@ class QuerySet:
     Built by :meth:`SimilaritySession.queries`; immutable — ``using``
     returns a new query set bound to a technique, and the terminal verbs
     (``knn`` / ``range`` / ``prob_range`` / ``profile_matrix`` /
-    ``calibration_matrix``) run one batch matrix kernel each.
+    ``calibration_matrix``) each validate locally and then execute
+    through the session's :class:`SimilarityBackend`, so the same fluent
+    chain runs unchanged in-process, against one daemon, or scattered
+    across a cluster — with identical validation errors on all three.
+
+    ``selector`` preserves *how* the query rows were selected (``("all",
+    None)`` / ``("indices", [...])`` / ``("values", rows)``) so a remote
+    backend can ship the selection in wire form instead of serializing
+    resolved series objects.
     """
 
-    __slots__ = ("_session", "_queries", "_positions", "_technique")
+    __slots__ = (
+        "_session",
+        "_queries",
+        "_positions",
+        "_technique",
+        "_selector",
+    )
 
     def __init__(
         self,
@@ -240,11 +277,13 @@ class QuerySet:
         queries: Sequence,
         positions: np.ndarray,
         technique: Optional[Technique] = None,
+        selector: Optional[Tuple[str, Any]] = None,
     ) -> None:
         self._session = session
         self._queries = queries
         self._positions = positions
         self._technique = technique
+        self._selector = selector
 
     def __len__(self) -> int:
         return len(self._queries)
@@ -264,6 +303,11 @@ class QuerySet:
         """``(M,)`` collection positions of the queries (``-1`` if outside)."""
         return self._positions.copy()
 
+    @property
+    def selector(self) -> Optional[Tuple[str, Any]]:
+        """The wire-form selection, when built through ``queries()``."""
+        return self._selector
+
     def using(self, technique: Technique) -> "QuerySet":
         """Bind a technique, returning a new query set."""
         if not isinstance(technique, Technique):
@@ -271,7 +315,11 @@ class QuerySet:
                 f"using() expects a Technique, got {type(technique).__name__}"
             )
         return QuerySet(
-            self._session, self._queries, self._positions, technique
+            self._session,
+            self._queries,
+            self._positions,
+            technique,
+            selector=self._selector,
         )
 
     # -- terminal verbs ----------------------------------------------------
@@ -290,22 +338,20 @@ class QuerySet:
                     f"{technique.name} is a distance technique; "
                     f"profile_matrix() takes no epsilon"
                 )
-            values, elapsed, stats = self._run_matrix("distance")
-            return self._matrix_result("distance", values, elapsed, stats)
+            return self._session.backend.profile_matrix(self, None)
         if epsilon is None:
             raise InvalidParameterError(
                 f"{technique.name} is probabilistic; profile_matrix() "
                 f"requires epsilon (scalar or one per query)"
             )
         eps = _epsilon_vector(epsilon, len(self._queries))
-        values, elapsed, stats = self._run_matrix("probability", eps)
-        return self._matrix_result("probability", values, elapsed, stats, eps)
+        return self._session.backend.profile_matrix(self, eps)
 
     def calibration_matrix(self) -> MatrixResult:
         """The ``(M, N)`` ε-calibration matrix (10th-NN thresholds live on
         its rows: entry ``[i, anchor]`` is query ``i``'s ε)."""
-        values, elapsed, stats = self._run_matrix("calibration")
-        return self._matrix_result("calibration", values, elapsed, stats)
+        self._require_technique()
+        return self._session.backend.calibration_matrix(self)
 
     def knn(self, k: int) -> KnnResult:
         """Row-wise k-nearest neighbors (distance techniques only).
@@ -321,6 +367,11 @@ class QuerySet:
                 f"top-k requires a distance technique; {technique.name} is "
                 f"probabilistic and its ranking depends on epsilon"
             )
+        return self._session.backend.knn(self, int(k))
+
+    def _local_knn(self, k: int) -> KnnResult:
+        """The in-process kNN execution (post-validation)."""
+        technique = self._require_technique()
         executor = self._session.executor
         if executor is None:
             if technique.index_segments is None or not index_enabled():
@@ -379,6 +430,11 @@ class QuerySet:
                 f"for {technique.name}"
             )
         eps = _epsilon_vector(epsilon, len(self._queries))
+        return self._session.backend.range(self, eps)
+
+    def _local_range(self, eps: np.ndarray) -> RangeResult:
+        """The in-process range execution (post-validation)."""
+        technique = self._require_technique()
         values, elapsed, stats = self._run_matrix("distance", eps)
         result = self._matrix_result("distance", values, elapsed, stats, eps)
         return RangeResult(
@@ -414,6 +470,11 @@ class QuerySet:
                 f"tau must be within [0, 1], got {tau}"
             )
         eps = _epsilon_vector(epsilon, len(self._queries))
+        return self._session.backend.prob_range(self, eps, float(tau))
+
+    def _local_prob_range(self, eps: np.ndarray, tau: float) -> RangeResult:
+        """The in-process probabilistic-range execution (post-validation)."""
+        technique = self._require_technique()
         values, elapsed, stats = self._run_matrix(
             "probability", eps, tau=float(tau)
         )
@@ -432,6 +493,23 @@ class QuerySet:
         )
 
     # -- plumbing ----------------------------------------------------------
+
+    def _local_profile_matrix(
+        self, eps: Optional[np.ndarray]
+    ) -> MatrixResult:
+        """The in-process matrix execution (post-validation)."""
+        if eps is None:
+            values, elapsed, stats = self._run_matrix("distance")
+            return self._matrix_result("distance", values, elapsed, stats)
+        values, elapsed, stats = self._run_matrix("probability", eps)
+        return self._matrix_result(
+            "probability", values, elapsed, stats, eps
+        )
+
+    def _local_calibration_matrix(self) -> MatrixResult:
+        """The in-process calibration execution (post-validation)."""
+        values, elapsed, stats = self._run_matrix("calibration")
+        return self._matrix_result("calibration", values, elapsed, stats)
 
     def _require_technique(self) -> Technique:
         if self._technique is None:
@@ -501,6 +579,91 @@ class QuerySet:
         return f"QuerySet(n_queries={len(self)}, technique={bound})"
 
 
+class SimilarityBackend(abc.ABC):
+    """Where a :class:`QuerySet`'s validated verbs actually execute.
+
+    The seam of the unified query surface: the fluent chain
+    ``session.queries(...).using(technique).knn(k)`` validates locally
+    and then hands itself to the session's backend, which may run the
+    kernel in this process (:class:`InProcessBackend`), on one daemon
+    (``repro.service.cluster.RemoteBackend``), or scattered across a
+    shard fleet (``repro.service.cluster.ClusterBackend``).  Every
+    backend returns the same :class:`KnnResult` / :class:`RangeResult`
+    structures with populated :class:`~repro.queries.planner.
+    PruningStats`, so callers never branch on deployment shape.
+    """
+
+    @abc.abstractmethod
+    def knn(self, query_set: QuerySet, k: int) -> KnnResult:
+        """Execute a validated kNN workload."""
+
+    @abc.abstractmethod
+    def range(self, query_set: QuerySet, eps: np.ndarray) -> RangeResult:
+        """Execute a validated range workload (per-query ε vector)."""
+
+    @abc.abstractmethod
+    def prob_range(
+        self, query_set: QuerySet, eps: np.ndarray, tau: float
+    ) -> RangeResult:
+        """Execute a validated probabilistic-range workload."""
+
+    def profile_matrix(
+        self, query_set: QuerySet, eps: Optional[np.ndarray]
+    ) -> MatrixResult:
+        """Full ``(M, N)`` matrix retrieval — in-process only by default.
+
+        Remote backends deliberately refuse: an ``(M, N)`` float matrix
+        is exactly the payload the scatter-gather protocol exists to
+        avoid shipping.
+        """
+        raise UnsupportedQueryError(
+            f"{type(self).__name__} does not serve full score matrices; "
+            f"use knn()/range()/prob_range(), or open the collection "
+            f"in-process for matrix work"
+        )
+
+    def calibration_matrix(self, query_set: QuerySet) -> MatrixResult:
+        """ε-calibration matrix — in-process only by default."""
+        raise UnsupportedQueryError(
+            f"{type(self).__name__} does not serve calibration matrices; "
+            f"open the collection in-process for calibration work"
+        )
+
+    def close(self) -> None:
+        """Release backend resources (connections, pools). Idempotent."""
+
+
+class InProcessBackend(SimilarityBackend):
+    """Execute verbs through the session's own engine and kernels.
+
+    The zero-indirection default: every verb calls straight back into
+    the query set's local execution path, preserving the pre-backend
+    behavior (and performance) of :class:`SimilaritySession` exactly.
+    """
+
+    def knn(self, query_set: QuerySet, k: int) -> KnnResult:
+        return query_set._local_knn(k)
+
+    def range(self, query_set: QuerySet, eps: np.ndarray) -> RangeResult:
+        return query_set._local_range(eps)
+
+    def prob_range(
+        self, query_set: QuerySet, eps: np.ndarray, tau: float
+    ) -> RangeResult:
+        return query_set._local_prob_range(eps, tau)
+
+    def profile_matrix(
+        self, query_set: QuerySet, eps: Optional[np.ndarray]
+    ) -> MatrixResult:
+        return query_set._local_profile_matrix(eps)
+
+    def calibration_matrix(self, query_set: QuerySet) -> MatrixResult:
+        return query_set._local_calibration_matrix()
+
+    def __repr__(self) -> str:
+        return "InProcessBackend()"
+
+
 class SimilaritySession:
     """One collection pinned on one query engine.
 
@@ -538,6 +701,7 @@ class SimilaritySession:
         "_engine",
         "_executor",
         "_parallel",
+        "_backend",
         "_closed",
         "_close_lock",
     )
@@ -569,6 +733,7 @@ class SimilaritySession:
             )
         else:
             self._executor = None
+        self._backend = InProcessBackend()
         self._closed = False
         self._close_lock = threading.Lock()
         self._engine.materialize(collection)
@@ -587,6 +752,11 @@ class SimilaritySession:
     def executor(self):
         """The session's :class:`ShardedExecutor` (``None`` single-process)."""
         return self._executor
+
+    @property
+    def backend(self) -> SimilarityBackend:
+        """The :class:`SimilarityBackend` query sets execute against."""
+        return self._backend
 
     @property
     def closed(self) -> bool:
@@ -629,7 +799,9 @@ class SimilaritySession:
         """
         if queries is None:
             positions = np.arange(len(self._collection), dtype=np.intp)
-            return QuerySet(self, self._collection, positions)
+            return QuerySet(
+                self, self._collection, positions, selector=("all", None)
+            )
         items = list(queries)
         if not items:
             raise InvalidParameterError(
@@ -642,14 +814,17 @@ class SimilaritySession:
                 raise InvalidParameterError(
                     f"query indices must be within [0, {n_series - 1}]"
                 )
+            selector = ("indices", [int(i) for i in positions])
             if positions.size == n_series and np.array_equal(
                 positions, np.arange(n_series)
             ):
                 # The full protocol by index: share the collection-side
                 # materialization instead of building a duplicate stack.
-                return QuerySet(self, self._collection, positions)
+                return QuerySet(
+                    self, self._collection, positions, selector=selector
+                )
             selected = [self._collection[int(i)] for i in positions]
-            return QuerySet(self, selected, positions)
+            return QuerySet(self, selected, positions, selector=selector)
         membership = {
             id(item): index for index, item in enumerate(self._collection)
         }

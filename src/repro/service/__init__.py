@@ -19,25 +19,39 @@ service subsystem turns that library into a long-lived system:
   into one planner ``(M, N)`` matrix execution per tick and scatters
   the per-query results;
 * :mod:`repro.service.client` — a blocking :class:`ServiceClient` for
-  scripts and the ``python -m repro.cli query`` command.
+  scripts and the ``python -m repro.cli query`` command;
+* :mod:`repro.service.cluster` — distributed scatter-gather serving: a
+  catalog shard map routes contiguous candidate slices of one
+  collection to shard daemons, and :class:`ClusterCoordinator` scatters
+  each query, hedges slow shards, and merges replies bit-identically to
+  the in-process executor.  :func:`connect` is the one entry point over
+  every deployment shape.
 
-Start a daemon and query it::
+Start a daemon and query it through the unified fluent surface::
 
     python -m repro.cli serve --catalog /data/catalog.db \
         --register trades=/data/trades_collection
 
-    from repro.service import ServiceClient
-    with ServiceClient("127.0.0.1", 7791) as client:
-        hits = client.knn("trades", k=10, technique="dust")
+    from repro.api import connect, DustTechnique
+    with connect("tcp://127.0.0.1:7791/trades") as session:
+        hits = session.queries().using(DustTechnique()).knn(10)
         hits.indices          # (M, k) neighbor table
-        hits.batch            # coalesced-batch occupancy
+        hits.pruning_stats    # merged planner statistics
 """
 
 from __future__ import annotations
 
 from .batching import BatchQueue, batch_key, merge_requests, scatter_rows
-from .catalog import CatalogEntry, CatalogError, ServiceCatalog
+from .catalog import CatalogEntry, CatalogError, ServiceCatalog, ShardEntry
 from .client import ServiceClient, ServiceError, ServiceResult
+from .cluster import (
+    ClusterBackend,
+    ClusterCoordinator,
+    ClusterError,
+    RemoteBackend,
+    RemoteSession,
+    connect,
+)
 from .daemon import SimilarityDaemon
 from .protocol import (
     PROTOCOL_VERSION,
@@ -45,6 +59,7 @@ from .protocol import (
     TECHNIQUE_NAMES,
     build_technique,
     technique_key,
+    technique_spec,
 )
 
 __all__ = [
@@ -55,13 +70,21 @@ __all__ = [
     "CatalogEntry",
     "CatalogError",
     "ServiceCatalog",
+    "ShardEntry",
     "ServiceClient",
     "ServiceError",
     "ServiceResult",
     "SimilarityDaemon",
+    "ClusterCoordinator",
+    "ClusterBackend",
+    "ClusterError",
+    "RemoteBackend",
+    "RemoteSession",
+    "connect",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "TECHNIQUE_NAMES",
     "build_technique",
     "technique_key",
+    "technique_spec",
 ]

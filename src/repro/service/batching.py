@@ -33,12 +33,13 @@ from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.errors import InvalidParameterError
+from ..queries.parallel import local_topk_rows
 from ..queries.session import (
     KnnResult,
     QuerySet,
@@ -46,6 +47,7 @@ from ..queries.session import (
     SimilaritySession,
 )
 from ..queries.techniques import Technique
+from .registry import batch_key  # noqa: F401  (canonical home; re-exported)
 
 
 @dataclass
@@ -53,10 +55,13 @@ class QueryJob:
     """One admitted query request, ready to coalesce.
 
     ``items`` are the query series objects and ``positions`` their
-    collection positions (``-1`` for non-member raw-value queries), as
-    :class:`~repro.queries.session.QuerySet` expects.  ``params`` holds
-    the op parameters (``k`` / ``epsilon`` / ``tau``); ``enqueued`` is
-    the admission timestamp the occupancy report is computed from.
+    **global** collection positions (``-1`` for non-member raw-value
+    queries), as :class:`~repro.queries.session.QuerySet` expects.
+    ``params`` holds the op parameters (``k`` / ``epsilon`` / ``tau``);
+    ``candidates`` scopes the job to a column slice of the collection
+    (the cluster scatter unit — part of the batch key, so every job of
+    a batch shares one slice); ``enqueued`` is the admission timestamp
+    the occupancy report is computed from.
     """
 
     request_id: str
@@ -64,32 +69,12 @@ class QueryJob:
     items: Sequence
     positions: np.ndarray
     params: Dict[str, Any]
+    candidates: Optional[Tuple[int, int]] = None
     enqueued: float = field(default_factory=time.monotonic)
 
     @property
     def n_queries(self) -> int:
         return len(self.items)
-
-
-def batch_key(
-    collection: str, technique: str, op: str, params: Dict[str, Any]
-) -> Tuple:
-    """The coalescing key: requests with equal keys share one execution.
-
-    ``technique`` is the canonical spec string from
-    :func:`repro.service.protocol.technique_key`.  Row-independent
-    parameters stay *out* of the key — range ε is per-query (merged
-    into one ε vector) — while parameters that shape the whole plan are
-    part of it: ``k`` (the kNN pruning threshold cascade) and ``τ``
-    (the decision threshold steering adaptive Monte Carlo stages).
-    """
-    if op == "knn":
-        return (collection, technique, op, int(params["k"]))
-    if op == "range":
-        return (collection, technique, op)
-    if op == "prob_range":
-        return (collection, technique, op, float(params["tau"]))
-    raise InvalidParameterError(f"op {op!r} is not batchable")
 
 
 def merge_requests(
@@ -159,17 +144,101 @@ def execute_batch(
     return result, slices
 
 
+def execute_shard_batch(
+    session: SimilaritySession,
+    technique: Technique,
+    op: str,
+    jobs: Sequence[QueryJob],
+    col_offset: int,
+):
+    """Run one coalesced batch against a column-shard session.
+
+    ``session`` holds only the collection columns ``[col_offset,
+    col_offset + width)``; the jobs' positions stay global.  Semantics
+    mirror :class:`~repro.queries.parallel.ShardedExecutor`'s shard
+    tasks exactly, so a coordinator merging shard replies with the
+    executor's stable-by-index rule reproduces the single-host answer
+    bit for bit:
+
+    * **knn** returns the shard's per-row local top-``k`` (global
+      indices, ``-1`` / ``+inf`` padded when the shard is narrower than
+      ``k``) — :func:`scatter_rows` drops the padding before the wire;
+    * **range** / **prob_range** return match sets offset back to
+      global indices (ascending within the shard, so shard-ordered
+      concatenation stays globally sorted).
+    """
+    items, positions, epsilon, slices = merge_requests(jobs)
+    width = len(session.collection)
+    local = np.where(
+        (positions >= col_offset) & (positions < col_offset + width),
+        positions - col_offset,
+        -1,
+    ).astype(np.intp)
+    query_set = QuerySet(session, items, local, technique)
+    if op == "knn":
+        k = int(jobs[0].params["k"])
+        values, elapsed, stats = query_set._run_matrix("distance", knn_k=k)
+        indices, scores = local_topk_rows(values, k, local, col_offset)
+        result = KnnResult(
+            technique_name=technique.name,
+            indices=indices,
+            scores=scores,
+            query_positions=positions,
+            elapsed_seconds=elapsed,
+            pruning_stats=stats,
+        )
+    elif op == "range":
+        shard = query_set.range(epsilon)
+        result = replace(
+            shard,
+            matches=tuple(
+                np.asarray(found, dtype=np.intp) + col_offset
+                for found in shard.matches
+            ),
+            query_positions=positions,
+        )
+    elif op == "prob_range":
+        shard = query_set.prob_range(epsilon, float(jobs[0].params["tau"]))
+        result = replace(
+            shard,
+            matches=tuple(
+                np.asarray(found, dtype=np.intp) + col_offset
+                for found in shard.matches
+            ),
+            query_positions=positions,
+        )
+    else:
+        raise InvalidParameterError(f"op {op!r} is not batchable")
+    return result, slices
+
+
 def scatter_rows(result, job_slice: slice):
     """One job's share of a batch result.
 
     Slices row-wise structures only — scores, rankings, match sets,
     ε vectors; batch-level metadata (timings, pruning stats) is shared
-    by every member and reported separately.
+    by every member and reported separately.  kNN rows from a
+    column-shard execution may be ``-1`` / ``+inf`` padded (the shard
+    was narrower than ``k``); padding is dropped here — the wire
+    encoder forbids non-finite JSON, so ragged rows carry only real
+    candidates.
     """
     if isinstance(result, KnnResult):
+        indices = result.indices[job_slice]
+        scores = result.scores[job_slice]
+        if indices.size and indices.min() < 0:
+            return {
+                "indices": [
+                    row[row >= 0].tolist() for row in indices
+                ],
+                "scores": [
+                    score_row[row >= 0].tolist()
+                    for row, score_row in zip(indices, scores)
+                ],
+            }
         return {
-            "indices": result.indices[job_slice].tolist(),
-            "scores": result.scores[job_slice].tolist(),
+            "indices": indices.tolist(),
+            "scores": scores.tolist(),
         }
     if isinstance(result, RangeResult):
         payload = {

@@ -28,7 +28,7 @@ import os
 import sqlite3
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import ReproError
 from ..core.mmapio import (
@@ -39,7 +39,7 @@ from ..core.mmapio import (
 )
 
 #: Current catalog schema version (see :data:`_MIGRATIONS` for history).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 class CatalogError(ReproError):
@@ -58,6 +58,33 @@ class CatalogEntry:
     indexed: bool
     registered_at: str
     artifacts: Dict[str, str]
+
+
+@dataclass(frozen=True)
+class ShardEntry:
+    """One shard of a collection's cluster shard map.
+
+    Names the daemon endpoint serving the contiguous column slice
+    ``[row_start, row_stop)`` of the collection's mmap manifest.  Every
+    shard daemon maps the *same* full manifest — the slice scopes which
+    candidate columns the daemon scores, not which file it opens — so a
+    shard map is pure routing metadata and re-sharding never moves data.
+    """
+
+    shard_index: int
+    host: str
+    port: int
+    row_start: int
+    row_stop: int
+
+    @property
+    def endpoint(self) -> str:
+        """``host:port`` — how coordinator results name this shard."""
+        return f"{self.host}:{self.port}"
+
+    @property
+    def width(self) -> int:
+        return self.row_stop - self.row_start
 
 
 def _read_manifest(path: str) -> Dict:
@@ -117,6 +144,15 @@ def _create_schema(connection: sqlite3.Connection) -> None:
             registered_at TEXT NOT NULL,
             artifacts     TEXT NOT NULL DEFAULT '{}'
         );
+        CREATE TABLE IF NOT EXISTS shards (
+            collection  TEXT NOT NULL,
+            shard_index INTEGER NOT NULL,
+            host        TEXT NOT NULL,
+            port        INTEGER NOT NULL,
+            row_start   INTEGER NOT NULL,
+            row_stop    INTEGER NOT NULL,
+            PRIMARY KEY (collection, shard_index)
+        );
         """
     )
     connection.execute(
@@ -162,9 +198,33 @@ def _migrate_v1_to_v2(connection: sqlite3.Connection) -> None:
         )
 
 
+def _migrate_v2_to_v3(connection: sqlite3.Connection) -> None:
+    """v2 → v3: add the ``shards`` cluster routing table.
+
+    Pure addition — a v2 catalog simply has no shard maps yet, so no
+    backfill is needed; every existing collection keeps answering
+    through the single-daemon path until an operator installs a map
+    with :meth:`ServiceCatalog.set_shard_map`.
+    """
+    connection.execute(
+        """
+        CREATE TABLE IF NOT EXISTS shards (
+            collection  TEXT NOT NULL,
+            shard_index INTEGER NOT NULL,
+            host        TEXT NOT NULL,
+            port        INTEGER NOT NULL,
+            row_start   INTEGER NOT NULL,
+            row_stop    INTEGER NOT NULL,
+            PRIMARY KEY (collection, shard_index)
+        )
+        """
+    )
+
+
 #: from-version -> in-place upgrade to from-version + 1.
 _MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {
     1: _migrate_v1_to_v2,
+    2: _migrate_v2_to_v3,
 }
 
 
@@ -339,7 +399,7 @@ class ServiceCatalog:
         return entry
 
     def unregister(self, name: str) -> None:
-        """Remove one entry (the on-disk collection is left untouched)."""
+        """Remove one entry and its shard map (on-disk data untouched)."""
         if self.readonly:
             raise CatalogError(f"catalog {self.path!r} is open read-only")
         with self._lock, self._connection:
@@ -348,6 +408,9 @@ class ServiceCatalog:
             )
             if cursor.rowcount == 0:
                 raise CatalogError(f"no collection named {name!r}")
+            self._connection.execute(
+                "DELETE FROM shards WHERE collection = ?", (name,)
+            )
 
     # -- lookup ------------------------------------------------------------
 
@@ -432,6 +495,118 @@ class ServiceCatalog:
                 f"collection {name!r} (manifest "
                 f"{entry.manifest_path!r}) cannot be opened: {error}"
             ) from error
+
+    # -- shard maps --------------------------------------------------------
+
+    def set_shard_map(
+        self, name: str, shards: Sequence[Tuple[str, int, int, int]]
+    ) -> Tuple[ShardEntry, ...]:
+        """Install the cluster shard map for collection ``name``.
+
+        ``shards`` is an ordered sequence of ``(host, port, row_start,
+        row_stop)`` slices.  The map must tile the collection exactly —
+        contiguous, ascending, covering ``[0, n_series)`` — because the
+        coordinator's merge rule assumes every candidate column is
+        scored by exactly one shard.  Replaces any existing map
+        atomically.
+        """
+        if self.readonly:
+            raise CatalogError(f"catalog {self.path!r} is open read-only")
+        entry = self.get(name)
+        if not shards:
+            raise CatalogError(
+                f"shard map for {name!r} needs at least one shard"
+            )
+        parsed: List[ShardEntry] = []
+        expected_start = 0
+        for index, shard in enumerate(shards):
+            try:
+                host, port, row_start, row_stop = shard
+            except (TypeError, ValueError) as error:
+                raise CatalogError(
+                    f"shard {index} of {name!r} must be (host, port, "
+                    f"row_start, row_stop), got {shard!r}"
+                ) from error
+            if not isinstance(host, str) or not host:
+                raise CatalogError(
+                    f"shard {index} of {name!r} needs a non-empty host, "
+                    f"got {host!r}"
+                )
+            port, row_start, row_stop = int(port), int(row_start), int(row_stop)
+            if row_start != expected_start or row_stop <= row_start:
+                raise CatalogError(
+                    f"shard map for {name!r} must tile [0, "
+                    f"{entry.n_series}) contiguously; shard {index} "
+                    f"covers [{row_start}, {row_stop}) but expected it "
+                    f"to start at {expected_start}"
+                )
+            expected_start = row_stop
+            parsed.append(
+                ShardEntry(
+                    shard_index=index,
+                    host=host,
+                    port=port,
+                    row_start=row_start,
+                    row_stop=row_stop,
+                )
+            )
+        if expected_start != entry.n_series:
+            raise CatalogError(
+                f"shard map for {name!r} covers [0, {expected_start}) "
+                f"but the collection has {entry.n_series} series; the "
+                f"map must cover every candidate column exactly once"
+            )
+        with self._lock, self._connection:
+            self._connection.execute(
+                "DELETE FROM shards WHERE collection = ?", (name,)
+            )
+            self._connection.executemany(
+                "INSERT INTO shards (collection, shard_index, host, port, "
+                "row_start, row_stop) VALUES (?, ?, ?, ?, ?, ?)",
+                [
+                    (name, s.shard_index, s.host, s.port, s.row_start, s.row_stop)
+                    for s in parsed
+                ],
+            )
+        return tuple(parsed)
+
+    def shard_map(self, name: str) -> Tuple[ShardEntry, ...]:
+        """The ordered shard map of ``name`` (empty if not sharded)."""
+        self.get(name)  # surface unknown-collection errors uniformly
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT shard_index, host, port, row_start, row_stop "
+                "FROM shards WHERE collection = ? ORDER BY shard_index",
+                (name,),
+            ).fetchall()
+        return tuple(
+            ShardEntry(
+                shard_index=int(row[0]),
+                host=row[1],
+                port=int(row[2]),
+                row_start=int(row[3]),
+                row_stop=int(row[4]),
+            )
+            for row in rows
+        )
+
+    def sharded_names(self) -> List[str]:
+        """Names of collections that currently have a shard map."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT DISTINCT collection FROM shards ORDER BY collection"
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def clear_shard_map(self, name: str) -> None:
+        """Drop the shard map of ``name`` (no-op if none installed)."""
+        if self.readonly:
+            raise CatalogError(f"catalog {self.path!r} is open read-only")
+        self.get(name)
+        with self._lock, self._connection:
+            self._connection.execute(
+                "DELETE FROM shards WHERE collection = ?", (name,)
+            )
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -12,6 +12,15 @@ Query it from another shell::
     python -m repro.cli query --port 7791 --collection sensors \
         --prob-range 4.0 0.4 --technique proud
     python -m repro.cli query --port 7791 --status
+
+Shard a collection across a daemon fleet (pure routing metadata — every
+shard daemon maps the same manifest)::
+
+    python -m repro.cli shard-map --catalog /data/catalog.db \
+        --collection trades \
+        --shard 10.0.0.1:7791:0:50000 --shard 10.0.0.2:7791:50000:100000
+    python -m repro.cli shard-map --catalog /data/catalog.db \
+        --collection trades --show
 """
 
 from __future__ import annotations
@@ -181,13 +190,18 @@ def query_main(argv: Optional[List[str]] = None) -> int:
             return 0
         if args.collection is None:
             parser.error("query verbs require --collection")
+        # _query is the shared transport under both the deprecated
+        # ServiceClient verbs and RemoteBackend; the CLI uses it directly
+        # so it never trips its own deprecation warnings.
         if args.knn is not None:
-            result = client.knn(
+            result = client._query(
+                "knn",
                 args.collection,
-                k=args.knn,
-                technique=technique,
-                indices=indices,
-                timeout=args.timeout,
+                {"k": int(args.knn)},
+                technique,
+                indices,
+                None,
+                args.timeout,
             )
             for row, (neighbors, scores) in enumerate(
                 zip(result.indices, result.scores)
@@ -198,24 +212,27 @@ def query_main(argv: Optional[List[str]] = None) -> int:
                 )
                 print(f"query {row}: {pairs}")
         elif args.range_ is not None:
-            result = client.range(
+            result = client._query(
+                "range",
                 args.collection,
-                epsilon=args.range_,
-                technique=technique,
-                indices=indices,
-                timeout=args.timeout,
+                {"epsilon": float(args.range_)},
+                technique,
+                indices,
+                None,
+                args.timeout,
             )
             for row, found in enumerate(result.matches):
                 print(f"query {row}: {found}")
         else:
             epsilon, tau = args.prob_range
-            result = client.prob_range(
+            result = client._query(
+                "prob_range",
                 args.collection,
-                epsilon=epsilon,
-                tau=tau,
-                technique=technique,
-                indices=indices,
-                timeout=args.timeout,
+                {"epsilon": float(epsilon), "tau": float(tau)},
+                technique,
+                indices,
+                None,
+                args.timeout,
             )
             for row, found in enumerate(result.matches):
                 print(f"query {row}: {found}")
@@ -225,5 +242,80 @@ def query_main(argv: Optional[List[str]] = None) -> int:
                 f"{result.batch['n_queries']} query rows, waited "
                 f"{result.batch['waited_ms']:.2f} ms; kernel "
                 f"{result.elapsed_ms:.2f} ms]"
+            )
+    return 0
+
+
+def build_shard_map_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli shard-map",
+        description="Install, show, or clear a collection's cluster "
+        "shard map (routing metadata for scatter-gather serving).",
+    )
+    parser.add_argument(
+        "--catalog",
+        required=True,
+        help="path of the catalog database holding the collection",
+    )
+    parser.add_argument("--collection", required=True)
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument(
+        "--shard",
+        action="append",
+        default=None,
+        metavar="HOST:PORT:START:STOP",
+        help="one shard entry (repeatable, in shard order); the "
+        "[START, STOP) slices must tile the collection exactly",
+    )
+    action.add_argument(
+        "--show",
+        action="store_true",
+        help="print the installed shard map as JSON",
+    )
+    action.add_argument(
+        "--clear",
+        action="store_true",
+        help="remove the shard map (the collection serves unsharded)",
+    )
+    return parser
+
+
+def shard_map_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro.cli shard-map``."""
+    parser = build_shard_map_parser()
+    args = parser.parse_args(argv)
+    with ServiceCatalog(args.catalog) as catalog:
+        if args.show:
+            entries = [
+                {
+                    "shard_index": shard.shard_index,
+                    "endpoint": shard.endpoint,
+                    "row_start": shard.row_start,
+                    "row_stop": shard.row_stop,
+                }
+                for shard in catalog.shard_map(args.collection)
+            ]
+            print(json.dumps(entries, indent=2))
+            return 0
+        if args.clear:
+            catalog.clear_shard_map(args.collection)
+            print(f"cleared shard map of {args.collection!r}")
+            return 0
+        shards = []
+        for item in args.shard:
+            parts = item.rsplit(":", 3)
+            if len(parts) != 4:
+                print(
+                    f"--shard expects HOST:PORT:START:STOP, got {item!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            host, port, start, stop = parts
+            shards.append((host, int(port), int(start), int(stop)))
+        installed = catalog.set_shard_map(args.collection, shards)
+        for shard in installed:
+            print(
+                f"shard {shard.shard_index}: {shard.endpoint} serves "
+                f"[{shard.row_start}, {shard.row_stop})"
             )
     return 0

@@ -28,8 +28,9 @@ from __future__ import annotations
 
 import itertools
 import socket
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.errors import ReproError
 from .protocol import (
@@ -159,6 +160,7 @@ class ServiceClient:
         indices: Optional[Sequence[int]],
         values: Optional[Sequence[Sequence[float]]],
         timeout: Optional[float],
+        candidates: Optional[Tuple[int, int]] = None,
     ) -> ServiceResult:
         if indices is not None and values is not None:
             raise ProtocolError(
@@ -179,6 +181,11 @@ class ServiceClient:
             }
         if timeout is not None:
             payload["timeout"] = float(timeout)
+        if candidates is not None:
+            payload["candidates"] = {
+                "start": int(candidates[0]),
+                "stop": int(candidates[1]),
+            }
         response = self._request(payload)
         return ServiceResult(
             op=op,
@@ -189,6 +196,17 @@ class ServiceClient:
         )
 
     # -- query ops ----------------------------------------------------------
+
+    @staticmethod
+    def _warn_direct(verb: str) -> None:
+        warnings.warn(
+            f"ServiceClient.{verb}() is deprecated; use the fluent "
+            f"surface — repro.api.connect('tcp://host:port').queries()"
+            f".using(technique).{verb}(...) — which returns the same "
+            f"structured results as an in-process session",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
     def knn(
         self,
@@ -204,7 +222,11 @@ class ServiceClient:
         Queries default to *every* collection series (the paper's full
         protocol); pass ``indices`` for a subset or ``values`` for raw
         query rows against an exact-kind collection.
+
+        .. deprecated::
+            Use ``repro.api.connect(...)`` and the fluent query surface.
         """
+        self._warn_direct("knn")
         return self._query(
             "knn", collection, {"k": int(k)}, technique, indices, values,
             timeout,
@@ -219,7 +241,12 @@ class ServiceClient:
         values: Optional[Sequence[Sequence[float]]] = None,
         timeout: Optional[float] = None,
     ) -> ServiceResult:
-        """Per-query range results ``distance <= ε`` (Equation 1)."""
+        """Per-query range results ``distance <= ε`` (Equation 1).
+
+        .. deprecated::
+            Use ``repro.api.connect(...)`` and the fluent query surface.
+        """
+        self._warn_direct("range")
         return self._query(
             "range", collection, {"epsilon": _epsilon_param(epsilon)},
             technique, indices, values, timeout,
@@ -235,7 +262,12 @@ class ServiceClient:
         values: Optional[Sequence[Sequence[float]]] = None,
         timeout: Optional[float] = None,
     ) -> ServiceResult:
-        """Probabilistic range ``Pr(distance <= ε) >= τ`` (Equation 2)."""
+        """Probabilistic range ``Pr(distance <= ε) >= τ`` (Equation 2).
+
+        .. deprecated::
+            Use ``repro.api.connect(...)`` and the fluent query surface.
+        """
+        self._warn_direct("prob_range")
         return self._query(
             "prob_range",
             collection,

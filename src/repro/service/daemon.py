@@ -39,11 +39,19 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.errors import ReproError
+from ..core.mmapio import MappedCollection
 from ..core.series import TimeSeries
 from ..queries.engine import QueryEngine
 from ..queries.session import SimilaritySession
 from ..queries.techniques import EuclideanTechnique, Technique
-from .batching import BatchQueue, QueryJob, batch_key, execute_batch, scatter_rows
+from .batching import (
+    BatchQueue,
+    QueryJob,
+    batch_key,
+    execute_batch,
+    execute_shard_batch,
+    scatter_rows,
+)
 from .catalog import CatalogError, ServiceCatalog
 from .protocol import (
     MAX_LINE_BYTES,
@@ -130,7 +138,15 @@ class SimilarityDaemon:
             self._dispatch, max_batch=max_batch, max_delay=max_delay
         )
         self._sessions: Dict[str, SimilaritySession] = {}
-        self._session_locks: Dict[str, asyncio.Lock] = {}
+        self._session_locks: Dict[Any, asyncio.Lock] = {}
+        # Column-shard serving: the full mmap per collection (query items
+        # resolve by *global* index) plus one warmed session per served
+        # slice — a shard daemon never materializes columns outside its
+        # slice, which is the whole point of scattering.
+        self._maps: Dict[str, MappedCollection] = {}
+        self._shard_sessions: Dict[
+            Tuple[str, int, int], SimilaritySession
+        ] = {}
         self._techniques: Dict[
             Tuple[str, str], Tuple[Technique, threading.Lock]
         ] = {}
@@ -205,7 +221,11 @@ class SimilarityDaemon:
         self._pool.shutdown(wait=True)
         for session in self._sessions.values():
             session.close()
+        for session in self._shard_sessions.values():
+            session.close()
         self._sessions.clear()
+        self._shard_sessions.clear()
+        self._maps.clear()
         self._techniques.clear()
         if self._owns_catalog:
             self._catalog.close()
@@ -273,6 +293,62 @@ class SimilarityDaemon:
                 self._sessions[name] = session
             return session
 
+    def _collection_map(self, name: str) -> MappedCollection:
+        """The full mmap of ``name`` (cached; O(1) — pages fault lazily)."""
+        mapped = self._maps.get(name)
+        if mapped is None:
+            mapped = self._catalog.open_collection(name)
+            self._maps[name] = mapped
+        return mapped
+
+    def _build_shard_session(
+        self, name: str, start: int, stop: int
+    ) -> SimilaritySession:
+        """A warmed session over the column slice ``[start, stop)``.
+
+        The slice is a zero-copy view of the same full manifest every
+        peer daemon maps — only the sliced columns materialize, so a
+        4-shard daemon fleet holds each column's dense matrices exactly
+        once between them.
+        """
+        mapped = self._collection_map(name)
+        if stop > len(mapped):
+            raise ProtocolError(
+                f"candidates [{start}, {stop}) exceed collection "
+                f"{name!r} with {len(mapped)} series"
+            )
+        session = SimilaritySession(
+            mapped.shard(start, stop),
+            engine=QueryEngine(max_collections=8),
+            n_workers=self._n_workers,
+        )
+        if len(session) > 1:
+            with contextlib.suppress(ReproError):
+                session.queries([0]).using(EuclideanTechnique()).knn(1)
+        return session
+
+    async def _get_shard_session(
+        self, name: str, start: int, stop: int
+    ) -> SimilaritySession:
+        key = (name, start, stop)
+        session = self._shard_sessions.get(key)
+        if session is not None:
+            return session
+        lock = self._session_locks.setdefault(key, asyncio.Lock())
+        async with lock:
+            session = self._shard_sessions.get(key)
+            if session is None:
+                loop = asyncio.get_running_loop()
+                session = await loop.run_in_executor(
+                    self._pool,
+                    self._build_shard_session,
+                    name,
+                    start,
+                    stop,
+                )
+                self._shard_sessions[key] = session
+            return session
+
     def _technique_for(
         self, collection: str, spec_key: str
     ) -> Tuple[Technique, threading.Lock]:
@@ -293,10 +369,16 @@ class SimilarityDaemon:
     # -- request execution --------------------------------------------------
 
     def _resolve_queries(
-        self, request: Request, session: SimilaritySession
+        self, request: Request, collection: Sequence
     ) -> Tuple[Sequence, np.ndarray]:
-        """A request's query rows as (items, collection positions)."""
-        collection = session.collection
+        """A request's query rows as (items, **global** positions).
+
+        ``collection`` is always the *full* collection — a column-sliced
+        request still names its query rows by global index (the cluster
+        coordinator scatters one query set to every shard), so items
+        resolve off the full mmap even when the kernel only scores a
+        slice.
+        """
         spec = request.queries
         if spec is None:
             return collection, np.arange(len(collection), dtype=np.intp)
@@ -320,7 +402,7 @@ class SimilarityDaemon:
                 f"'queries.values' must be a (M, n) list of rows, got "
                 f"shape {values.shape}"
             )
-        if getattr(session.collection, "kind", "exact") != "exact":
+        if getattr(collection, "kind", "exact") != "exact":
             raise ProtocolError(
                 "raw-value queries are only supported against exact-kind "
                 "collections; query by 'indices' instead"
@@ -357,13 +439,26 @@ class SimilarityDaemon:
     ) -> List[Tuple[Dict, Optional[Dict], float]]:
         """BatchQueue dispatch: one merged kernel run in the thread pool."""
         collection_name, spec_key, op = key[0], key[1], key[2]
-        session = await self._get_session(collection_name)
+        candidates = jobs[0].candidates
+        if candidates is None:
+            session = await self._get_session(collection_name)
+        else:
+            session = await self._get_shard_session(
+                collection_name, candidates[0], candidates[1]
+            )
         technique, lock = self._technique_for(collection_name, spec_key)
 
         def _run() -> List[Tuple[Dict, Optional[Dict], float]]:
             with lock:
                 started = time.perf_counter()
-                result, slices = execute_batch(session, technique, op, jobs)
+                if candidates is None:
+                    result, slices = execute_batch(
+                        session, technique, op, jobs
+                    )
+                else:
+                    result, slices = execute_shard_batch(
+                        session, technique, op, jobs, candidates[0]
+                    )
                 elapsed = time.perf_counter() - started
             stats = stats_payload(result.pruning_stats)
             return [
@@ -375,8 +470,14 @@ class SimilarityDaemon:
         return await loop.run_in_executor(self._pool, _run)
 
     async def _execute_query(self, request: Request) -> Dict[str, Any]:
-        session = await self._get_session(request.collection)
-        items, positions = self._resolve_queries(request, session)
+        if request.candidates is None:
+            session = await self._get_session(request.collection)
+            source = session.collection
+        else:
+            start, stop = request.candidates
+            await self._get_shard_session(request.collection, start, stop)
+            source = self._collection_map(request.collection)
+        items, positions = self._resolve_queries(request, source)
         params = self._validate_params(request)
         job = QueryJob(
             request_id=request.request_id,
@@ -384,12 +485,14 @@ class SimilarityDaemon:
             items=items,
             positions=positions,
             params=params,
+            candidates=request.candidates,
         )
         key = batch_key(
             request.collection,
             technique_key(request.technique),
             request.op,
             params,
+            candidates=request.candidates,
         )
         waiter = self._queue.submit(key, job)
         timeout = (
@@ -425,6 +528,10 @@ class SimilarityDaemon:
                     "protocol": PROTOCOL_VERSION,
                     "collections": self._catalog.names(),
                     "warm": self.warm_collections,
+                    "shard_sessions": [
+                        {"collection": name, "start": start, "stop": stop}
+                        for name, start, stop in sorted(self._shard_sessions)
+                    ],
                     "uptime_seconds": round(
                         time.monotonic() - self._started_at, 3
                     ),
@@ -473,6 +580,9 @@ class SimilarityDaemon:
             stale = self._sessions.pop(name, None)
             if stale is not None:
                 stale.close()
+            self._maps.pop(name, None)
+            for key in [k for k in self._shard_sessions if k[0] == name]:
+                self._shard_sessions.pop(key).close()
             await self._get_session(name)
             return ok_response(
                 request.request_id,

@@ -12,10 +12,18 @@ Request::
      "technique": {"name": "dust", "params": {}},
      "params": {"k": 10},
      "queries": {"indices": [0, 1, 2]},        # omit for all series
+     "candidates": {"start": 0, "stop": 5000}, # optional column slice
      "timeout": 30.0}                           # optional, seconds
 
 Ops: ``ping`` / ``status`` / ``list`` / ``register`` / ``knn`` /
 ``range`` / ``prob_range`` / ``shutdown``.
+
+``candidates`` scopes the query to a contiguous column slice of the
+collection — the scatter unit of a :class:`~repro.service.cluster.
+ClusterCoordinator`.  Replies stay in **global** collection indices; a
+sliced kNN reply may be ragged (a narrow shard returns fewer than ``k``
+real candidates per row — padding never crosses the wire because the
+encoder forbids non-finite JSON).
 
 Response::
 
@@ -28,29 +36,25 @@ Response::
     {"v": 1, "id": "q-0", "ok": false,
      "error": {"type": "UnknownCollection", "message": "..."}}
 
-The technique registry (:data:`TECHNIQUE_NAMES`) maps wire names to the
-library's :class:`~repro.queries.techniques.Technique` constructors; a
-request's ``technique`` spec is canonicalized by :func:`technique_key`
-so the batcher can coalesce requests that will execute identically.
+The technique registry lives in :mod:`repro.service.registry` (one
+canonical table shared with the batcher's coalescing keys); this module
+re-exports its spec helpers so existing imports keep working.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
-from ..core.errors import ReproError
-from ..queries.planner import PruningStats
-from ..queries.techniques import (
-    DustDtwTechnique,
-    DustTechnique,
-    EuclideanTechnique,
-    FilteredTechnique,
-    MunichDtwTechnique,
-    MunichTechnique,
-    ProudTechnique,
-    Technique,
+from ..queries.planner import PruningStats, StageStats
+from .registry import (  # noqa: F401  (canonical home; re-exported API)
+    TECHNIQUE_NAMES,
+    ProtocolError,
+    build_technique,
+    normalize_technique_spec,
+    technique_key,
+    technique_spec,
 )
 
 #: Bump on incompatible wire-format changes; both ends must match.
@@ -65,137 +69,6 @@ MAX_LINE_BYTES = 64 * 1024 * 1024
 QUERY_OPS = ("knn", "range", "prob_range")
 #: Control operations (answered on the event loop).
 CONTROL_OPS = ("ping", "status", "list", "register", "shutdown")
-
-
-class ProtocolError(ReproError):
-    """A request violates the wire protocol (shape, version, values)."""
-
-
-# ---------------------------------------------------------------------------
-# Technique registry
-# ---------------------------------------------------------------------------
-
-
-def _build_munich(params: Dict[str, Any]) -> Technique:
-    from ..munich import Munich
-
-    munich_kwargs = {
-        key: params[key]
-        for key in ("tau", "method", "n_bins", "n_samples", "rng")
-        if key in params
-    }
-    if munich_kwargs:
-        munich_kwargs.setdefault("tau", 0.5)
-        return MunichTechnique(Munich(**munich_kwargs))
-    return MunichTechnique()
-
-
-def _build_munich_dtw(params: Dict[str, Any]) -> Technique:
-    from ..munich import Munich
-
-    munich_kwargs = {
-        key: params[key]
-        for key in ("tau", "n_samples", "rng")
-        if key in params
-    }
-    munich = None
-    if munich_kwargs:
-        munich_kwargs.setdefault("tau", 0.5)
-        munich_kwargs.setdefault("rng", 0)
-        munich = Munich(method="montecarlo", **munich_kwargs)
-    return MunichDtwTechnique(window=params.get("window"), munich=munich)
-
-
-_TechniqueBuilder = Callable[[Dict[str, Any]], Technique]
-
-#: wire name -> (builder over the params dict, accepted parameter names)
-_TECHNIQUES: Dict[str, Tuple[_TechniqueBuilder, Tuple[str, ...]]] = {
-    "euclidean": (lambda p: EuclideanTechnique(), ()),
-    "uma": (
-        lambda p: FilteredTechnique.uma(window=p.get("window", 2)),
-        ("window",),
-    ),
-    "uema": (
-        lambda p: FilteredTechnique.uema(
-            window=p.get("window", 2), decay=p.get("decay", 1.0)
-        ),
-        ("window", "decay"),
-    ),
-    "dust": (lambda p: DustTechnique(), ()),
-    "proud": (
-        lambda p: ProudTechnique(assumed_std=p.get("assumed_std")),
-        ("assumed_std",),
-    ),
-    "munich": (
-        _build_munich,
-        ("tau", "method", "n_bins", "n_samples", "rng"),
-    ),
-    "dust-dtw": (
-        lambda p: DustDtwTechnique(window=p.get("window")),
-        ("window",),
-    ),
-    "munich-dtw": (
-        _build_munich_dtw,
-        ("window", "tau", "n_samples", "rng"),
-    ),
-}
-
-#: Wire names of every servable technique family.
-TECHNIQUE_NAMES = tuple(sorted(_TECHNIQUES))
-
-
-def normalize_technique_spec(spec: Any) -> Dict[str, Any]:
-    """Validate a request's technique spec into ``{"name", "params"}``.
-
-    Accepts a bare name string or a ``{"name": ..., "params": {...}}``
-    mapping; unknown names and parameters raise :class:`ProtocolError`
-    (a typo must never silently fall back to defaults).
-    """
-    if spec is None:
-        spec = "euclidean"
-    if isinstance(spec, str):
-        spec = {"name": spec, "params": {}}
-    if not isinstance(spec, dict) or not isinstance(spec.get("name"), str):
-        raise ProtocolError(
-            f"technique spec must be a name or {{'name', 'params'}} "
-            f"mapping, got {spec!r}"
-        )
-    name = spec["name"].lower()
-    params = spec.get("params") or {}
-    if name not in _TECHNIQUES:
-        raise ProtocolError(
-            f"unknown technique {name!r}; servable techniques: "
-            f"{', '.join(TECHNIQUE_NAMES)}"
-        )
-    if not isinstance(params, dict):
-        raise ProtocolError(
-            f"technique params must be a mapping, got {params!r}"
-        )
-    accepted = _TECHNIQUES[name][1]
-    unknown = sorted(set(params) - set(accepted))
-    if unknown:
-        raise ProtocolError(
-            f"technique {name!r} does not accept parameter(s) "
-            f"{', '.join(map(repr, unknown))}; accepted: "
-            f"{list(accepted) or 'none'}"
-        )
-    return {"name": name, "params": dict(params)}
-
-
-def build_technique(spec: Any) -> Technique:
-    """A fresh :class:`Technique` instance for a (normalized) spec."""
-    normalized = normalize_technique_spec(spec)
-    return _TECHNIQUES[normalized["name"]][0](normalized["params"])
-
-
-def technique_key(spec: Any) -> str:
-    """Canonical string of a technique spec (the batcher's coalescing key).
-
-    Two requests with equal keys execute through one technique instance
-    and may share one ``(M, N)`` matrix execution.
-    """
-    normalized = normalize_technique_spec(spec)
-    return json.dumps(normalized, sort_keys=True, separators=(",", ":"))
 
 
 # ---------------------------------------------------------------------------
@@ -234,6 +107,28 @@ class Request:
     params: Dict[str, Any] = field(default_factory=dict)
     queries: Optional[Dict[str, Any]] = None
     timeout: Optional[float] = None
+    #: Optional ``(start, stop)`` candidate column slice (cluster shard).
+    candidates: Optional[Tuple[int, int]] = None
+
+
+def _parse_candidates(payload: Any) -> Tuple[int, int]:
+    """Validate a request's ``candidates`` column slice."""
+    if not isinstance(payload, dict) or set(payload) - {"start", "stop"}:
+        raise ProtocolError(
+            f"'candidates' must be {{'start', 'stop'}}, got {payload!r}"
+        )
+    try:
+        start = int(payload["start"])
+        stop = int(payload["stop"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(
+            f"'candidates' start/stop must be integers: {error}"
+        ) from error
+    if start < 0 or stop <= start:
+        raise ProtocolError(
+            f"'candidates' needs 0 <= start < stop, got [{start}, {stop})"
+        )
+    return start, stop
 
 
 def parse_request(payload: Dict[str, Any]) -> Request:
@@ -269,6 +164,13 @@ def parse_request(payload: Dict[str, Any]) -> Request:
             raise ProtocolError(
                 "'queries' must be {'indices': [...]} or {'values': [...]}"
             )
+    candidates = payload.get("candidates")
+    if candidates is not None:
+        if op not in QUERY_OPS:
+            raise ProtocolError(
+                f"'candidates' only applies to query ops, not {op!r}"
+            )
+        candidates = _parse_candidates(candidates)
     timeout = payload.get("timeout")
     if timeout is not None:
         timeout = float(timeout)
@@ -290,6 +192,7 @@ def parse_request(payload: Dict[str, Any]) -> Request:
         params=params,
         queries=queries,
         timeout=timeout,
+        candidates=candidates,
     )
 
 
@@ -356,3 +259,43 @@ def stats_payload(stats: Optional[PruningStats]) -> Optional[Dict[str, Any]]:
     if selectivity is not None:
         payload["index_selectivity"] = selectivity
     return payload
+
+
+def stats_from_payload(
+    payload: Optional[Dict[str, Any]],
+) -> Optional[PruningStats]:
+    """Rebuild :class:`PruningStats` from a response's ``stats`` payload.
+
+    The inverse of :func:`stats_payload` for the fields that cross the
+    wire, so remote backends hand fluent callers the same structured
+    stats object the in-process path produces (and a cluster
+    coordinator can merge per-shard stats with
+    :meth:`PruningStats.merge_shards`).  Tolerant of missing fields —
+    an older daemon's stats payload still parses.
+    """
+    if payload is None:
+        return None
+    try:
+        stages = tuple(
+            StageStats(
+                stage=str(entry.get("stage", "?")),
+                entered=int(entry.get("entered", 0)),
+                decided=int(entry.get("decided", 0)),
+                refined=int(entry.get("refined", 0)),
+                samples_drawn=int(entry.get("samples_drawn", 0)),
+                skipped=int(entry.get("skipped", 0)),
+                seconds=float(entry.get("seconds", 0.0)),
+            )
+            for entry in payload.get("stages", ())
+        )
+        return PruningStats(
+            technique_name=str(payload.get("technique", "?")),
+            kind=str(payload.get("kind", "?")),
+            n_queries=int(payload.get("n_queries", 0)),
+            n_candidates=int(payload.get("n_candidates", 0)),
+            stages=stages,
+        )
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(
+            f"malformed stats payload: {error}"
+        ) from error

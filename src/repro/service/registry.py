@@ -1,0 +1,303 @@
+"""Canonical technique registry and coalescing keys for the service tier.
+
+One table maps wire names to :class:`~repro.queries.techniques.Technique`
+constructors.  Before this module the table lived twice — the protocol
+validated specs against one copy while the batcher coalesced on another —
+so a technique added to one could silently miss the other.  Everything
+that names a servable technique now imports from here:
+
+* :func:`normalize_technique_spec` / :func:`build_technique` /
+  :func:`technique_key` — wire spec → validated spec → instance → the
+  canonical coalescing string (:mod:`repro.service.protocol` re-exports
+  them unchanged);
+* :func:`technique_spec` — the *reverse* mapping, a local technique
+  instance → its wire spec, so remote backends can ship the technique a
+  fluent :class:`~repro.queries.session.QuerySet` was built with;
+* :func:`batch_key` — what may share one planner execution
+  (:mod:`repro.service.batching` re-exports it).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..core.errors import InvalidParameterError, ReproError
+from ..queries.techniques import (
+    DustDtwTechnique,
+    DustTechnique,
+    EuclideanTechnique,
+    FilteredTechnique,
+    MunichDtwTechnique,
+    MunichTechnique,
+    ProudTechnique,
+    Technique,
+)
+
+
+class ProtocolError(ReproError):
+    """A request violates the wire protocol (shape, version, values)."""
+
+
+def _build_munich(params: Dict[str, Any]) -> Technique:
+    from ..munich import Munich
+
+    munich_kwargs = {
+        key: params[key]
+        for key in ("tau", "method", "n_bins", "n_samples", "rng")
+        if key in params
+    }
+    if munich_kwargs:
+        munich_kwargs.setdefault("tau", 0.5)
+        return MunichTechnique(Munich(**munich_kwargs))
+    return MunichTechnique()
+
+
+def _build_munich_dtw(params: Dict[str, Any]) -> Technique:
+    from ..munich import Munich
+
+    munich_kwargs = {
+        key: params[key]
+        for key in ("tau", "n_samples", "rng")
+        if key in params
+    }
+    munich = None
+    if munich_kwargs:
+        munich_kwargs.setdefault("tau", 0.5)
+        munich_kwargs.setdefault("rng", 0)
+        munich = Munich(method="montecarlo", **munich_kwargs)
+    return MunichDtwTechnique(window=params.get("window"), munich=munich)
+
+
+_TechniqueBuilder = Callable[[Dict[str, Any]], Technique]
+
+#: wire name -> (builder over the params dict, accepted parameter names)
+_TECHNIQUES: Dict[str, Tuple[_TechniqueBuilder, Tuple[str, ...]]] = {
+    "euclidean": (lambda p: EuclideanTechnique(), ()),
+    "uma": (
+        lambda p: FilteredTechnique.uma(window=p.get("window", 2)),
+        ("window",),
+    ),
+    "uema": (
+        lambda p: FilteredTechnique.uema(
+            window=p.get("window", 2), decay=p.get("decay", 1.0)
+        ),
+        ("window", "decay"),
+    ),
+    "dust": (lambda p: DustTechnique(), ()),
+    "proud": (
+        lambda p: ProudTechnique(assumed_std=p.get("assumed_std")),
+        ("assumed_std",),
+    ),
+    "munich": (
+        _build_munich,
+        ("tau", "method", "n_bins", "n_samples", "rng"),
+    ),
+    "dust-dtw": (
+        lambda p: DustDtwTechnique(window=p.get("window")),
+        ("window",),
+    ),
+    "munich-dtw": (
+        _build_munich_dtw,
+        ("window", "tau", "n_samples", "rng"),
+    ),
+}
+
+#: Wire names of every servable technique family.
+TECHNIQUE_NAMES = tuple(sorted(_TECHNIQUES))
+
+
+def normalize_technique_spec(spec: Any) -> Dict[str, Any]:
+    """Validate a request's technique spec into ``{"name", "params"}``.
+
+    Accepts a bare name string or a ``{"name": ..., "params": {...}}``
+    mapping; unknown names and parameters raise :class:`ProtocolError`
+    (a typo must never silently fall back to defaults).
+    """
+    if spec is None:
+        spec = "euclidean"
+    if isinstance(spec, str):
+        spec = {"name": spec, "params": {}}
+    if not isinstance(spec, dict) or not isinstance(spec.get("name"), str):
+        raise ProtocolError(
+            f"technique spec must be a name or {{'name', 'params'}} "
+            f"mapping, got {spec!r}"
+        )
+    name = spec["name"].lower()
+    params = spec.get("params") or {}
+    if name not in _TECHNIQUES:
+        raise ProtocolError(
+            f"unknown technique {name!r}; servable techniques: "
+            f"{', '.join(TECHNIQUE_NAMES)}"
+        )
+    if not isinstance(params, dict):
+        raise ProtocolError(
+            f"technique params must be a mapping, got {params!r}"
+        )
+    accepted = _TECHNIQUES[name][1]
+    unknown = sorted(set(params) - set(accepted))
+    if unknown:
+        raise ProtocolError(
+            f"technique {name!r} does not accept parameter(s) "
+            f"{', '.join(map(repr, unknown))}; accepted: "
+            f"{list(accepted) or 'none'}"
+        )
+    return {"name": name, "params": dict(params)}
+
+
+def build_technique(spec: Any) -> Technique:
+    """A fresh :class:`Technique` instance for a (normalized) spec."""
+    normalized = normalize_technique_spec(spec)
+    return _TECHNIQUES[normalized["name"]][0](normalized["params"])
+
+
+def technique_key(spec: Any) -> str:
+    """Canonical string of a technique spec (the batcher's coalescing key).
+
+    Two requests with equal keys execute through one technique instance
+    and may share one ``(M, N)`` matrix execution.
+    """
+    normalized = normalize_technique_spec(spec)
+    return json.dumps(normalized, sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# The reverse mapping: instance -> wire spec
+# ---------------------------------------------------------------------------
+
+
+def _wire_rng(technique_name: str, rng: Any) -> Optional[int]:
+    """An rng seed a remote daemon can rebuild, or raise.
+
+    Only plain integer seeds (and ``None``) survive the wire: the Monte
+    Carlo evaluators re-seed per pair from the integer, so a remote
+    execution with the same seed is draw-for-draw identical.  A live
+    ``Generator`` object carries hidden state and cannot be shipped.
+    """
+    if rng is None or isinstance(rng, int):
+        return rng
+    raise ProtocolError(
+        f"technique {technique_name!r} carries a non-integer rng "
+        f"({type(rng).__name__}); remote execution needs a plain seed "
+        f"for draw-for-draw reproducibility"
+    )
+
+
+def technique_spec(technique: Technique) -> Dict[str, Any]:
+    """The wire spec that rebuilds ``technique`` on a daemon.
+
+    The inverse of :func:`build_technique` for the servable families:
+    ``build_technique(technique_spec(t))`` scores identically to ``t``
+    (same parameters, same Monte Carlo seeds).  Custom
+    :class:`Technique` subclasses — and instances whose configuration
+    cannot cross the wire, like a live ``Generator`` seed — raise
+    :class:`ProtocolError` so a remote backend fails loudly instead of
+    silently serving a near-miss.
+    """
+    cls = type(technique)
+    if cls is EuclideanTechnique:
+        return {"name": "euclidean", "params": {}}
+    if cls is DustTechnique:
+        return {"name": "dust", "params": {}}
+    if cls is FilteredTechnique:
+        filtered = technique.filtered
+        if filtered.kind == "uma":
+            return {"name": "uma", "params": {"window": int(filtered.window)}}
+        if filtered.kind == "uema":
+            return {
+                "name": "uema",
+                "params": {
+                    "window": int(filtered.window),
+                    "decay": float(filtered.decay),
+                },
+            }
+        raise ProtocolError(
+            f"filtered technique kind {filtered.kind!r} is not servable "
+            f"(wire families: uma, uema)"
+        )
+    if cls is ProudTechnique:
+        if technique.assumed_std is None:
+            return {"name": "proud", "params": {}}
+        return {
+            "name": "proud",
+            "params": {"assumed_std": float(technique.assumed_std)},
+        }
+    if cls is MunichTechnique:
+        munich = technique.munich
+        params: Dict[str, Any] = {
+            "tau": float(munich.tau),
+            "method": munich.method,
+            "n_bins": int(munich.n_bins),
+            "n_samples": int(munich.n_samples),
+        }
+        rng = _wire_rng("munich", munich.rng)
+        if rng is not None:
+            params["rng"] = rng
+        return {"name": "munich", "params": params}
+    if cls is DustDtwTechnique:
+        params = {}
+        if technique.window is not None:
+            params["window"] = int(technique.window)
+        return {"name": "dust-dtw", "params": params}
+    if cls is MunichDtwTechnique:
+        munich = technique.munich
+        if munich.method != "montecarlo":
+            raise ProtocolError(
+                f"munich-dtw with method {munich.method!r} is not "
+                f"servable; the wire family is Monte Carlo only"
+            )
+        params = {
+            "tau": float(munich.tau),
+            "n_samples": int(munich.n_samples),
+        }
+        rng = _wire_rng("munich-dtw", munich.rng)
+        if rng is None:
+            raise ProtocolError(
+                "munich-dtw needs an integer rng seed for remote "
+                "execution (draws must replay identically on the daemon)"
+            )
+        params["rng"] = rng
+        if technique.window is not None:
+            params["window"] = int(technique.window)
+        return {"name": "munich-dtw", "params": params}
+    raise ProtocolError(
+        f"technique {type(technique).__name__} is not a servable wire "
+        f"family ({', '.join(TECHNIQUE_NAMES)}); remote backends can "
+        f"only ship registered techniques"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Coalescing
+# ---------------------------------------------------------------------------
+
+
+def batch_key(
+    collection: str,
+    technique: str,
+    op: str,
+    params: Dict[str, Any],
+    candidates: Optional[Tuple[int, int]] = None,
+) -> Tuple:
+    """The coalescing key: requests with equal keys share one execution.
+
+    ``technique`` is the canonical spec string from
+    :func:`technique_key`.  Row-independent parameters stay *out* of
+    the key — range ε is per-query (merged into one ε vector) — while
+    parameters that shape the whole plan are part of it: ``k`` (the kNN
+    pruning threshold cascade), ``τ`` (the decision threshold steering
+    adaptive Monte Carlo stages), and the candidate column slice a
+    cluster coordinator scoped the request to (a sliced request and a
+    full-collection request never share a kernel).
+    """
+    if op == "knn":
+        key: Tuple = (collection, technique, op, int(params["k"]))
+    elif op == "range":
+        key = (collection, technique, op)
+    elif op == "prob_range":
+        key = (collection, technique, op, float(params["tau"]))
+    else:
+        raise InvalidParameterError(f"op {op!r} is not batchable")
+    if candidates is not None:
+        key = key + (("cols", int(candidates[0]), int(candidates[1])),)
+    return key

@@ -18,6 +18,7 @@ from repro.munich import Munich
 from repro.perturbation import ConstantScenario, perturb_multisample
 from repro.queries import (
     DustTechnique,
+    SimilaritySession,
     EuclideanTechnique,
     FilteredTechnique,
     MunichTechnique,
@@ -313,3 +314,84 @@ class TestThresholdCalibration:
     def test_select_query_indices_validation(self):
         with pytest.raises(InvalidParameterError):
             select_query_indices(10, 0, make_rng(0))
+
+
+class TestFreeFunctionSessionParity:
+    """The legacy free functions now run through the planner-backed
+    session path — each must equal the fluent chain it routes to."""
+
+    def test_knn_technique_query_matches_fluent_chain(
+        self, perturbed_collection
+    ):
+        technique = DustTechnique()
+        free = knn_technique_query(
+            technique, perturbed_collection[2], perturbed_collection,
+            4, exclude=2,
+        )
+        with SimilaritySession(perturbed_collection) as session:
+            chained = session.queries([2]).using(technique).knn(4)
+        assert free == [int(i) for i in chained.indices[0]]
+
+    def test_knn_technique_query_value_query_matches_chain(
+        self, perturbed_collection
+    ):
+        # No ``exclude`` → the query is a free value row: every
+        # candidate competes, so the result is the plain profile order.
+        technique = EuclideanTechnique()
+        query = perturbed_collection[0]
+        free = knn_technique_query(
+            technique, query, perturbed_collection, 3
+        )
+        profile = np.array(
+            [technique.distance(query, s) for s in perturbed_collection]
+        )
+        order = np.argsort(profile, kind="stable")[:3]
+        assert free == [int(i) for i in order]
+
+    def test_knn_query_euclidean_routes_through_planner(self):
+        rng = np.random.default_rng(11)
+        collection = rng.normal(size=(9, 6))
+        query = collection[4]
+        free = knn_query(euclidean, query, collection, 3, exclude=4)
+        with SimilaritySession(collection) as session:
+            chained = (
+                session.queries([4]).using(EuclideanTechnique()).knn(3)
+            )
+        assert free == [int(i) for i in chained.indices[0]]
+
+    def test_range_query_euclidean_matches_fluent_chain(self):
+        rng = np.random.default_rng(12)
+        collection = rng.normal(size=(8, 5))
+        free = range_query(collection[1], collection, 2.5, euclidean,
+                           exclude=1)
+        with SimilaritySession(collection) as session:
+            chained = (
+                session.queries([1])
+                .using(EuclideanTechnique())
+                .range(2.5)
+            )
+        assert free == [int(i) for i in chained.matches[0]]
+
+    def test_probabilistic_range_query_matches_fluent_chain(
+        self, perturbed_collection
+    ):
+        technique = ProudTechnique(assumed_std=0.2)
+        free = probabilistic_range_query(
+            technique, perturbed_collection[0], perturbed_collection,
+            3.0, tau=0.5, exclude=0,
+        )
+        with SimilaritySession(perturbed_collection) as session:
+            chained = (
+                session.queries([0])
+                .using(technique)
+                .prob_range(3.0, 0.5)
+            )
+        assert free == [int(i) for i in chained.matches[0]]
+
+    def test_free_functions_populate_planner_statistics(self):
+        # The reroute is observable: the shared planner engine records
+        # plans for free-function calls too.
+        collection = np.random.default_rng(13).normal(size=(6, 4))
+        result = knn_query(euclidean, collection[0], collection, 2,
+                           exclude=0)
+        assert len(result) == 2
