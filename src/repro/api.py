@@ -91,23 +91,31 @@ from .queries import (
     DustDtwTechnique,
     DustTechnique,
     EuclideanTechnique,
+    ExplainReport,
     FilteredTechnique,
     KnnResult,
     MatrixResult,
     MunichDtwTechnique,
     MunichTechnique,
+    PlanExplanation,
+    PlanPolicy,
     ProudTechnique,
     PruningStats,
     QueryEngine,
     QueryPlan,
     QuerySet,
     RangeResult,
+    SessionConfig,
     ShardedExecutor,
     SimilaritySession,
+    StageEstimate,
     StageStats,
     Technique,
+    clear_plan_cache,
+    get_default_policy,
     index_enabled,
     knn_query,
+    set_default_policy,
     set_index_enabled,
     knn_table,
     knn_technique_query,
@@ -152,9 +160,12 @@ __all__ = [
     "ProudTechnique", "MunichTechnique", "DustDtwTechnique",
     "MunichDtwTechnique",
     # queries
-    "QueryEngine", "SimilaritySession", "QuerySet", "MatrixResult",
-    "KnnResult", "RangeResult", "ShardedExecutor",
+    "QueryEngine", "SimilaritySession", "SessionConfig", "QuerySet",
+    "MatrixResult", "KnnResult", "RangeResult", "ShardedExecutor",
     "QueryPlan", "PruningStats", "StageStats",
+    # cost-based planning
+    "PlanPolicy", "PlanExplanation", "StageEstimate", "ExplainReport",
+    "get_default_policy", "set_default_policy", "clear_plan_cache",
     "index_enabled", "set_index_enabled",
     "range_query", "probabilistic_range_query", "knn_query", "knn_table",
     "knn_technique_query",

@@ -1,0 +1,41 @@
+"""Once-per-process deprecation warnings.
+
+Every pre-policy keyword path and legacy service verb funnels through
+:func:`warn_once`, which emits each distinct :class:`DeprecationWarning`
+exactly once per process.  Python's own ``__warningregistry__`` dedupe
+is keyed by (message, category, lineno) *per module that triggered the
+warning*, which makes "did the shim warn?" dependent on call-site
+layout; a single explicit registry keyed by a stable string makes the
+contract testable — ``tests/test_policy.py`` asserts one warning per
+key, no more.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from typing import Set
+
+_SEEN: Set[str] = set()
+_LOCK = threading.Lock()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> bool:
+    """Emit ``DeprecationWarning(message)`` the first time ``key`` is seen.
+
+    Returns whether the warning was actually emitted.  ``stacklevel``
+    counts from the caller of the *deprecated* function (the default 3
+    assumes one shim frame between here and user code).
+    """
+    with _LOCK:
+        if key in _SEEN:
+            return False
+        _SEEN.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    return True
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget every emitted key (test isolation hook)."""
+    with _LOCK:
+        _SEEN.clear()

@@ -47,7 +47,7 @@ from ..core.rng import SeedLike, spawn
 from ..core.series import TimeSeries
 from ..perturbation.scenarios import PerturbationScenario
 from ..queries.planner import PruningStats
-from ..queries.session import SimilaritySession
+from ..queries.session import SessionConfig, SimilaritySession
 from ..queries.techniques import Technique
 from ..queries.thresholds import (
     PAPER_K,
@@ -367,7 +367,8 @@ def _evaluate_technique_matrix(
     meaningful per-row clock.  With ``n_workers > 1`` the kernels run
     sharded on the session's worker pool (identical scores to 1e-9).
     """
-    with SimilaritySession(collection, n_workers=n_workers) as session:
+    config = SessionConfig(n_workers=n_workers)
+    with SimilaritySession(collection, config=config) as session:
         return _score_matrix_session(
             session,
             technique,

@@ -47,15 +47,28 @@ from .parallel import (
 )
 from .planner import (
     ADAPTIVE_MC_FIRST_FRACTION,
+    POLICY_MODES,
     AdaptiveMCStage,
     BoundStage,
+    ExplainReport,
+    PlanExplanation,
+    PlanPolicy,
     PlanStage,
     PruningStats,
     QueryPlan,
     RefineStage,
+    StageEstimate,
     StageStats,
     adaptive_mc_schedule,
+    clear_plan_cache,
+    effective_index_enabled,
+    get_default_policy,
+    normalize_tau,
+    plan_cache_size,
     sequential_mc_decision,
+    sequential_mc_grid_decision,
+    sequential_mc_verdict,
+    set_default_policy,
 )
 from .range_query import (
     probabilistic_range_query,
@@ -68,6 +81,7 @@ from .session import (
     MatrixResult,
     QuerySet,
     RangeResult,
+    SessionConfig,
     SimilarityBackend,
     SimilaritySession,
 )
@@ -95,6 +109,7 @@ __all__ = [
     "SHARED_ENGINE",
     "DEFAULT_MAX_COLLECTIONS",
     "SimilaritySession",
+    "SessionConfig",
     "QuerySet",
     "SimilarityBackend",
     "InProcessBackend",
@@ -118,9 +133,22 @@ __all__ = [
     "AdaptiveMCStage",
     "PruningStats",
     "StageStats",
+    "PlanPolicy",
+    "PlanExplanation",
+    "StageEstimate",
+    "ExplainReport",
+    "POLICY_MODES",
+    "get_default_policy",
+    "set_default_policy",
+    "effective_index_enabled",
+    "normalize_tau",
+    "clear_plan_cache",
+    "plan_cache_size",
     "ADAPTIVE_MC_FIRST_FRACTION",
     "adaptive_mc_schedule",
     "sequential_mc_decision",
+    "sequential_mc_grid_decision",
+    "sequential_mc_verdict",
     "Technique",
     "EuclideanTechnique",
     "DustTechnique",

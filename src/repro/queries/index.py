@@ -22,32 +22,47 @@ cells the summary alone already decides:
 Pruned cells never reach the refine kernels, which is what turns the
 planner's O(M·N) scans into candidate-set scans.  The stage is a no-op
 — sound but useless — whenever the technique has no index, the workload
-carries no decision information (plain ``distance_matrix``), or the
-process-wide toggle (:func:`set_index_enabled`, the CLI's
-``--no-index``) is off.
+carries no decision information (plain ``distance_matrix``), or index
+pruning is switched off by the governing
+:class:`~repro.queries.planner.PlanPolicy` (``mode="never_index"`` or
+``use_index=False`` — what the CLI's ``--no-index`` sets on the default
+policy).
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Tuple
 
 import numpy as np
 
 from ..core.errors import InvalidParameterError
-from .planner import PlanContext, PlanStage
-
-_INDEX_ENABLED = True
+from .planner import (
+    PlanContext,
+    PlanStage,
+    effective_index_enabled,
+    get_default_policy,
+    set_default_policy,
+)
 
 
 def set_index_enabled(enabled: bool) -> None:
-    """Process-wide switch for :class:`IndexStage` (CLI ``--no-index``)."""
-    global _INDEX_ENABLED
-    _INDEX_ENABLED = bool(enabled)
+    """Flip index pruning on the process-wide default plan policy.
+
+    Kept as the stable entry point for the CLI's ``--no-index``; it is
+    now a shim over :func:`~repro.queries.planner.set_default_policy`
+    (``use_index`` field) rather than its own module-global, so
+    sessions, the service daemon, and ``explain()`` all observe one
+    consistent setting.
+    """
+    set_default_policy(
+        replace(get_default_policy(), use_index=bool(enabled))
+    )
 
 
 def index_enabled() -> bool:
-    """Whether summarization-index pruning is currently active."""
-    return _INDEX_ENABLED
+    """Whether the default plan policy enables summarization-index pruning."""
+    return effective_index_enabled(None)
 
 
 def knn_candidate_thresholds(
@@ -158,7 +173,7 @@ class IndexStage(PlanStage):
     name = "index"
 
     def run(self, context: PlanContext) -> Tuple[int, int]:
-        if not index_enabled():
+        if not effective_index_enabled(context.policy):
             return 0, 0
         kind = context.kind
         if kind == "probability":

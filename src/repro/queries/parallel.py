@@ -150,6 +150,7 @@ class _ShardComputer:
         c1: int,
         epsilon_block: Optional[np.ndarray],
         tau: Optional[float] = None,
+        policy=None,
         knn_k: Optional[int] = None,
         exclude_block: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, PruningStats]:
@@ -177,6 +178,7 @@ class _ShardComputer:
                 tau=tau,
                 knn_k=knn_k,
                 exclude=exclude_block,
+                policy=policy,
             )
             return np.asarray(block), stats
         finally:
@@ -190,6 +192,7 @@ class _ShardComputer:
         c1: int,
         k: int,
         exclude_block: Optional[np.ndarray],
+        policy=None,
     ) -> Tuple[np.ndarray, np.ndarray, PruningStats]:
         """Per-row local top-``k`` of one column shard.
 
@@ -221,6 +224,7 @@ class _ShardComputer:
             c0,
             c1,
             None,
+            policy=policy,
             knn_k=k,
             exclude_block=local_exclude,
         )
@@ -277,17 +281,17 @@ def _worker_init(technique: Technique, queries, collection) -> None:
 
 
 def _worker_matrix(task) -> Tuple[int, int, np.ndarray, PruningStats]:
-    kind, r0, r1, c0, c1, epsilon_block, tau = task
+    kind, r0, r1, c0, c1, epsilon_block, tau, policy = task
     block, stats = _WORKER.matrix_block(
-        kind, r0, r1, c0, c1, epsilon_block, tau
+        kind, r0, r1, c0, c1, epsilon_block, tau, policy
     )
     return r0, c0, block, stats
 
 
 def _worker_knn(task) -> Tuple[int, np.ndarray, np.ndarray, PruningStats]:
-    r0, r1, c0, c1, k, exclude_block = task
+    r0, r1, c0, c1, k, exclude_block, policy = task
     indices, scores, stats = _WORKER.knn_block(
-        r0, r1, c0, c1, k, exclude_block
+        r0, r1, c0, c1, k, exclude_block, policy
     )
     return r0, indices, scores, stats
 
@@ -590,6 +594,7 @@ class ShardedExecutor:
         collection: Sequence,
         epsilon=None,
         tau: Optional[float] = None,
+        policy=None,
     ) -> Tuple[np.ndarray, Optional[PruningStats]]:
         """:meth:`matrix` plus the merged per-shard ``PruningStats``.
 
@@ -630,6 +635,7 @@ class ShardedExecutor:
                 c1,
                 None if eps is None else eps[r0:r1],
                 tau,
+                policy,
             )
             for r0, r1, c0, c1 in plan.shards()
         ]
@@ -680,6 +686,7 @@ class ShardedExecutor:
         collection: Sequence,
         k: int,
         exclude: Optional[np.ndarray] = None,
+        policy=None,
     ) -> Tuple[np.ndarray, np.ndarray, Optional[PruningStats]]:
         """:meth:`knn` plus the merged per-shard ``PruningStats``."""
         if k < 1:
@@ -714,6 +721,7 @@ class ShardedExecutor:
                 c1,
                 k,
                 None if exclude is None else exclude[r0:r1],
+                policy,
             )
             for r0, r1, c0, c1 in plan.shards()
         ]
@@ -721,9 +729,9 @@ class ShardedExecutor:
         if backend == "serial":
             computer = self._computer_for(technique, queries, collection)
             shards = []
-            for r0, r1, c0, c1, k_arg, exclude_block in tasks:
+            for r0, r1, c0, c1, k_arg, exclude_block, task_policy in tasks:
                 indices, scores, stats = computer.knn_block(
-                    r0, r1, c0, c1, k_arg, exclude_block
+                    r0, r1, c0, c1, k_arg, exclude_block, task_policy
                 )
                 shards.append((r0, indices, scores, stats))
         else:

@@ -37,6 +37,7 @@ rankings exclude the self-match, exactly like the free-function protocol.
 from __future__ import annotations
 
 import abc
+import dataclasses
 import threading
 import time
 from contextlib import contextmanager
@@ -45,13 +46,73 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.deprecation import warn_once
 from ..core.errors import InvalidParameterError, UnsupportedQueryError
 from .engine import SHARED_ENGINE, QueryEngine
-from .index import index_enabled
 from .knn import knn_table, sparse_knn_table
 from .parallel import ShardedExecutor
-from .planner import PruningStats
+from .planner import (
+    ExplainReport,
+    PlanPolicy,
+    PruningStats,
+    effective_index_enabled,
+    normalize_tau,
+)
 from .techniques import Technique, _epsilon_vector
+
+#: Sentinel distinguishing "caller omitted the legacy keyword" from an
+#: explicit ``None`` (which is meaningful for ``n_workers``/``backend``).
+_UNSET: Any = object()
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Every session knob in one declarative object.
+
+    Consolidates what used to be loose :class:`SimilaritySession`
+    keywords (``n_workers``, ``backend``, ``row_block``, ``col_block``)
+    plus the :class:`~repro.queries.planner.PlanPolicy` that governs
+    cost-based plan choice, so a deployment's execution shape is one
+    value that can be stored, compared, and passed through ``connect()``
+    unchanged.  The legacy keywords still work behind once-per-process
+    :class:`DeprecationWarning` shims.
+
+    ``n_workers=1`` keeps kernels in-process; ``> 1`` (or ``None`` for
+    all cores) shards the ``(M, N)`` grid over a worker pool.
+    ``backend`` (``"process"`` / ``"serial"``) forces the sharded path;
+    ``row_block``/``col_block`` override the executor's shard sizes.
+    ``policy=None`` defers to the process-wide default policy at query
+    time.
+    """
+
+    n_workers: Optional[int] = 1
+    backend: Optional[str] = None
+    row_block: Optional[int] = None
+    col_block: Optional[int] = None
+    policy: Optional[PlanPolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.n_workers is not None and self.n_workers < 1:
+            raise InvalidParameterError(
+                f"n_workers must be >= 1 (or None for all cores), got "
+                f"{self.n_workers}"
+            )
+        if self.policy is not None and not isinstance(
+            self.policy, PlanPolicy
+        ):
+            raise InvalidParameterError(
+                f"policy must be a PlanPolicy, got "
+                f"{type(self.policy).__name__}"
+            )
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this config shards kernels over a worker pool."""
+        return (
+            self.backend is not None
+            or self.n_workers is None
+            or self.n_workers > 1
+        )
 
 
 @dataclass(frozen=True)
@@ -269,6 +330,7 @@ class QuerySet:
         "_positions",
         "_technique",
         "_selector",
+        "_policy",
     )
 
     def __init__(
@@ -278,12 +340,14 @@ class QuerySet:
         positions: np.ndarray,
         technique: Optional[Technique] = None,
         selector: Optional[Tuple[str, Any]] = None,
+        policy: Optional[PlanPolicy] = None,
     ) -> None:
         self._session = session
         self._queries = queries
         self._positions = positions
         self._technique = technique
         self._selector = selector
+        self._policy = policy
 
     def __len__(self) -> int:
         return len(self._queries)
@@ -308,6 +372,17 @@ class QuerySet:
         """The wire-form selection, when built through ``queries()``."""
         return self._selector
 
+    @property
+    def policy(self) -> Optional[PlanPolicy]:
+        """The governing plan policy: this set's, else the session's.
+
+        ``None`` means the terminal verbs resolve the process-wide
+        default policy at execution time.
+        """
+        if self._policy is not None:
+            return self._policy
+        return getattr(self._session, "policy", None)
+
     def using(self, technique: Technique) -> "QuerySet":
         """Bind a technique, returning a new query set."""
         if not isinstance(technique, Technique):
@@ -320,16 +395,49 @@ class QuerySet:
             self._positions,
             technique,
             selector=self._selector,
+            policy=self._policy,
+        )
+
+    def with_policy(self, policy: Optional[PlanPolicy]) -> "QuerySet":
+        """Bind a :class:`~repro.queries.planner.PlanPolicy`.
+
+        Returns a new query set whose terminal verbs plan under
+        ``policy`` instead of the session's (or the process default);
+        ``None`` clears a previous binding.  Accepted uniformly by
+        every backend — the wire protocols ship the policy with the
+        request.
+        """
+        if policy is not None and not isinstance(policy, PlanPolicy):
+            raise InvalidParameterError(
+                f"with_policy() expects a PlanPolicy or None, got "
+                f"{type(policy).__name__}"
+            )
+        return QuerySet(
+            self._session,
+            self._queries,
+            self._positions,
+            self._technique,
+            selector=self._selector,
+            policy=policy,
         )
 
     # -- terminal verbs ----------------------------------------------------
 
-    def profile_matrix(self, epsilon=None) -> MatrixResult:
+    def profile_matrix(self, epsilon=None, tau=None) -> MatrixResult:
         """The raw ``(M, N)`` score matrix for this query set.
 
         Distance techniques return distances (no ``epsilon``);
         probabilistic techniques return match probabilities and require a
         scalar or per-query ``epsilon``.
+
+        ``tau`` (probabilistic only) is an optional decision threshold —
+        a scalar, or a sequence bracketing a whole τ *grid* — that lets
+        adaptive Monte Carlo stages stop sampling as soon as every
+        threshold's verdict is determined.  Cell values then remain
+        exact probabilities where fully evaluated and a
+        verdict-equivalent hit fraction where sampling stopped early:
+        thresholding the matrix at any grid τ matches the full
+        evaluation exactly.
         """
         technique = self._require_technique()
         if technique.kind == "distance":
@@ -338,6 +446,11 @@ class QuerySet:
                     f"{technique.name} is a distance technique; "
                     f"profile_matrix() takes no epsilon"
                 )
+            if tau is not None:
+                raise InvalidParameterError(
+                    f"{technique.name} is a distance technique; "
+                    f"profile_matrix() takes no tau"
+                )
             return self._session.backend.profile_matrix(self, None)
         if epsilon is None:
             raise InvalidParameterError(
@@ -345,7 +458,9 @@ class QuerySet:
                 f"requires epsilon (scalar or one per query)"
             )
         eps = _epsilon_vector(epsilon, len(self._queries))
-        return self._session.backend.profile_matrix(self, eps)
+        return self._session.backend.profile_matrix(
+            self, eps, tau=normalize_tau(tau)
+        )
 
     def calibration_matrix(self) -> MatrixResult:
         """The ``(M, N)`` ε-calibration matrix (10th-NN thresholds live on
@@ -374,7 +489,9 @@ class QuerySet:
         technique = self._require_technique()
         executor = self._session.executor
         if executor is None:
-            if technique.index_segments is None or not index_enabled():
+            if technique.index_segments is None or not (
+                effective_index_enabled(self.policy)
+            ):
                 return self.profile_matrix().top_k(k)
             # Indexed path: the plan runs in kNN decision mode, so the
             # summarization index retires certain non-neighbors as +inf
@@ -402,6 +519,7 @@ class QuerySet:
                 self._session.collection,
                 k,
                 exclude=self._positions,
+                policy=self.policy,
             )
             elapsed = time.perf_counter() - started
         return KnnResult(
@@ -492,16 +610,54 @@ class QuerySet:
             pruning_stats=result.pruning_stats,
         )
 
+    def explain(self, k=None, epsilon=None, tau=None) -> ExplainReport:
+        """Execute one workload and report *how* it was planned.
+
+        Runs the verb the arguments select — ``k`` → :meth:`knn`,
+        ``epsilon`` + ``tau`` → :meth:`prob_range`, ``epsilon`` alone →
+        :meth:`range` (distance techniques) or a probability
+        :meth:`profile_matrix`, neither → :meth:`profile_matrix` — and
+        returns an :class:`~repro.queries.planner.ExplainReport`: the
+        chosen plan, each stage's estimated vs. actual selectivity, and
+        the chooser's rationale.  Identical across in-process, daemon,
+        and cluster backends (shards merge their explanations).
+        """
+        if k is not None:
+            if epsilon is not None or tau is not None:
+                raise InvalidParameterError(
+                    "explain(k=...) is a kNN workload; epsilon/tau do "
+                    "not apply"
+                )
+            result = self.knn(int(k))
+        elif tau is not None:
+            if epsilon is None:
+                raise InvalidParameterError(
+                    "explain(tau=...) needs epsilon as well (a "
+                    "probabilistic range workload)"
+                )
+            result = self.prob_range(epsilon, tau)
+        elif epsilon is not None:
+            technique = self._require_technique()
+            if technique.kind == "distance":
+                result = self.range(epsilon)
+            else:
+                result = self.profile_matrix(epsilon)
+        else:
+            result = self.profile_matrix()
+        return ExplainReport.from_stats(result.pruning_stats)
+
     # -- plumbing ----------------------------------------------------------
 
     def _local_profile_matrix(
-        self, eps: Optional[np.ndarray]
+        self, eps: Optional[np.ndarray], tau=None
     ) -> MatrixResult:
         """The in-process matrix execution (post-validation)."""
         if eps is None:
             values, elapsed, stats = self._run_matrix("distance")
             return self._matrix_result("distance", values, elapsed, stats)
-        values, elapsed, stats = self._run_matrix("probability", eps)
+        values, elapsed, stats = self._run_matrix(
+            "probability", eps, tau=tau
+        )
         return self._matrix_result(
             "probability", values, elapsed, stats, eps
         )
@@ -530,6 +686,7 @@ class QuerySet:
         """
         technique = self._require_technique()
         executor = self._session.executor
+        policy = self.policy
         with self._session.bound(technique):
             started = time.perf_counter()
             if executor is not None:
@@ -540,6 +697,7 @@ class QuerySet:
                     self._session.collection,
                     epsilon,
                     tau=tau,
+                    policy=policy,
                 )
             else:
                 values, stats = technique.matrix_with_stats(
@@ -550,6 +708,7 @@ class QuerySet:
                     tau=tau,
                     knn_k=knn_k,
                     exclude=self._positions if knn_k is not None else None,
+                    policy=policy,
                 )
             elapsed = time.perf_counter() - started
         return np.asarray(values, dtype=np.float64), elapsed, stats
@@ -608,7 +767,7 @@ class SimilarityBackend(abc.ABC):
         """Execute a validated probabilistic-range workload."""
 
     def profile_matrix(
-        self, query_set: QuerySet, eps: Optional[np.ndarray]
+        self, query_set: QuerySet, eps: Optional[np.ndarray], tau=None
     ) -> MatrixResult:
         """Full ``(M, N)`` matrix retrieval — in-process only by default.
 
@@ -653,9 +812,9 @@ class InProcessBackend(SimilarityBackend):
         return query_set._local_prob_range(eps, tau)
 
     def profile_matrix(
-        self, query_set: QuerySet, eps: Optional[np.ndarray]
+        self, query_set: QuerySet, eps: Optional[np.ndarray], tau=None
     ) -> MatrixResult:
-        return query_set._local_profile_matrix(eps)
+        return query_set._local_profile_matrix(eps, tau=tau)
 
     def calibration_matrix(self, query_set: QuerySet) -> MatrixResult:
         return query_set._local_calibration_matrix()
@@ -678,19 +837,19 @@ class SimilaritySession:
         defaults to the process-shared engine (techniques compared side by
         side reuse one values matrix).  Pass a private engine to isolate
         the session's caches.
-    n_workers:
-        Worker processes for the session's kernels.  The default ``1``
-        keeps every kernel in-process (the technique's own all-pairs
-        call).  ``> 1`` (or ``None`` for all cores) shards the ``(M, N)``
-        grid across a :class:`~repro.queries.parallel.ShardedExecutor`
-        worker pool; results are identical to within 1e-9.
-    backend:
-        ``"process"`` / ``"serial"`` / ``None`` (auto) — forwarded to the
-        executor.  Setting it (even to ``"serial"``) routes kernels
-        through the sharded path with ``n_workers`` workers.
-    row_block / col_block:
-        Optional shard sizes forwarded to the executor (defaults scale
-        with ``n_workers``).
+    config:
+        A :class:`SessionConfig` consolidating the execution knobs —
+        worker count, executor backend, shard block sizes, and the
+        session-level :class:`~repro.queries.planner.PlanPolicy`.
+    policy:
+        Shorthand for ``config`` with only the plan policy set (the
+        common case); combining it with a ``config`` that also sets a
+        policy is an error.
+
+    The pre-config keywords (``n_workers``, ``backend``, ``row_block``,
+    ``col_block``) are still accepted behind once-per-process
+    :class:`DeprecationWarning` shims and fold into the effective
+    config.
 
     Parallel sessions own a worker pool: call :meth:`close` (or use the
     session as a context manager) to release it deterministically.
@@ -704,32 +863,38 @@ class SimilaritySession:
         "_backend",
         "_closed",
         "_close_lock",
+        "_config",
     )
 
     def __init__(
         self,
         collection: Sequence,
         engine: Optional[QueryEngine] = None,
-        n_workers: Optional[int] = 1,
-        backend: Optional[str] = None,
-        row_block: Optional[int] = None,
-        col_block: Optional[int] = None,
+        n_workers: Optional[int] = _UNSET,
+        backend: Optional[str] = _UNSET,
+        row_block: Optional[int] = _UNSET,
+        col_block: Optional[int] = _UNSET,
+        *,
+        config: Optional[SessionConfig] = None,
+        policy: Optional[PlanPolicy] = None,
     ) -> None:
         if len(collection) == 0:
             raise InvalidParameterError(
                 "a similarity session needs a non-empty collection"
             )
+        config = self._effective_config(
+            config, policy, n_workers, backend, row_block, col_block
+        )
         self._collection = collection
         self._engine = engine if engine is not None else SHARED_ENGINE
-        self._parallel = backend is not None or n_workers is None or (
-            n_workers > 1
-        )
+        self._config = config
+        self._parallel = config.parallel
         if self._parallel:
             self._executor = ShardedExecutor(
-                n_workers=n_workers,
-                backend=backend,
-                row_block=row_block,
-                col_block=col_block,
+                n_workers=config.n_workers,
+                backend=config.backend,
+                row_block=config.row_block,
+                col_block=config.col_block,
             )
         else:
             self._executor = None
@@ -737,6 +902,64 @@ class SimilaritySession:
         self._closed = False
         self._close_lock = threading.Lock()
         self._engine.materialize(collection)
+
+    @staticmethod
+    def _effective_config(
+        config: Optional[SessionConfig],
+        policy: Optional[PlanPolicy],
+        n_workers,
+        backend,
+        row_block,
+        col_block,
+    ) -> SessionConfig:
+        """Fold legacy keywords + ``policy`` into one :class:`SessionConfig`.
+
+        Each legacy keyword that was actually passed warns once per
+        process and overrides the corresponding config field; mixing a
+        legacy keyword with an explicit ``config`` is rejected so there
+        is never a silent precedence question.
+        """
+        legacy = {
+            name: value
+            for name, value in (
+                ("n_workers", n_workers),
+                ("backend", backend),
+                ("row_block", row_block),
+                ("col_block", col_block),
+            )
+            if value is not _UNSET
+        }
+        if legacy and config is not None:
+            raise InvalidParameterError(
+                f"pass {'/'.join(sorted(legacy))} inside config=, not "
+                f"alongside it"
+            )
+        for name in legacy:
+            warn_once(
+                f"session-kwarg:{name}",
+                f"SimilaritySession({name}=...) is deprecated; pass "
+                f"config=SessionConfig({name}=...) instead",
+            )
+        if config is None:
+            config = SessionConfig(**legacy)
+        if policy is not None:
+            if config.policy is not None:
+                raise InvalidParameterError(
+                    "policy= conflicts with config.policy; set it in "
+                    "one place"
+                )
+            config = dataclasses.replace(config, policy=policy)
+        return config
+
+    @property
+    def config(self) -> SessionConfig:
+        """The session's effective :class:`SessionConfig`."""
+        return self._config
+
+    @property
+    def policy(self) -> Optional[PlanPolicy]:
+        """The session-level plan policy (``None`` → process default)."""
+        return self._config.policy
 
     @property
     def collection(self) -> Sequence:

@@ -86,6 +86,7 @@ now run the plan) — override the ``*_kernel`` methods instead.
 from __future__ import annotations
 
 import abc
+import dataclasses
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -134,11 +135,17 @@ from .index import IndexStage
 from .planner import (
     AdaptiveMCStage,
     BoundStage,
+    PlanPolicy,
     PruningStats,
     QueryPlan,
     RefineStage,
     adaptive_mc_schedule,
+    effective_index_enabled,
+    normalize_tau,
+    plan_for_workload,
+    resolve_policy,
     sequential_mc_decision,
+    sequential_mc_verdict,
 )
 
 #: Element budget for one broadcast ``(B, N, n)`` block of a tensor matrix
@@ -345,9 +352,10 @@ class Technique(abc.ABC):
         queries: Sequence,
         collection: Sequence,
         epsilon=None,
-        tau: Optional[float] = None,
+        tau=None,
         knn_k: Optional[int] = None,
         exclude: Optional[np.ndarray] = None,
+        policy: Optional[PlanPolicy] = None,
     ) -> Tuple[np.ndarray, PruningStats]:
         """Execute this technique's plan over an ``(M, N)`` workload.
 
@@ -360,16 +368,36 @@ class Technique(abc.ABC):
         ``epsilon`` (decision-mode range workloads) let the
         summarization index retire certain non-candidates as ``+inf``
         before any kernel runs; plain matrix workloads are unchanged.
+
+        ``tau`` may be a scalar decision threshold or a tuple of grid
+        thresholds — Monte Carlo techniques then bracket the whole grid
+        in one adaptive pass.  ``policy`` (default: the process-wide
+        :func:`~repro.queries.planner.get_default_policy`) governs the
+        cost-based chooser; the chosen plan's
+        :class:`~repro.queries.planner.PlanExplanation` rides back on
+        the returned stats.
         """
+        policy = resolve_policy(policy)
+        tau = normalize_tau(tau)
         plan = self.build_plan(kind, tau=tau)
-        plan = self._indexed_plan(plan, kind, epsilon, knn_k)
-        return plan.execute(
-            self, kind, queries, collection, epsilon=epsilon, tau=tau,
-            knn_k=knn_k, exclude=exclude,
+        plan = self._indexed_plan(plan, kind, epsilon, knn_k, policy)
+        plan, explanation = plan_for_workload(
+            self, plan, kind, queries, collection, epsilon, tau, knn_k,
+            policy,
         )
+        values, stats = plan.execute(
+            self, kind, queries, collection, epsilon=epsilon, tau=tau,
+            knn_k=knn_k, exclude=exclude, policy=policy,
+        )
+        return values, dataclasses.replace(stats, explanation=explanation)
 
     def _indexed_plan(
-        self, plan: QueryPlan, kind: str, epsilon, knn_k: Optional[int]
+        self,
+        plan: QueryPlan,
+        kind: str,
+        epsilon,
+        knn_k: Optional[int],
+        policy: Optional[PlanPolicy] = None,
     ) -> QueryPlan:
         """Prepend an :class:`~repro.queries.index.IndexStage` when the
         workload carries decision information the index can prune with.
@@ -378,8 +406,11 @@ class Technique(abc.ABC):
         probability workloads qualify when the technique already plans a
         bound stage (the index is that stage's cheap summary-resolution
         pre-filter — a technique that opted out of pruning keeps its
-        pure-refine plan).
+        pure-refine plan).  A ``never_index`` policy (or
+        ``use_index=False``) keeps the stage out of the plan entirely.
         """
+        if not effective_index_enabled(policy):
+            return plan
         if self.index_segments is None or any(
             isinstance(stage, IndexStage) for stage in plan.stages
         ):
@@ -1402,7 +1433,7 @@ class MunichTechnique(_MultisampleCalibration, Technique):
         collection: Sequence,
         columns: np.ndarray,
         epsilon: float,
-        tau: float,
+        tau,
         out_row: np.ndarray,
     ) -> int:
         """Adaptive Monte Carlo refinement of one query row.
@@ -1410,7 +1441,9 @@ class MunichTechnique(_MultisampleCalibration, Technique):
         Draws the same seeded materialization pairs the fixed-``s``
         evaluator would, but evaluates them in escalating rounds and
         stops at the first round whose hit count already determines the
-        ``>= τ`` verdict.  Returns the number of draws evaluated.
+        ``>= τ`` verdict — for a grid ``tau`` tuple, the first round
+        that decides *every* grid threshold at once.  Returns the
+        number of draws evaluated.
         """
         n_samples = self._munich.n_samples
         schedule = adaptive_mc_schedule(n_samples)
@@ -1427,11 +1460,11 @@ class MunichTechnique(_MultisampleCalibration, Technique):
                 squared = (residual**2).sum(axis=1)
                 hits += int(np.count_nonzero(squared <= squared_threshold))
                 evaluated = target
-                verdict = sequential_mc_decision(
+                verdict = sequential_mc_verdict(
                     hits, evaluated, n_samples, tau
                 )
                 if verdict is not None:
-                    out_row[index] = verdict[1]
+                    out_row[index] = verdict
                     break
             evaluated_total += evaluated
         return evaluated_total
@@ -1819,9 +1852,11 @@ class MunichDtwTechnique(_MultisampleCalibration, Technique):
         The same seeded draws as :meth:`_mc_fixed_cells`, evaluated in
         geometrically escalating rounds; each round stacks the
         still-active cells' next draw chunks through one cascade call,
-        then :func:`~repro.queries.planner.sequential_mc_decision`
+        then :func:`~repro.queries.planner.sequential_mc_verdict`
         retires every cell whose ``>= τ`` verdict is already
-        determined.  Returns the number of draws actually evaluated.
+        determined (for a grid ``tau`` tuple: whose verdict is the same
+        at every grid threshold).  Returns the number of draws actually
+        evaluated.
         """
         env_lower, env_upper = envelopes
         n_samples = self._munich.n_samples
@@ -1857,12 +1892,12 @@ class MunichDtwTechnique(_MultisampleCalibration, Technique):
             evaluated = target
             survivors = []
             for i in active:
-                verdict = sequential_mc_decision(
+                verdict = sequential_mc_verdict(
                     int(hit_counts[i]), evaluated, n_samples, tau
                 )
                 if verdict is None:
                     survivors.append(i)
                 else:
-                    out[rows[i], cols[i]] = verdict[1]
+                    out[rows[i], cols[i]] = verdict
             active = np.asarray(survivors, dtype=np.intp)
         return total

@@ -40,6 +40,7 @@ import numpy as np
 
 from ..core.errors import InvalidParameterError
 from ..queries.parallel import local_topk_rows
+from ..queries.planner import PlanPolicy
 from ..queries.session import (
     KnnResult,
     QuerySet,
@@ -48,6 +49,19 @@ from ..queries.session import (
 )
 from ..queries.techniques import Technique
 from .registry import batch_key  # noqa: F401  (canonical home; re-exported)
+
+
+def _batch_policy(jobs: Sequence[QueryJob]) -> Optional[PlanPolicy]:
+    """The batch's plan policy, decoded from the jobs' wire params.
+
+    The policy payload is part of :func:`batch_key`, so every job of a
+    coalesced batch carries the same one — the first job speaks for the
+    batch (exactly like ``k`` and ``tau``).
+    """
+    payload = jobs[0].params.get("policy")
+    if payload is None:
+        return None
+    return PlanPolicy.from_wire(payload)
 
 
 @dataclass
@@ -132,7 +146,9 @@ def execute_batch(
     per-job row slices for :func:`scatter_rows`.
     """
     items, positions, epsilon, slices = merge_requests(jobs)
-    query_set = QuerySet(session, items, positions, technique)
+    query_set = QuerySet(
+        session, items, positions, technique, policy=_batch_policy(jobs)
+    )
     if op == "knn":
         result = query_set.knn(int(jobs[0].params["k"]))
     elif op == "range":
@@ -174,7 +190,9 @@ def execute_shard_batch(
         positions - col_offset,
         -1,
     ).astype(np.intp)
-    query_set = QuerySet(session, items, local, technique)
+    query_set = QuerySet(
+        session, items, local, technique, policy=_batch_policy(jobs)
+    )
     if op == "knn":
         k = int(jobs[0].params["k"])
         values, elapsed, stats = query_set._run_matrix("distance", knn_k=k)

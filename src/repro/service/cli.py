@@ -246,6 +246,112 @@ def query_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def build_explain_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli explain",
+        description="Show the cost-based plan the chooser would run for "
+        "a workload — chosen stages, estimated vs. actual per-stage "
+        "selectivity, and the decision rationale.  Works against every "
+        "deployment shape connect() accepts: a saved collection "
+        "directory, a catalog (sharded or not), or tcp://host:port.",
+    )
+    parser.add_argument(
+        "address",
+        help="collection directory, catalog database, or tcp://host:port "
+        "daemon address (same grammar as repro.api.connect)",
+    )
+    parser.add_argument("--collection", default=None)
+    parser.add_argument(
+        "--technique",
+        default="euclidean",
+        help=f"technique name ({', '.join(TECHNIQUE_NAMES)}), or a JSON "
+        f'spec like \'{{"name": "proud", "params": {{"assumed_std": 0.7}}}}\'',
+    )
+    parser.add_argument(
+        "--queries",
+        default=None,
+        metavar="I,J,...",
+        help="comma-separated query indices (default: every series)",
+    )
+    verb = parser.add_mutually_exclusive_group(required=True)
+    verb.add_argument("--knn", type=int, metavar="K")
+    verb.add_argument("--range", type=float, metavar="EPSILON", dest="range_")
+    verb.add_argument(
+        "--prob-range",
+        type=float,
+        nargs=2,
+        metavar=("EPSILON", "TAU"),
+        dest="prob_range",
+    )
+    parser.add_argument(
+        "--mode",
+        default=None,
+        choices=("auto", "fixed", "never_index"),
+        help="plan policy mode (default: the process default, 'auto')",
+    )
+    parser.add_argument(
+        "--pilot-floor",
+        type=int,
+        default=None,
+        metavar="CELLS",
+        help="workloads below this many cells keep the authored cascade",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the per-workload plan cache",
+    )
+    return parser
+
+
+def explain_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro.cli explain``."""
+    import dataclasses
+
+    from ..queries.planner import PlanPolicy, resolve_policy
+    from .cluster import connect
+    from .registry import build_technique
+
+    parser = build_explain_parser()
+    args = parser.parse_args(argv)
+    technique_spec = args.technique
+    if technique_spec.strip().startswith("{"):
+        technique_spec = json.loads(technique_spec)
+    technique = build_technique(technique_spec)
+
+    policy: Optional[PlanPolicy] = None
+    overrides = {}
+    if args.mode is not None:
+        overrides["mode"] = args.mode
+    if args.pilot_floor is not None:
+        overrides["pilot_floor_cells"] = args.pilot_floor
+    if args.no_cache:
+        overrides["cost_cache"] = False
+    if overrides:
+        policy = dataclasses.replace(resolve_policy(None), **overrides)
+
+    indices = None
+    if args.queries is not None:
+        indices = [int(part) for part in args.queries.split(",") if part]
+
+    session = connect(args.address, collection=args.collection, policy=policy)
+    try:
+        query_set = session.queries(indices).using(technique)
+        if args.knn is not None:
+            report = query_set.explain(k=int(args.knn))
+        elif args.range_ is not None:
+            report = query_set.explain(epsilon=float(args.range_))
+        else:
+            epsilon, tau = args.prob_range
+            report = query_set.explain(
+                epsilon=float(epsilon), tau=float(tau)
+            )
+    finally:
+        session.close()
+    print(report.summary())
+    return 0
+
+
 def build_shard_map_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli shard-map",

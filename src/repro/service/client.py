@@ -28,10 +28,10 @@ from __future__ import annotations
 
 import itertools
 import socket
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..core.deprecation import warn_once
 from ..core.errors import ReproError
 from .protocol import (
     PROTOCOL_VERSION,
@@ -199,13 +199,13 @@ class ServiceClient:
 
     @staticmethod
     def _warn_direct(verb: str) -> None:
-        warnings.warn(
+        warn_once(
+            f"service-client-verb:{verb}",
             f"ServiceClient.{verb}() is deprecated; use the fluent "
             f"surface — repro.api.connect('tcp://host:port').queries()"
             f".using(technique).{verb}(...) — which returns the same "
             f"structured results as an in-process session",
-            DeprecationWarning,
-            stacklevel=3,
+            stacklevel=4,
         )
 
     def knn(

@@ -48,7 +48,7 @@ import numpy as np
 
 from ..core.errors import InvalidParameterError, ReproError
 from ..queries.parallel import merge_knn_rows
-from ..queries.planner import PruningStats
+from ..queries.planner import PlanPolicy, PruningStats
 from ..queries.session import (
     KnnResult,
     QuerySet,
@@ -592,6 +592,7 @@ class ClusterCoordinator:
         technique: Union[str, Dict[str, Any], None] = None,
         indices: Optional[Sequence[int]] = None,
         values: Optional[Sequence[Sequence[float]]] = None,
+        policy: Optional[PlanPolicy] = None,
     ) -> KnnResult:
         """Scattered k-nearest neighbors, merged stable-by-index.
 
@@ -614,7 +615,9 @@ class ClusterCoordinator:
                 f"k={int(k)} must be at most the number of eligible "
                 f"candidates ({eligible})"
             )
-        params = {"k": int(k)}
+        params: Dict[str, Any] = {"k": int(k)}
+        if policy is not None:
+            params["policy"] = policy.to_wire()
         started = time.perf_counter()
         replies, shards, failed = self._scatter(
             collection, "knn", params, technique, queries
@@ -663,6 +666,7 @@ class ClusterCoordinator:
         technique: Union[str, Dict[str, Any], None] = None,
         indices: Optional[Sequence[int]] = None,
         values: Optional[Sequence[Sequence[float]]] = None,
+        policy: Optional[PlanPolicy] = None,
     ) -> RangeResult:
         """Scattered range query; shard-ordered concatenation merge."""
         return self._range_op(
@@ -673,6 +677,7 @@ class ClusterCoordinator:
             indices,
             values,
             tau=None,
+            policy=policy,
         )
 
     def prob_range(
@@ -683,6 +688,7 @@ class ClusterCoordinator:
         technique: Union[str, Dict[str, Any], None] = None,
         indices: Optional[Sequence[int]] = None,
         values: Optional[Sequence[Sequence[float]]] = None,
+        policy: Optional[PlanPolicy] = None,
     ) -> RangeResult:
         """Scattered probabilistic range query (Equation 2)."""
         return self._range_op(
@@ -693,6 +699,7 @@ class ClusterCoordinator:
             indices,
             values,
             tau=float(tau),
+            policy=policy,
         )
 
     def _range_op(
@@ -704,8 +711,11 @@ class ClusterCoordinator:
         indices: Optional[Sequence[int]],
         values: Optional[Sequence[Sequence[float]]],
         tau: Optional[float],
+        policy: Optional[PlanPolicy] = None,
     ) -> RangeResult:
         queries = _wire_queries(indices, values)
+        if policy is not None:
+            params = {**params, "policy": policy.to_wire()}
         started = time.perf_counter()
         replies, shards, failed = self._scatter(
             collection, op, params, technique, queries
@@ -854,6 +864,9 @@ class RemoteBackend(SimilarityBackend):
     def _execute(self, op: str, query_set: QuerySet, params: Dict[str, Any]):
         indices, values = _selector_to_wire(query_set)
         spec = technique_spec(query_set.technique)
+        policy = query_set.policy
+        if policy is not None:
+            params = {**params, "policy": policy.to_wire()}
         return self._client._query(
             op, self._collection, params, spec, indices, values, None
         )
@@ -918,7 +931,12 @@ class ClusterBackend(SimilarityBackend):
         indices, values = _selector_to_wire(query_set)
         spec = technique_spec(query_set.technique)
         result = self._coordinator.knn(
-            self._collection, k, spec, indices=indices, values=values
+            self._collection,
+            k,
+            spec,
+            indices=indices,
+            values=values,
+            policy=query_set.policy,
         )
         return _rebrand(result, query_set)
 
@@ -926,7 +944,12 @@ class ClusterBackend(SimilarityBackend):
         indices, values = _selector_to_wire(query_set)
         spec = technique_spec(query_set.technique)
         result = self._coordinator.range(
-            self._collection, eps, spec, indices=indices, values=values
+            self._collection,
+            eps,
+            spec,
+            indices=indices,
+            values=values,
+            policy=query_set.policy,
         )
         return _rebrand(result, query_set)
 
@@ -936,7 +959,13 @@ class ClusterBackend(SimilarityBackend):
         indices, values = _selector_to_wire(query_set)
         spec = technique_spec(query_set.technique)
         result = self._coordinator.prob_range(
-            self._collection, eps, tau, spec, indices=indices, values=values
+            self._collection,
+            eps,
+            tau,
+            spec,
+            indices=indices,
+            values=values,
+            policy=query_set.policy,
         )
         return _rebrand(result, query_set)
 
@@ -976,16 +1005,23 @@ class RemoteSession:
         backend: SimilarityBackend,
         collection_name: str,
         n_series: int,
+        policy: Optional[PlanPolicy] = None,
     ) -> None:
         self._backend = backend
         self._collection_name = collection_name
         self._n_series = int(n_series)
+        self._policy = policy
         self._closed = False
 
     @property
     def backend(self) -> SimilarityBackend:
         """The :class:`SimilarityBackend` query sets execute against."""
         return self._backend
+
+    @property
+    def policy(self) -> Optional[PlanPolicy]:
+        """The session-level plan policy query sets inherit."""
+        return self._policy
 
     @property
     def collection_name(self) -> str:
@@ -1108,6 +1144,7 @@ def connect(
     timeout: Optional[float] = DEFAULT_TIMEOUT,
     allow_partial: bool = False,
     hedge_after: Optional[float] = None,
+    policy: Optional[PlanPolicy] = None,
 ):
     """One entry point for every deployment shape.
 
@@ -1126,7 +1163,9 @@ def connect(
         session = connect("tcp://127.0.0.1:7791/trades")
         hits = session.queries().using(DustTechnique()).knn(10)
 
-    with identical result structures and validation errors.
+    with identical result structures and validation errors.  A
+    ``policy=PlanPolicy(...)`` rides along to whichever session shape
+    comes back, steering the cost-based plan chooser uniformly.
     """
     import os
 
@@ -1139,9 +1178,11 @@ def connect(
         requested = collection if collection is not None else url_name
         client = ServiceClient(host, port, timeout=timeout)
         name, n_series = _resolve_remote_collection(client, requested)
-        return RemoteSession(RemoteBackend(client, name), name, n_series)
+        return RemoteSession(
+            RemoteBackend(client, name), name, n_series, policy=policy
+        )
     if os.path.isdir(address) or address.endswith(".json"):
-        return SimilaritySession(load_collection(address))
+        return SimilaritySession(load_collection(address), policy=policy)
     catalog = ServiceCatalog(address, readonly=True)
     try:
         names = catalog.names()
@@ -1165,9 +1206,12 @@ def connect(
                 hedge_after=hedge_after,
             )
             return RemoteSession(
-                ClusterBackend(coordinator, name), name, entry.n_series
+                ClusterBackend(coordinator, name),
+                name,
+                entry.n_series,
+                policy=policy,
             )
         mapped = catalog.open_collection(name)
     finally:
         catalog.close()
-    return SimilaritySession(mapped)
+    return SimilaritySession(mapped, policy=policy)

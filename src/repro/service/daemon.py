@@ -38,11 +38,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..core.errors import ReproError
+from ..core.errors import InvalidParameterError, ReproError
 from ..core.mmapio import MappedCollection
 from ..core.series import TimeSeries
 from ..queries.engine import QueryEngine
-from ..queries.session import SimilaritySession
+from ..queries.planner import PlanPolicy
+from ..queries.session import SessionConfig, SimilaritySession
 from ..queries.techniques import EuclideanTechnique, Technique
 from .batching import (
     BatchQueue,
@@ -266,7 +267,7 @@ class SimilarityDaemon:
         session = SimilaritySession(
             collection,
             engine=QueryEngine(max_collections=8),
-            n_workers=self._n_workers,
+            config=SessionConfig(n_workers=self._n_workers),
         )
         # Prime the engine's kernel caches (materialized matrices, norm
         # stacks, index adoption) with one 1-NN probe so a restarted
@@ -320,7 +321,7 @@ class SimilarityDaemon:
         session = SimilaritySession(
             mapped.shard(start, stop),
             engine=QueryEngine(max_collections=8),
-            n_workers=self._n_workers,
+            config=SessionConfig(n_workers=self._n_workers),
         )
         if len(session) > 1:
             with contextlib.suppress(ReproError):
@@ -432,6 +433,19 @@ class SimilarityDaemon:
                         f"prob_range requires params.tau in [0, 1], "
                         f"got {tau!r}"
                     )
+        policy = params.get("policy")
+        if policy is not None:
+            if not isinstance(policy, dict):
+                raise ProtocolError(
+                    f"params.policy must be a PlanPolicy wire object, "
+                    f"got {type(policy).__name__}"
+                )
+            try:
+                PlanPolicy.from_wire(policy)
+            except InvalidParameterError as error:
+                raise ProtocolError(
+                    f"invalid params.policy: {error}"
+                ) from error
         return params
 
     async def _dispatch(

@@ -286,9 +286,10 @@ def batch_key(
     the key — range ε is per-query (merged into one ε vector) — while
     parameters that shape the whole plan are part of it: ``k`` (the kNN
     pruning threshold cascade), ``τ`` (the decision threshold steering
-    adaptive Monte Carlo stages), and the candidate column slice a
-    cluster coordinator scoped the request to (a sliced request and a
-    full-collection request never share a kernel).
+    adaptive Monte Carlo stages), the request's plan policy (different
+    policies may choose different stage cascades), and the candidate
+    column slice a cluster coordinator scoped the request to (a sliced
+    request and a full-collection request never share a kernel).
     """
     if op == "knn":
         key: Tuple = (collection, technique, op, int(params["k"]))
@@ -298,6 +299,12 @@ def batch_key(
         key = (collection, technique, op, float(params["tau"]))
     else:
         raise InvalidParameterError(f"op {op!r} is not batchable")
+    policy = params.get("policy")
+    if policy is not None:
+        key = key + (
+            ("policy",)
+            + tuple(sorted((str(k), str(v)) for k, v in policy.items())),
+        )
     if candidates is not None:
         key = key + (("cols", int(candidates[0]), int(candidates[1])),)
     return key

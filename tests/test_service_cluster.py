@@ -329,7 +329,69 @@ class TestUnifiedFluentSurface:
         finally:
             remote.close()
 
+    def test_explain_identical_across_backends(
+        self, fleet, cluster_catalog, sessions
+    ):
+        """``explain()`` reports one chosen plan, whatever the backend."""
+        reference = (
+            sessions["pdf"].queries().using(DustTechnique()).explain(k=3)
+        )
+        remote = connect(f"tcp://127.0.0.1:{fleet[0].port}/pdf")
+        clustered = connect(cluster_catalog, collection="pdf")
+        try:
+            for session in (remote, clustered):
+                report = (
+                    session.queries().using(DustTechnique()).explain(k=3)
+                )
+                assert report.plan == reference.plan
+                assert report.mode == reference.mode
+                assert report.technique_name == reference.technique_name
+                assert [r["stage"] for r in report.records] == [
+                    r["stage"] for r in reference.records
+                ]
+        finally:
+            remote.close()
+            clustered.close()
+
+    def test_policy_ships_to_every_backend(
+        self, fleet, cluster_catalog, sessions
+    ):
+        """``never_index`` bound via ``connect(policy=...)`` reaches the
+        daemon and every shard: no backend plans an index stage."""
+        from repro.queries.planner import PlanPolicy
+
+        policy = PlanPolicy(mode="never_index")
+        remote = connect(
+            f"tcp://127.0.0.1:{fleet[0].port}/pdf", policy=policy
+        )
+        clustered = connect(
+            cluster_catalog, collection="pdf", policy=policy
+        )
+        try:
+            local_report = (
+                sessions["pdf"]
+                .queries()
+                .using(DustTechnique())
+                .with_policy(policy)
+                .explain(k=3)
+            )
+            assert "index" not in local_report.plan
+            assert local_report.mode == "never_index"
+            for session in (remote, clustered):
+                assert session.policy == policy
+                report = (
+                    session.queries().using(DustTechnique()).explain(k=3)
+                )
+                assert report.plan == local_report.plan
+                assert report.mode == "never_index"
+        finally:
+            remote.close()
+            clustered.close()
+
     def test_deprecated_client_verbs_point_at_connect(self, fleet):
+        from repro.core.deprecation import reset_deprecation_warnings
+
+        reset_deprecation_warnings()
         with ServiceClient("127.0.0.1", fleet[0].port) as client:
             with pytest.warns(DeprecationWarning, match="repro.api.connect"):
                 client.knn("pdf", k=3, technique="dust")
