@@ -1,0 +1,481 @@
+#!/usr/bin/env python
+"""Kernel-tier benchmark: float32 bound stages + pluggable JIT backends.
+
+Four legs exercise the memory-bandwidth tier:
+
+* **MUNICH float32 bound kernel** — the gating leg.  The same
+  ``matrix_bounds`` workload runs through the float64 stacks and the
+  float32 tier; the float32 bounds must *bracket* the float64 ones
+  (outward-widened, so every screening decision they make is sound)
+  and the full run enforces the ≥2× speedup floor the halved memory
+  traffic buys on a stack too large for cache.
+* **DUST float32 table bracket** — admissibility only: the float32
+  bracket must contain the exact float64 ``dust²`` at every probed
+  difference (timed for regression tracking, no floor — the bracket
+  pays off inside screening cascades, not standalone).
+* **Mixed-precision decision parity** — an end-to-end MUNICH decision
+  matrix under the default mixed policy versus the all-float64 policy:
+  values within 1e-9 and verdicts identical cell for cell.
+* **kNN identity** — a Euclidean kNN ranking under both policies:
+  neighbor sets bit-identical, scores within 1e-9.
+
+When the optional ``numba`` backend is importable a fifth leg times the
+JIT DTW wavefront against the NumPy reference (1e-9 parity enforced)
+and its speedup also counts toward the floor; without numba the payload
+records the backend as unavailable and the NumPy legs carry the gate.
+
+All workloads are seeded (SEED=2012): reruns are deterministic.
+
+Run:  PYTHONPATH=src python benchmarks/bench_kernels.py
+      PYTHONPATH=src python benchmarks/bench_kernels.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.core import spawn
+from repro.core.kernels import available_backends, use_backend
+from repro.distributions import NormalError
+from repro.dust.tables import DustTable
+from repro.munich import Munich
+from repro.queries import (
+    EuclideanTechnique,
+    MunichTechnique,
+    SimilaritySession,
+)
+from repro.queries.planner import PlanPolicy
+
+SEED = 2012
+PARITY_TOL = 1e-9
+SPEEDUP_FLOOR = 2.0
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_kernels.json",
+)
+
+MIXED = PlanPolicy(mode="fixed", use_index=False, precision="mixed")
+FLOAT64 = PlanPolicy(mode="fixed", use_index=False, precision="float64")
+
+
+def _build_exact(n_series: int, length: int):
+    """Smooth z-normalized sine mixtures at *any* requested size.
+
+    The UCR synthetic specs cap ``n_series``/``length`` at the real
+    dataset dimensions, far below what a memory-bound leg needs.
+    """
+    from repro.core import TimeSeries, znormalize
+
+    rng = np.random.default_rng(SEED)
+    t = np.linspace(0.0, 4.0 * np.pi, length)
+    series = []
+    for _ in range(n_series):
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        frequency = rng.uniform(0.5, 2.0)
+        values = np.sin(frequency * t + phase)
+        values += 0.1 * rng.normal(size=length)
+        series.append(znormalize(TimeSeries(values)))
+    return series
+
+
+def _build_multisample(n_series: int, length: int, n_samples: int = 3):
+    from repro.perturbation import ConstantScenario
+
+    scenario = ConstantScenario("normal", 0.4)
+    return [
+        scenario.apply_multisample(
+            series, n_samples, spawn(SEED, "ms", index)
+        )
+        for index, series in enumerate(_build_exact(n_series, length))
+    ]
+
+
+def _best_of(callable_, repeats: int) -> float:
+    callable_()  # warm caches (materializations, float32 tiers)
+    best = np.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return float(best)
+
+
+def _bench_bound_tier(
+    n_series: int, length: int, n_queries: int, repeats: int
+) -> Dict:
+    """The gating leg: float64 vs float32 MUNICH bound stacks."""
+    multisample = _build_multisample(n_series, length)
+    technique = MunichTechnique(Munich(tau=0.5, n_bins=256))
+    queries = multisample[:n_queries]
+
+    def run64():
+        return technique.matrix_bounds(queries, multisample)
+
+    def run32():
+        return technique.matrix_bounds(
+            queries, multisample, precision="float32"
+        )
+
+    lower64, upper64 = run64()
+    lower32, upper32 = run32()
+    admissible = bool(
+        np.all(lower32 <= lower64 + PARITY_TOL)
+        and np.all(upper32 >= upper64 - PARITY_TOL)
+    )
+    widening = float(
+        max(np.max(lower64 - lower32), np.max(upper32 - upper64))
+    )
+
+    seconds64 = _best_of(run64, repeats)
+    seconds32 = _best_of(run32, repeats)
+    speedup = seconds64 / seconds32 if seconds32 > 0 else float("inf")
+    streamed_mb = n_series * length * 2 * 8 / 1e6
+    row = {
+        "technique": "MUNICH-bounds",
+        "kind": "float32-tier",
+        "float64_seconds_per_query": seconds64 / n_queries,
+        "float32_seconds_per_query": seconds32 / n_queries,
+        "speedup": speedup,
+        "admissible": admissible,
+        "max_widening": widening,
+        "n_series": n_series,
+        "length": length,
+        "n_queries": n_queries,
+        "stack_mb_float64": streamed_mb,
+    }
+    print(
+        f"  MUNICH bound stacks ({n_series}x{length}, "
+        f"{streamed_mb:.0f} MB float64): float64 "
+        f"{row['float64_seconds_per_query'] * 1e3:9.3f} ms/q   float32 "
+        f"{row['float32_seconds_per_query'] * 1e3:9.3f} ms/q   speedup "
+        f"{speedup:5.2f}x   admissible: {admissible}   "
+        f"max widening {widening:.2e}"
+    )
+    return row
+
+
+def _bench_dust_bracket(n_values: int, repeats: int) -> Dict:
+    """DUST float32 table bracket: admissibility + regression timing."""
+    table = DustTable(NormalError(0.2), NormalError(0.4))
+    rng = np.random.default_rng(SEED)
+    differences = rng.uniform(0.0, table.radius * 1.2, size=n_values)
+
+    exact = table.dust_squared(differences)
+    lower, upper = table.dust_squared32(differences)
+    bracket_ok = bool(
+        np.all(lower <= exact + 1e-15) and np.all(exact <= upper + 1e-15)
+    )
+    width = float(np.max(upper - lower))
+
+    seconds64 = _best_of(lambda: table.dust_squared(differences), repeats)
+    seconds32 = _best_of(lambda: table.dust_squared32(differences), repeats)
+    row = {
+        "technique": "DUST-table",
+        "kind": "float32-bracket",
+        "exact_seconds_per_query": seconds64,
+        "bracket_seconds_per_query": seconds32,
+        "bracket_contains_exact": bracket_ok,
+        "max_bracket_width": width,
+        "n_values": n_values,
+    }
+    print(
+        f"  DUST table bracket ({n_values} diffs): exact "
+        f"{seconds64 * 1e3:9.3f} ms   bracket {seconds32 * 1e3:9.3f} ms   "
+        f"contains exact: {bracket_ok}   max width {width:.2e}"
+    )
+    return row
+
+
+def _bench_mixed_decisions(
+    n_series: int, length: int, n_queries: int, repeats: int
+) -> Dict:
+    """End-to-end MUNICH decision matrices: mixed vs float64 policy."""
+    multisample = _build_multisample(n_series, length)
+    technique = MunichTechnique(Munich(tau=0.5, n_bins=256))
+    queries = multisample[:n_queries]
+    # ε at the median pairwise bound keeps both verdicts populated.
+    lower, upper = technique.matrix_bounds(queries, multisample)
+    epsilon = float(np.median(0.5 * (lower + upper)))
+    tau = 0.5
+
+    def mixed():
+        return technique.matrix_with_stats(
+            "probability", queries, multisample, epsilon=epsilon, tau=tau,
+            policy=MIXED,
+        )
+
+    def full():
+        return technique.matrix_with_stats(
+            "probability", queries, multisample, epsilon=epsilon, tau=tau,
+            policy=FLOAT64,
+        )
+
+    mixed_values, mixed_stats = mixed()
+    full_values, _ = full()
+    max_diff = float(np.max(np.abs(mixed_values - full_values)))
+    verdicts_identical = bool(
+        np.array_equal(mixed_values >= tau, full_values >= tau)
+    )
+
+    mixed_seconds = _best_of(mixed, repeats)
+    full_seconds = _best_of(full, repeats)
+    row = {
+        "technique": "MUNICH",
+        "kind": "mixed-decision",
+        "float64_seconds_per_query": full_seconds / n_queries,
+        "mixed_seconds_per_query": mixed_seconds / n_queries,
+        "speedup": (
+            full_seconds / mixed_seconds if mixed_seconds > 0 else np.inf
+        ),
+        "max_abs_diff": max_diff,
+        "verdicts_identical": verdicts_identical,
+        "bound_dtype": mixed_stats.bound_dtype,
+        "backend": mixed_stats.backend,
+        "epsilon": epsilon,
+        "tau": tau,
+    }
+    print(
+        f"  MUNICH decisions (mixed policy): float64 "
+        f"{row['float64_seconds_per_query'] * 1e3:9.3f} ms/q   mixed "
+        f"{row['mixed_seconds_per_query'] * 1e3:9.3f} ms/q   "
+        f"max|diff| {max_diff:.2e}   verdicts identical: "
+        f"{verdicts_identical}   bound dtype: {mixed_stats.bound_dtype}"
+    )
+    return row
+
+
+def _bench_knn_identity(
+    n_series: int, length: int, n_queries: int, k: int, repeats: int
+) -> Dict:
+    """Euclidean kNN rankings under the mixed vs float64 policies."""
+    from repro.perturbation import ConstantScenario
+
+    scenario = ConstantScenario("normal", 0.4)
+    pdf = [
+        scenario.apply(series, spawn(SEED, "pdf", index))
+        for index, series in enumerate(_build_exact(n_series, length))
+    ]
+    session = SimilaritySession(pdf)
+    query_set = session.queries(list(range(n_queries))).using(
+        EuclideanTechnique()
+    )
+
+    def mixed():
+        return query_set.with_policy(PlanPolicy(precision="mixed")).knn(k)
+
+    def full():
+        return query_set.with_policy(PlanPolicy(precision="float64")).knn(k)
+
+    mixed_hits = mixed()
+    full_hits = full()
+    identical = bool(
+        np.array_equal(mixed_hits.indices, full_hits.indices)
+    )
+    score_diff = float(np.max(np.abs(mixed_hits.scores - full_hits.scores)))
+
+    mixed_seconds = _best_of(mixed, repeats)
+    row = {
+        "technique": "Euclidean",
+        "kind": "knn-identity",
+        "mixed_seconds_per_query": mixed_seconds / n_queries,
+        "knn_identical": identical,
+        "max_score_diff": score_diff,
+        "k": k,
+        "n_series": n_series,
+    }
+    print(
+        f"  Euclidean kNN (k={k}): "
+        f"{row['mixed_seconds_per_query'] * 1e3:9.3f} ms/q   "
+        f"neighbor sets identical: {identical}   "
+        f"max score diff {score_diff:.2e}"
+    )
+    return row
+
+
+def _bench_numba_dtw(n_pairs: int, length: int, repeats: int) -> Dict:
+    """JIT DTW wavefront vs NumPy reference (numba installed only)."""
+    from repro.distances import dtw_distance_paired
+
+    rng = np.random.default_rng(SEED)
+    x_stack = rng.normal(size=(n_pairs, length))
+    y_stack = rng.normal(size=(n_pairs, length))
+    window = max(1, length // 8)
+
+    def run(backend):
+        with use_backend(backend):
+            return dtw_distance_paired(x_stack, y_stack, window=window)
+
+    reference = run("numpy")
+    jitted = run("numba")
+    max_diff = float(np.max(np.abs(jitted - reference)))
+
+    numpy_seconds = _best_of(lambda: run("numpy"), repeats)
+    numba_seconds = _best_of(lambda: run("numba"), repeats)
+    speedup = (
+        numpy_seconds / numba_seconds if numba_seconds > 0 else float("inf")
+    )
+    row = {
+        "technique": "DTW-wavefront",
+        "kind": "numba-jit",
+        "numpy_seconds_per_query": numpy_seconds / n_pairs,
+        "numba_seconds_per_query": numba_seconds / n_pairs,
+        "speedup": speedup,
+        "max_abs_diff": max_diff,
+        "n_pairs": n_pairs,
+        "length": length,
+        "window": window,
+    }
+    print(
+        f"  DTW wavefront (numba): numpy "
+        f"{row['numpy_seconds_per_query'] * 1e3:9.3f} ms/pair   numba "
+        f"{row['numba_seconds_per_query'] * 1e3:9.3f} ms/pair   speedup "
+        f"{speedup:5.2f}x   max|diff| {max_diff:.2e}"
+    )
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bound-series", type=int, default=2048)
+    parser.add_argument("--bound-length", type=int, default=512)
+    parser.add_argument("--bound-queries", type=int, default=16)
+    parser.add_argument("--dust-values", type=int, default=1 << 21)
+    parser.add_argument("--decision-series", type=int, default=64)
+    parser.add_argument("--decision-length", type=int, default=64)
+    parser.add_argument("--decision-queries", type=int, default=12)
+    parser.add_argument("--knn-series", type=int, default=512)
+    parser.add_argument("--knn-length", type=int, default=128)
+    parser.add_argument("--knn-queries", type=int, default=16)
+    parser.add_argument("--knn-k", type=int, default=10)
+    parser.add_argument("--dtw-pairs", type=int, default=256)
+    parser.add_argument("--dtw-length", type=int, default=128)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload for CI smoke runs (parity + admissibility "
+        "only, no speedup floor)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.bound_series, args.bound_length = 96, 48
+        args.bound_queries = 6
+        args.dust_values = 1 << 14
+        args.decision_series, args.decision_length = 16, 16
+        args.decision_queries = 4
+        args.knn_series, args.knn_length = 48, 24
+        args.knn_queries, args.knn_k = 6, 3
+        args.dtw_pairs, args.dtw_length = 16, 32
+        args.repeats = 1
+
+    backends = available_backends()
+    numba_available = "numba" in backends
+    print(
+        f"backends available: {', '.join(backends)}"
+        + ("" if numba_available else " (numba not installed)")
+    )
+
+    bound_row = _bench_bound_tier(
+        args.bound_series, args.bound_length, args.bound_queries,
+        args.repeats,
+    )
+    dust_row = _bench_dust_bracket(args.dust_values, args.repeats)
+    decision_row = _bench_mixed_decisions(
+        args.decision_series, args.decision_length, args.decision_queries,
+        args.repeats,
+    )
+    knn_row = _bench_knn_identity(
+        args.knn_series, args.knn_length, args.knn_queries, args.knn_k,
+        args.repeats,
+    )
+    results = [bound_row, dust_row, decision_row, knn_row]
+    speedup_candidates = [bound_row["speedup"]]
+    numba_parity_ok = True
+    if numba_available:
+        numba_row = _bench_numba_dtw(
+            args.dtw_pairs, args.dtw_length, args.repeats
+        )
+        results.append(numba_row)
+        speedup_candidates.append(numba_row["speedup"])
+        numba_parity_ok = numba_row["max_abs_diff"] <= PARITY_TOL
+
+    parity_ok = bool(
+        decision_row["max_abs_diff"] <= PARITY_TOL
+        and decision_row["verdicts_identical"]
+        and knn_row["knn_identical"]
+        and knn_row["max_score_diff"] <= PARITY_TOL
+        and numba_parity_ok
+    )
+    kernels_ok = bool(
+        parity_ok
+        and bound_row["admissible"]
+        and dust_row["bracket_contains_exact"]
+        and decision_row["bound_dtype"] == "float32"
+    )
+    best_speedup = float(max(speedup_candidates))
+    floor_ok = args.quick or best_speedup >= SPEEDUP_FLOOR
+
+    payload = {
+        "benchmark": "kernel backends + float32 bound tier",
+        "workload": {
+            "bound_series": args.bound_series,
+            "bound_length": args.bound_length,
+            "bound_queries": args.bound_queries,
+            "dust_values": args.dust_values,
+            "decision_series": args.decision_series,
+            "knn_series": args.knn_series,
+            "knn_k": args.knn_k,
+            "seed": SEED,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "backends": list(backends),
+            "numba_available": numba_available,
+        },
+        "results": results,
+        "parity": {"tolerance": PARITY_TOL, "all_ok": parity_ok},
+        "kernels": {"all_ok": kernels_ok},
+        "speedup_floor": {
+            "required": None if args.quick else SPEEDUP_FLOOR,
+            "best_speedup": best_speedup,
+            "all_ok": floor_ok,
+        },
+    }
+    out_dir = os.path.dirname(os.path.abspath(args.out))
+    os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"[written to {args.out}]")
+
+    if not kernels_ok:
+        print(
+            "FAIL: float32 tier broke parity, admissibility, or kNN "
+            "identity",
+            file=sys.stderr,
+        )
+        return 1
+    if not floor_ok:
+        print(
+            f"FAIL: best kernel-tier speedup {best_speedup:.2f}x below "
+            f"the {SPEEDUP_FLOOR:g}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,7 @@ rest still trips the gate.  The scale never drops below 1, so a faster
 runner is not held to a tighter bar; pass ``--no-normalize`` for raw
 absolute comparison.  Any correctness flag carried by the fresh payload
 (``f1_parity`` / ``parity`` / ``knn_merge`` / ``mmap`` / ``index`` /
-``service`` / ``cluster``)
+``service`` / ``cluster`` / ``kernels``)
 failing is always fatal.
 
 The baselines live in ``benchmarks/baselines/`` and were generated with
@@ -71,6 +71,9 @@ def _correctness_failures(payload: Dict) -> List[str]:
     cluster = payload.get("cluster")
     if cluster is not None and not cluster.get("all_ok", True):
         failures.append("cluster.all_ok is false")
+    kernels = payload.get("kernels")
+    if kernels is not None and not kernels.get("all_ok", True):
+        failures.append("kernels.all_ok is false")
     return failures
 
 

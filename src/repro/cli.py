@@ -20,6 +20,7 @@ The similarity service rides on two subcommands (see
     python -m repro.cli query --port 7791 --collection name --knn 10
     python -m repro.cli shard-map --catalog catalog.db --collection name \
         --shard host:7791:0:500 --shard host:7792:500:1000
+    python -m repro.cli cluster-status --catalog catalog.db
     python -m repro.cli explain /data/collection --technique dust --knn 10
 """
 
@@ -246,6 +247,10 @@ def main(argv=None) -> int:
         from .service.cli import shard_map_main
 
         return shard_map_main(argv[1:])
+    if argv and argv[0] == "cluster-status":
+        from .service.cli import cluster_status_main
+
+        return cluster_status_main(argv[1:])
     if argv and argv[0] == "explain":
         from .service.cli import explain_main
 

@@ -1,0 +1,300 @@
+"""Pluggable kernel backends: ``numpy`` always, ``numba`` when installed.
+
+The hot per-cell kernels — the banded DTW wavefront and the MUNICH
+residual-sum convolution — run behind one seam: a frozen
+:class:`KernelBackend` record naming the backend and carrying optional
+compiled replacements for each kernel (``None`` means "use the NumPy
+reference path").  The registry always contains ``"numpy"``; ``"numba"``
+is detected lazily the first time it is asked for, compiling ``@njit``
+twins of the two kernels and falling back to NumPy cleanly when the
+package is absent or compilation fails — a NumPy-only environment never
+sees an import error, a warning, or a behaviour change.
+
+Dispatch is *policy-driven*: the cost-based planner resolves
+``PlanPolicy.backend`` (``None`` = auto: the best available backend) and
+activates it around plan execution with :func:`use_backend`; the kernel
+call sites consult :func:`active_backend` at run time.  The activation
+is a thread-local stack, so concurrent sessions with different policies
+never race each other's choice, and code outside any plan (tests, ad-hoc
+kernel calls) runs whatever :func:`set_default_backend` selected —
+``"numpy"`` unless overridden.
+
+Compiled kernels replicate the NumPy reference operation for operation
+(same recurrences, same drop rules), so verdicts and kNN sets are
+identical and distances agree to accumulated rounding, far inside the
+repo's 1e-9 parity floors — the kernel-parity CI leg runs the same test
+suite with and without numba installed to prove it.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .errors import InvalidParameterError
+
+#: Backend names a :class:`~repro.queries.planner.PlanPolicy` may request
+#: (``None`` means auto-select the best available backend).
+BACKEND_NAMES = ("numpy", "numba")
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One backend's compiled kernels (``None`` → NumPy reference path).
+
+    ``dtw_wavefront(costs, starts, stops) -> totals`` consumes the
+    stacked ``(B, n, m)`` point-cost tensor and the per-row band limits
+    of :func:`repro.distances.dtw._band_limits`, returning the ``(B,)``
+    *accumulated* costs (pre-``sqrt``).  ``munich_convolution(residuals,
+    cutoffs, n_atoms) -> probabilities`` mirrors the contract of
+    :func:`repro.munich.batch._dp_chunk`.
+    """
+
+    name: str
+    dtw_wavefront: Optional[Callable] = None
+    munich_convolution: Optional[Callable] = None
+
+    @property
+    def jit(self) -> bool:
+        """Whether any compiled kernel is attached."""
+        return (
+            self.dtw_wavefront is not None
+            or self.munich_convolution is not None
+        )
+
+    def __repr__(self) -> str:
+        kind = "jit" if self.jit else "reference"
+        return f"KernelBackend({self.name!r}, {kind})"
+
+
+_NUMPY_BACKEND = KernelBackend(name="numpy")
+
+_REGISTRY: Dict[str, KernelBackend] = {"numpy": _NUMPY_BACKEND}
+_REGISTRY_LOCK = threading.Lock()
+#: Lazy numba probe result: unset / backend / None (unavailable).
+_NUMBA_PROBED = False
+_NUMBA_BACKEND: Optional[KernelBackend] = None
+
+_DEFAULT_NAME: Optional[str] = None  # None = auto (best available)
+_ACTIVE = threading.local()
+
+
+def _build_numba_backend() -> Optional[KernelBackend]:
+    """Compile the JIT kernels, or ``None`` when numba is unusable."""
+    try:
+        import numba
+        import numpy as np
+    except ImportError:
+        return None
+    try:
+        @numba.njit(parallel=True, cache=False)
+        def dtw_wavefront(costs, starts, stops):  # pragma: no cover
+            n_pairs, n, m = costs.shape
+            totals = np.empty(n_pairs)
+            for pair in numba.prange(n_pairs):
+                previous = np.full(m + 1, np.inf)
+                current = np.full(m + 1, np.inf)
+                previous[0] = 0.0
+                for i in range(1, n + 1):
+                    for j in range(m + 1):
+                        current[j] = np.inf
+                    for j in range(starts[i - 1] + 1, stops[i - 1] + 1):
+                        best = previous[j - 1]
+                        if previous[j] < best:
+                            best = previous[j]
+                        if current[j - 1] < best:
+                            best = current[j - 1]
+                        current[j] = costs[pair, i - 1, j - 1] + best
+                    previous, current = current, previous
+                totals[pair] = previous[m]
+            return totals
+
+        @numba.njit(parallel=True, cache=False)
+        def munich_convolution(
+            residuals, cutoffs, n_atoms
+        ):  # pragma: no cover
+            n_rows, length, n_ranks = residuals.shape
+            out = np.empty(n_rows)
+            weight = 1.0 / n_atoms
+            for row in numba.prange(n_rows):
+                cutoff = cutoffs[row]
+                if cutoff < 0:
+                    out[row] = 0.0
+                    continue
+                total_span = 0
+                for t in range(length):
+                    span = 0
+                    for k in range(n_ranks):
+                        if residuals[row, t, k] > span:
+                            span = residuals[row, t, k]
+                    total_span += span
+                width = cutoff + 1
+                if total_span + 1 < width:
+                    width = total_span + 1
+                pmf = np.zeros(width)
+                buffer = np.zeros(width)
+                pmf[0] = 1.0
+                occupied = 1
+                for t in range(length):
+                    span = 0
+                    for k in range(n_ranks):
+                        if residuals[row, t, k] > span:
+                            span = residuals[row, t, k]
+                    if span == 0:
+                        continue
+                    grown = occupied + span
+                    if grown > width:
+                        grown = width
+                    for i in range(grown):
+                        buffer[i] = 0.0
+                    for k in range(n_ranks):
+                        offset = residuals[row, t, k]
+                        limit = grown - offset
+                        if limit > occupied:
+                            limit = occupied
+                        for i in range(limit):
+                            buffer[offset + i] += pmf[i]
+                    for i in range(grown):
+                        pmf[i] = buffer[i] * weight
+                    occupied = grown
+                stop = cutoff
+                if stop > occupied - 1:
+                    stop = occupied - 1
+                acc = 0.0
+                for i in range(stop + 1):
+                    acc += pmf[i]
+                out[row] = acc
+            return out
+
+        # Force compilation now so a broken toolchain falls back here,
+        # not in the middle of a query plan.
+        probe_costs = np.ones((1, 2, 2))
+        probe_limits = np.array([0, 0]), np.array([2, 2])
+        dtw_wavefront(probe_costs, *probe_limits)
+        munich_convolution(
+            np.zeros((1, 1, 1), dtype=np.intp),
+            np.zeros(1, dtype=np.intp),
+            1,
+        )
+    except Exception:
+        return None
+    return KernelBackend(
+        name="numba",
+        dtw_wavefront=dtw_wavefront,
+        munich_convolution=munich_convolution,
+    )
+
+
+def _numba_backend() -> Optional[KernelBackend]:
+    """The cached numba backend, probing (and compiling) on first use."""
+    global _NUMBA_PROBED, _NUMBA_BACKEND
+    if not _NUMBA_PROBED:
+        with _REGISTRY_LOCK:
+            if not _NUMBA_PROBED:
+                _NUMBA_BACKEND = _build_numba_backend()
+                if _NUMBA_BACKEND is not None:
+                    _REGISTRY["numba"] = _NUMBA_BACKEND
+                _NUMBA_PROBED = True
+    return _NUMBA_BACKEND
+
+
+def register_backend(backend: KernelBackend) -> None:
+    """Install (or replace) a backend under its name (extension hook)."""
+    if not isinstance(backend, KernelBackend):
+        raise InvalidParameterError(
+            f"expected a KernelBackend, got {type(backend).__name__}"
+        )
+    with _REGISTRY_LOCK:
+        _REGISTRY[backend.name] = backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backend names usable right now (``numba`` only when importable)."""
+    _numba_backend()
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: Optional[str] = None) -> KernelBackend:
+    """Resolve a backend name to a usable backend.
+
+    ``None`` auto-selects: the process default
+    (:func:`set_default_backend`) when one is pinned, else the best
+    available backend (``numba`` when importable, ``numpy`` otherwise).
+    Asking for ``"numba"`` on a machine without it falls back to
+    ``"numpy"`` — requesting the optional backend is always safe.
+    Unknown names raise.
+    """
+    if name is None:
+        name = _DEFAULT_NAME
+    if name is None:
+        jit = _numba_backend()
+        return jit if jit is not None else _NUMPY_BACKEND
+    if name == "numba":
+        jit = _numba_backend()
+        return jit if jit is not None else _NUMPY_BACKEND
+    with _REGISTRY_LOCK:
+        backend = _REGISTRY.get(name)
+    if backend is None:
+        raise InvalidParameterError(
+            f"unknown kernel backend {name!r}; known: "
+            f"{', '.join(available_backends())}"
+        )
+    return backend
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Pin the process-wide backend (``None`` restores auto-selection)."""
+    global _DEFAULT_NAME
+    if name is not None:
+        get_backend(name)  # validate (with fallback semantics for numba)
+    _DEFAULT_NAME = name
+
+
+def active_backend() -> KernelBackend:
+    """The backend kernel call sites should dispatch to *right now*.
+
+    The innermost :func:`use_backend` activation on this thread, else
+    whatever :func:`get_backend` resolves for the process default.
+    """
+    stack = getattr(_ACTIVE, "stack", None)
+    if stack:
+        return stack[-1]
+    return get_backend(None)
+
+
+@contextmanager
+def use_backend(name: Optional[str]):
+    """Activate a backend for the current thread (planner dispatch).
+
+    ``None`` activates the auto-selected backend.  Yields the resolved
+    :class:`KernelBackend`, so callers can record which backend actually
+    ran (``PruningStats.backend``).
+    """
+    backend = get_backend(name)
+    stack = getattr(_ACTIVE, "stack", None)
+    if stack is None:
+        stack = _ACTIVE.stack = []
+    stack.append(backend)
+    try:
+        yield backend
+    finally:
+        stack.pop()
+
+
+def validate_backend_name(name: Any) -> Optional[str]:
+    """Policy-field validation: ``None`` or a known backend *name*.
+
+    Accepts ``"numba"`` even when the package is absent (resolution
+    falls back cleanly); rejects names no backend could ever answer to.
+    """
+    if name is None:
+        return None
+    if not isinstance(name, str) or name not in BACKEND_NAMES:
+        known = ", ".join(BACKEND_NAMES)
+        raise InvalidParameterError(
+            f"backend must be None or one of {known}; got {name!r}"
+        )
+    return name

@@ -352,6 +352,106 @@ def explain_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def build_cluster_status_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli cluster-status",
+        description="Ping every daemon a catalog's shard maps route to "
+        "and print a per-shard health table.",
+    )
+    parser.add_argument(
+        "--catalog",
+        required=True,
+        help="path of the catalog database holding the shard maps",
+    )
+    parser.add_argument(
+        "--collection",
+        default=None,
+        help="limit the table to one sharded collection "
+        "(default: every sharded collection)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="per-endpoint ping timeout (default 5.0)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the health map as JSON instead of the table",
+    )
+    return parser
+
+
+def cluster_status_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro.cli cluster-status``.
+
+    Exit code 0 when every pinged endpoint answered, 1 when any shard
+    endpoint is down, 2 on usage errors (no sharded collections / an
+    unknown collection name).
+    """
+    from .cluster import ClusterCoordinator
+
+    parser = build_cluster_status_parser()
+    args = parser.parse_args(argv)
+    coordinator = ClusterCoordinator.from_catalog(
+        args.catalog, timeout=args.timeout
+    )
+    try:
+        names = coordinator.collections
+        if args.collection is not None:
+            if args.collection not in names:
+                print(
+                    f"collection {args.collection!r} has no shard map; "
+                    f"sharded collections: {', '.join(names) or 'none'}",
+                    file=sys.stderr,
+                )
+                return 2
+            names = [args.collection]
+        if not names:
+            print("no sharded collections in the catalog", file=sys.stderr)
+            return 2
+        alive = coordinator.ping()
+        if args.as_json:
+            payload = {
+                "endpoints": alive,
+                "collections": {
+                    name: [
+                        {
+                            "shard_index": shard.shard_index,
+                            "endpoint": shard.endpoint,
+                            "row_start": shard.row_start,
+                            "row_stop": shard.row_stop,
+                            "alive": alive.get(shard.endpoint, False),
+                        }
+                        for shard in coordinator.shard_map(name)
+                    ]
+                    for name in names
+                },
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            for name in names:
+                print(f"{name}:")
+                for shard in coordinator.shard_map(name):
+                    state = (
+                        "up"
+                        if alive.get(shard.endpoint, False)
+                        else "DOWN"
+                    )
+                    print(
+                        f"  shard {shard.shard_index}  "
+                        f"{shard.endpoint:21s} "
+                        f"rows [{shard.row_start}, {shard.row_stop})  "
+                        f"{state}"
+                    )
+        return 0 if all(alive.values()) else 1
+    finally:
+        coordinator.close()
+
+
 def build_shard_map_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli shard-map",

@@ -273,8 +273,13 @@ class SimilarityDaemon:
         # stacks, index adoption) with one 1-NN probe so a restarted
         # daemon's first real query pays only its own kernel — the
         # warm-start contract the service benchmark gates on.  Kinds
-        # without a distance path just skip the probe.
-        if len(session) > 1:
+        # without a distance path just skip the probe.  Collections
+        # saved with a persisted warm tier (build_warm_cache) adopt it
+        # zero-copy instead, so the probe is unnecessary.
+        if (
+            len(session) > 1
+            and getattr(collection, "mapped_warm", None) is None
+        ):
             with contextlib.suppress(ReproError):
                 session.queries([0]).using(EuclideanTechnique()).knn(1)
         return session
@@ -323,7 +328,10 @@ class SimilarityDaemon:
             engine=QueryEngine(max_collections=8),
             config=SessionConfig(n_workers=self._n_workers),
         )
-        if len(session) > 1:
+        if (
+            len(session) > 1
+            and getattr(mapped, "mapped_warm", None) is None
+        ):
             with contextlib.suppress(ReproError):
                 session.queries([0]).using(EuclideanTechnique()).knn(1)
         return session

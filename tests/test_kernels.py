@@ -1,0 +1,426 @@
+"""Kernel backends and the float32 bound tier.
+
+The acceptance bar for the memory-bandwidth tier:
+
+* mixed-precision plans (float32 bound/filter stages, float64 refine)
+  produce matrices within 1e-9 of the all-float64 path and **never**
+  flip a verdict or reorder a kNN set, across all eight technique
+  families, randomized workloads, and sharded sessions;
+* the backend registry always answers — requesting ``numba`` on a
+  machine without it falls back to NumPy with no error and no
+  behaviour change;
+* the float32 materialization tiers (engine downcasts, DUST brackets,
+  persisted warm caches) are admissible: they bracket the float64
+  values they screen for.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import InvalidParameterError, spawn
+from repro.core.kernels import (
+    KernelBackend,
+    active_backend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_default_backend,
+    use_backend,
+    validate_backend_name,
+)
+from repro.core.mmapio import (
+    build_warm_cache,
+    load_collection,
+    save_collection,
+)
+from repro.datasets import generate_dataset
+from repro.distributions import NormalError
+from repro.dust.tables import DustTable
+from repro.munich import Munich
+from repro.perturbation import ConstantScenario
+from repro.queries import (
+    MunichTechnique,
+    PruningStats,
+    QueryEngine,
+    ShardedExecutor,
+    SimilaritySession,
+)
+from repro.queries.planner import (
+    PlanPolicy,
+    _stage_bytes_per_cell,
+)
+from repro.service.protocol import stats_from_payload, stats_payload
+from repro.service.registry import TECHNIQUE_NAMES, build_technique
+
+PARITY_TOL = 1e-9
+
+N_SERIES = 13  # prime: no default block size divides it
+LENGTH = 12
+
+MIXED = PlanPolicy(precision="mixed")
+FLOAT64 = PlanPolicy(precision="float64")
+
+
+def _numba_importable() -> bool:
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+@pytest.fixture(scope="module")
+def exact():
+    return generate_dataset(
+        "GunPoint", seed=23, n_series=N_SERIES, length=LENGTH
+    )
+
+
+@pytest.fixture(scope="module")
+def pdf(exact):
+    scenario = ConstantScenario("normal", 0.4)
+    return [
+        scenario.apply(series, spawn(23, "pdf", index))
+        for index, series in enumerate(exact)
+    ]
+
+
+@pytest.fixture(scope="module")
+def multisample(exact):
+    scenario = ConstantScenario("normal", 0.4)
+    return [
+        scenario.apply_multisample(series, 3, spawn(23, "ms", index))
+        for index, series in enumerate(exact)
+    ]
+
+
+def _small_technique(name: str):
+    """One instance of a wire-named family, sized for the test workload."""
+    params = {
+        "munich": {"n_bins": 256},
+        "munich-dtw": {"window": 2, "n_samples": 30, "rng": 9},
+        "dust-dtw": {"window": 2},
+    }.get(name, {})
+    return build_technique({"name": name, "params": params})
+
+
+def _workload(technique, pdf, multisample, rng):
+    """A randomized (kind, data, epsilon, tau) workload for one family."""
+    data = multisample if technique.input_kind == "multisample" else pdf
+    if technique.kind == "distance":
+        return "distance", data, None, None
+    epsilon = float(rng.uniform(2.0, 4.0))
+    tau = float(rng.uniform(0.21, 0.79))
+    return "probability", data, epsilon, tau
+
+
+class TestMixedPrecisionParity:
+    """float32 bound stages never change what a query answers."""
+
+    @pytest.mark.parametrize("name", TECHNIQUE_NAMES)
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_matrix_parity_all_families(
+        self, name, seed, pdf, multisample
+    ):
+        rng = np.random.default_rng(1000 + seed)
+        technique = _small_technique(name)
+        kind, data, epsilon, tau = _workload(
+            technique, pdf, multisample, rng
+        )
+        baseline, _ = technique.matrix_with_stats(
+            kind, data, data, epsilon=epsilon, tau=tau, policy=FLOAT64
+        )
+        mixed, stats = technique.matrix_with_stats(
+            kind, data, data, epsilon=epsilon, tau=tau, policy=MIXED
+        )
+        assert np.max(np.abs(mixed - baseline)) <= PARITY_TOL
+        if tau is not None:
+            # Verdict parity, not just value parity: every cell lands on
+            # the same side of the decision threshold.
+            assert np.array_equal(mixed >= tau, baseline >= tau)
+        assert stats.backend in available_backends()
+
+    def test_bound_stage_reports_float32(self, multisample):
+        technique = MunichTechnique(Munich(tau=0.5, n_bins=256))
+        policy = PlanPolicy(
+            mode="fixed", use_index=False, precision="mixed"
+        )
+        _, stats = technique.matrix_with_stats(
+            "probability", multisample, multisample, epsilon=3.0,
+            policy=policy,
+        )
+        assert stats.bound_dtype == "float32"
+        assert "bound dtype=float32" in stats.summary()
+        _, stats64 = technique.matrix_with_stats(
+            "probability", multisample, multisample, epsilon=3.0,
+            policy=PlanPolicy(
+                mode="fixed", use_index=False, precision="float64"
+            ),
+        )
+        assert stats64.bound_dtype == "float64"
+
+    def test_mixed_bounds_decide_only_sound_cells(self, multisample):
+        """Widened float32 bounds decide a subset of the float64 cells."""
+        technique = MunichTechnique(Munich(tau=0.5, n_bins=256))
+        kwargs = dict(mode="fixed", use_index=False)
+        _, mixed = technique.matrix_with_stats(
+            "probability", multisample, multisample, epsilon=3.0,
+            tau=0.5, policy=PlanPolicy(precision="mixed", **kwargs),
+        )
+        _, full = technique.matrix_with_stats(
+            "probability", multisample, multisample, epsilon=3.0,
+            tau=0.5, policy=PlanPolicy(precision="float64", **kwargs),
+        )
+        assert mixed.decided_by("bounds") <= full.decided_by("bounds")
+
+    @pytest.mark.parametrize("name", ("euclidean", "dust", "dust-dtw"))
+    def test_knn_sets_identical(self, name, pdf, multisample):
+        technique = _small_technique(name)
+        if technique.kind != "distance":
+            pytest.skip(f"{name} is probabilistic; kNN undefined")
+        data = multisample if technique.input_kind == "multisample" else pdf
+        session = SimilaritySession(data)
+        baseline = (
+            session.queries().using(technique).with_policy(FLOAT64).knn(3)
+        )
+        mixed = (
+            session.queries().using(technique).with_policy(MIXED).knn(3)
+        )
+        assert np.array_equal(mixed.indices, baseline.indices)
+        assert np.max(np.abs(mixed.scores - baseline.scores)) <= PARITY_TOL
+
+    @pytest.mark.parametrize("row_block,col_block", [(4, 5), (3, 1)])
+    def test_sharded_parity(self, multisample, row_block, col_block):
+        technique = MunichTechnique(Munich(tau=0.5, n_bins=256))
+        direct, _ = technique.matrix_with_stats(
+            "probability", multisample, multisample, epsilon=3.0,
+            policy=FLOAT64,
+        )
+        with ShardedExecutor(
+            n_workers=1, row_block=row_block, col_block=col_block
+        ) as executor:
+            sharded, stats = executor.matrix_with_stats(
+                technique, "probability", multisample, multisample, 3.0,
+                policy=MIXED,
+            )
+        assert np.max(np.abs(sharded - direct)) <= PARITY_TOL
+        assert stats.backend in available_backends()
+
+
+class TestBackendRegistry:
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+        backend = get_backend("numpy")
+        assert backend.name == "numpy"
+        assert not backend.jit
+
+    def test_numba_request_is_always_safe(self):
+        backend = get_backend("numba")
+        if _numba_importable():
+            assert backend.name in ("numba", "numpy")  # compile may fail
+        else:
+            assert backend.name == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            get_backend("fortran")
+        with pytest.raises(InvalidParameterError):
+            validate_backend_name("fortran")
+        with pytest.raises(InvalidParameterError):
+            validate_backend_name(42)
+
+    def test_validate_accepts_policy_names(self):
+        assert validate_backend_name(None) is None
+        assert validate_backend_name("numpy") == "numpy"
+        # numba validates even when absent: resolution falls back.
+        assert validate_backend_name("numba") == "numba"
+
+    def test_use_backend_stack(self):
+        outer = active_backend()
+        with use_backend("numpy") as backend:
+            assert backend.name == "numpy"
+            assert active_backend() is backend
+            with use_backend(None) as inner:
+                assert active_backend() is inner
+            assert active_backend() is backend
+        assert active_backend().name == outer.name
+
+    def test_use_backend_is_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["name"] = active_backend().name
+
+        with use_backend("numpy"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The spawned thread never saw this thread's activation.
+        assert seen["name"] == get_backend(None).name
+
+    def test_register_and_default(self):
+        stub = KernelBackend(name="stub-test")
+        register_backend(stub)
+        try:
+            assert get_backend("stub-test") is stub
+            assert "stub-test" in available_backends()
+            set_default_backend("stub-test")
+            assert active_backend() is stub
+        finally:
+            set_default_backend(None)
+        with pytest.raises(InvalidParameterError):
+            register_backend("not a backend")
+
+
+class TestPolicySurface:
+    def test_defaults(self):
+        policy = PlanPolicy()
+        assert policy.precision == "mixed"
+        assert policy.backend is None
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PlanPolicy(precision="float16")
+        with pytest.raises(InvalidParameterError):
+            PlanPolicy(backend="fortran")
+
+    def test_wire_round_trip(self):
+        policy = PlanPolicy(
+            mode="fixed", precision="float64", backend="numpy"
+        )
+        wired = PlanPolicy.from_wire(policy.to_wire())
+        assert wired == policy
+        assert PlanPolicy.from_wire(PlanPolicy().to_wire()) == PlanPolicy()
+        # The wire payload is JSON-clean.
+        json.dumps(policy.to_wire())
+
+    def test_dtype_aware_pricing(self):
+        technique = _small_technique("munich")
+        full = _stage_bytes_per_cell("bounds", technique, 64, FLOAT64)
+        mixed = _stage_bytes_per_cell("bounds", technique, 64, MIXED)
+        assert mixed == pytest.approx(full / 2.0)
+        # Refine stages stay float64-priced under either policy.
+        assert _stage_bytes_per_cell(
+            "refine", technique, 64, MIXED
+        ) == _stage_bytes_per_cell("refine", technique, 64, FLOAT64)
+
+    def test_stats_wire_round_trip(self):
+        stats = PruningStats(
+            technique_name="munich",
+            kind="probability",
+            n_queries=2,
+            n_candidates=3,
+            backend="numpy",
+            bound_dtype="float32",
+        )
+        rebuilt = stats_from_payload(stats_payload(stats))
+        assert rebuilt.backend == "numpy"
+        assert rebuilt.bound_dtype == "float32"
+        # Tolerant of older daemons that never send the fields.
+        payload = stats_payload(stats)
+        payload.pop("backend")
+        payload.pop("bound_dtype")
+        legacy = stats_from_payload(payload)
+        assert legacy.backend is None
+        assert legacy.bound_dtype is None
+
+
+class TestFloat32Tiers:
+    def test_engine_downcast_brackets(self, multisample):
+        engine = QueryEngine()
+        materialized = engine.materialize(multisample)
+        low64, high64 = materialized.bounding_matrices()
+        low32, high32, scale = materialized.bounding_matrices32()
+        assert low32.dtype == np.float32
+        assert high32.dtype == np.float32
+        assert scale >= float(np.abs(low64).max())
+        assert np.max(np.abs(low32.astype(np.float64) - low64)) <= (
+            scale * np.finfo(np.float32).eps
+        )
+        # Cached: a second call returns the same arrays.
+        again = materialized.bounding_matrices32()
+        assert again[0] is low32
+
+    def test_dust_bracket_contains_exact(self):
+        table = DustTable(NormalError(0.3), NormalError(0.5), n_points=64)
+        rng = np.random.default_rng(7)
+        # Cover the grid, the extrapolation tail, and exact knots.
+        d = np.concatenate([
+            rng.uniform(0.0, table.radius * 1.5, size=512),
+            table._grid[:8],
+            [0.0, table.radius],
+        ])
+        exact = table.dust_squared(d)
+        lower, upper = table.dust_squared32(d)
+        assert np.all(lower <= exact + 1e-15)
+        assert np.all(exact <= upper + 1e-15)
+        assert np.all(lower >= 0.0)
+        # The bracket is tight: within a few float32 ulps of the peak.
+        width = np.max(upper - lower)
+        assert width <= 64.0 * np.finfo(np.float32).eps * (
+            float(exact.max()) + 1.0
+        )
+
+    def test_warm_cache_round_trip(self, multisample, tmp_path):
+        save_collection(multisample, str(tmp_path))
+        manifest_path = build_warm_cache(str(tmp_path))
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        assert set(manifest["warm"]["arrays"]) == {
+            "bounds_low32", "bounds_high32"
+        }
+        for name in manifest["warm"]["arrays"].values():
+            assert os.path.exists(os.path.join(str(tmp_path), name))
+
+        loaded = load_collection(str(tmp_path))
+        warm = loaded.mapped_warm
+        assert warm is not None
+        assert warm["bounds_low32"].dtype == np.float32
+
+        # The engine adopts the persisted tier zero-copy...
+        engine = QueryEngine()
+        low32, high32, scale = engine.materialize(
+            loaded
+        ).bounding_matrices32()
+        assert np.shares_memory(low32, warm["bounds_low32"])
+        assert scale == warm["bounds_scale"]
+        # ...and it matches what downcasting in-process would produce.
+        fresh = QueryEngine().materialize(multisample)
+        expected_low, expected_high, _ = fresh.bounding_matrices32()
+        assert np.array_equal(np.asarray(low32), expected_low)
+        assert np.array_equal(np.asarray(high32), expected_high)
+
+    def test_warm_cache_shards_with_collection(self, multisample, tmp_path):
+        save_collection(multisample, str(tmp_path))
+        build_warm_cache(str(tmp_path))
+        loaded = load_collection(str(tmp_path))
+        shard = loaded.shard(2, 7)
+        warm = shard.mapped_warm
+        assert warm["bounds_low32"].shape[0] == 5
+        assert np.array_equal(
+            np.asarray(warm["bounds_low32"]),
+            np.asarray(loaded.mapped_warm["bounds_low32"])[2:7],
+        )
+        # Scales are whole-collection maxima: sharding keeps them.
+        assert warm["bounds_scale"] == loaded.mapped_warm["bounds_scale"]
+
+    def test_warm_parity_through_queries(self, multisample, tmp_path):
+        save_collection(multisample, str(tmp_path))
+        build_warm_cache(str(tmp_path))
+        loaded = load_collection(str(tmp_path))
+        technique = MunichTechnique(Munich(tau=0.5, n_bins=256))
+        direct, _ = technique.matrix_with_stats(
+            "probability", multisample, multisample, epsilon=3.0,
+            policy=FLOAT64,
+        )
+        warm_technique = MunichTechnique(Munich(tau=0.5, n_bins=256))
+        mapped, _ = warm_technique.matrix_with_stats(
+            "probability", loaded, loaded, epsilon=3.0, policy=MIXED
+        )
+        assert np.max(np.abs(mapped - direct)) <= PARITY_TOL
